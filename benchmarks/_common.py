@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's figures/tables/case-study
+results.  Output discipline:
+
+* each bench writes its rendered table/figure to
+  ``benchmarks/results/<name>.txt`` (so results survive pytest's stdout
+  capture and EXPERIMENTS.md can be assembled from them);
+* each bench asserts its experiment's *shape checks* — who wins, by
+  roughly what factor — via :class:`repro.analysis.report.ExperimentRecord`;
+* the timed portion (the ``benchmark`` fixture) is the experiment's core
+  computation, so ``--benchmark-only`` runs double as a performance
+  regression harness for the simulator itself.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.analysis.report import ExperimentRecord
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Write a bench's rendered output to benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text.rstrip() + "\n")
+    print(text)
+
+
+def assert_record(record: ExperimentRecord) -> None:
+    """Evaluate a record's shape checks; fail with the full report text."""
+    ok = record.evaluate()
+    assert ok, "shape checks failed:\n" + record.render_text()

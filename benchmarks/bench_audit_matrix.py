@@ -1,0 +1,73 @@
+"""The design-vs-pattern audit matrix.
+
+Not a figure in the paper, but its central table in spirit: §3 defines
+four sub-patterns, §4 presents designs built from them, and §2 describes
+the general-purpose network that has none.  The bench renders the full
+compliance matrix and asserts its shape: every paper design passes every
+pattern; the baseline fails every pattern.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ResultTable
+from repro.analysis.report import ExperimentRecord
+from repro.core import (
+    ALL_PATTERNS,
+    big_data_site,
+    campus_with_rcnet,
+    general_purpose_campus,
+    simple_science_dmz,
+    supercomputer_center,
+)
+
+from _common import assert_record, emit
+
+BUILDERS = [
+    ("general-purpose-campus (§2)", general_purpose_campus),
+    ("simple-science-dmz (Fig 3)", simple_science_dmz),
+    ("supercomputer-center (Fig 4)", supercomputer_center),
+    ("big-data-site (Fig 5)", big_data_site),
+    ("colorado-campus (Figs 6/7)", campus_with_rcnet),
+]
+
+
+def run_matrix():
+    matrix = {}
+    for label, builder in BUILDERS:
+        report = builder().audit()
+        matrix[label] = {
+            pattern.name: report.pattern_passed(pattern.name)
+            for pattern in ALL_PATTERNS
+        }
+    return matrix
+
+
+def test_audit_matrix(benchmark):
+    matrix = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    table = ResultTable(
+        "Science DMZ pattern-compliance matrix (§3 patterns x §2/§4/§6 "
+        "designs)",
+        ["design"] + [p.name for p in ALL_PATTERNS],
+    )
+    for label, row in matrix.items():
+        table.add_row([label] + ["pass" if row[p.name] else "FAIL"
+                                 for p in ALL_PATTERNS])
+    emit("audit_matrix", table.render_text())
+
+    baseline = matrix["general-purpose-campus (§2)"]
+    dmz_rows = [row for label, row in matrix.items()
+                if not label.startswith("general-purpose")]
+
+    record = ExperimentRecord(
+        "Audit matrix",
+        "the paper's designs embody all four patterns; the general-"
+        "purpose baseline embodies none",
+        f"{len(dmz_rows)} designs x {len(ALL_PATTERNS)} patterns all "
+        "pass; baseline fails 4/4",
+    )
+    record.add_check("baseline fails every pattern",
+                     lambda: not any(baseline.values()))
+    record.add_check("every paper design passes every pattern",
+                     lambda: all(all(row.values()) for row in dmz_rows))
+    assert_record(record)

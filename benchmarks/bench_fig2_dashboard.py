@@ -1,0 +1,86 @@
+"""Figure 2: the perfSONAR mesh dashboard.
+
+The paper's Figure 2 shows "regular perfSONAR monitoring of the ESnet
+infrastructure" — a grid of site pairs where colour denotes the degree of
+throughput and each square is halved to show the rate per direction.
+
+We run the mesh over the library's reference national backbone
+(:func:`repro.core.wan.national_backbone` — eight sites, redundant 100G
+hub ring), degrade one site's access span, and regenerate the dashboard.
+Shape checks: the grid is complete, healthy pairs band 'good', the pairs
+crossing the degraded span band below 'good', and the cells are
+direction-resolved.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentRecord
+from repro.netsim import Simulator
+from repro.perfsonar import (
+    Dashboard,
+    MeasurementArchive,
+    MeshConfig,
+    MeshSchedule,
+    RateBand,
+)
+from repro.core.wan import national_backbone
+from repro.units import Gbps, minutes, seconds
+
+SITES = ["lbl", "anl", "ornl", "bnl", "slac"]
+
+
+def run_dashboard():
+    topo = national_backbone()
+    sim = Simulator(seed=2)
+    archive = MeasurementArchive()
+    mesh = MeshSchedule(topo, SITES, sim, archive,
+                        config=MeshConfig(owamp_interval=minutes(2),
+                                          bwctl_interval=minutes(20),
+                                          bwctl_duration=seconds(10)))
+    mesh.start()
+    sim.run_until(minutes(30).s)
+    # Degrade the ORNL access span (a §3.3 soft failure) and re-test.
+    topo.link_between("ornl", "hub-south").degrade(
+        loss_probability=1 / 5000)
+    mesh.run_bwctl_round()
+    dash = Dashboard(archive, SITES, expected_rate=Gbps(10),
+                     good_fraction=0.5, bad_fraction=0.05)
+    return dash
+
+
+def test_figure2_dashboard(benchmark):
+    from _common import assert_record, emit
+
+    dash = benchmark.pedantic(run_dashboard, rounds=1, iterations=1)
+    emit("fig2_dashboard",
+         "Figure 2 — perfSONAR mesh dashboard (ornl span degraded):\n\n"
+         + dash.render_text() + "\n\nCSV export:\n" + dash.render_csv())
+
+    grid = dash.grid()
+    cells = [c for row in grid for c in row if c is not None]
+    problems = dash.problem_pairs()
+
+    record = ExperimentRecord(
+        "Figure 2",
+        "a complete per-pair bidirectional grid; healthy paths colour "
+        "'good', a degraded path shows immediately as a low-throughput "
+        "cell",
+        f"{len(cells)} directed cells; {len(problems)} problem pairs, "
+        f"all involving ornl",
+    )
+    record.add_check("grid covers every ordered pair with data",
+                     lambda: len(cells) == len(SITES) * (len(SITES) - 1)
+                     and all(c.forward_band is not RateBand.NO_DATA
+                             for c in cells))
+    record.add_check("at least one pair flagged below 'good'",
+                     lambda: len(problems) > 0)
+    record.add_check("every problem pair crosses the degraded site",
+                     lambda: all("ornl" in (src, dst)
+                                 for src, dst, _ in problems))
+    record.add_check("cells are direction-resolved (two glyphs per cell)",
+                     lambda: all(len(c.glyphs) == 2 for c in cells))
+    record.add_check("healthy pairs band 'good'",
+                     lambda: any(
+                         c.forward_band is RateBand.GOOD for c in cells
+                         if "ornl" not in (c.row, c.col)))
+    assert_record(record)

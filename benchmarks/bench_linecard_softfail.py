@@ -1,0 +1,119 @@
+"""§2 line-card incident: device-level arithmetic + end-to-end collapse +
+detection by OWAMP but not by counters.
+
+The paper's numbers: a failing 10 Gbps line card dropping 1 of 22,000
+packets (0.0046%) forwards 812,744 frames/s at peak, so it loses ~37
+packets/s — only ~450 Kbps at the device — yet end-to-end TCP collapses
+(Figure 1), and "this packet loss was not being reported by the router's
+internal error monitoring, and was only noticed using the owamp active
+packet loss monitoring tool".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import ResultTable
+from repro.analysis.report import ExperimentRecord
+from repro.core import simple_science_dmz
+from repro.devices.faults import FailingLineCard, FaultInjector
+from repro.netsim import Simulator
+from repro.perfsonar import (
+    AlertRule,
+    MeasurementArchive,
+    MeshConfig,
+    MeshSchedule,
+    ThresholdAlerter,
+)
+from repro.tcp import Reno, TcpConnection
+from repro.tcp.mathis import packets_lost_per_second, packets_per_second
+from repro.units import Gbps, bytes_, minutes, seconds
+
+from _common import assert_record, emit
+
+
+def run_incident():
+    """Returns (fps, lost_per_s, device_kbps, clean_bps, degraded_bps,
+    counter_visible, alert_delay_minutes)."""
+    fps = packets_per_second(Gbps(10), bytes_(1538))
+    lost = packets_lost_per_second(Gbps(10), bytes_(1538), 1 / 22000)
+    device_kbps = lost * 1538 * 8 / 1e3
+
+    bundle = simple_science_dmz()
+    topo = bundle.topology
+    policy = bundle.science_policy
+
+    profile = topo.profile_between("dtn1", bundle.remote_dtn, **policy)
+    clean = TcpConnection(profile, algorithm=Reno()).measure(
+        seconds(30)).mean_throughput.bps
+
+    sim = Simulator(seed=5)
+    archive = MeasurementArchive()
+    mesh = MeshSchedule(topo, ["dmz-perfsonar", "remote-dtn"], sim, archive,
+                        config=MeshConfig(owamp_interval=minutes(1),
+                                          bwctl_interval=minutes(10),
+                                          owamp_packets=20_000),
+                        policy=policy)
+    mesh.start()
+    injector = FaultInjector(sim)
+    onset = minutes(30)
+    injector.inject_at(onset, topo.node("border"), FailingLineCard())
+    sim.run_until(minutes(90).s)
+
+    degraded_profile = topo.profile_between("dtn1", bundle.remote_dtn,
+                                            **policy)
+    degraded = TcpConnection(degraded_profile, algorithm=Reno(),
+                             rng=np.random.default_rng(8)).measure(
+        seconds(30), max_rounds=100_000).mean_throughput.bps
+
+    counter_visible = not injector.invisible_faults()
+    alerter = ThresholdAlerter(archive, AlertRule(loss_rate_threshold=1e-5))
+    alerts = [a for a in alerter.scan() if a.time >= onset.s]
+    delay_min = (min(a.time for a in alerts) - onset.s) / 60 if alerts else None
+    return fps, lost, device_kbps, clean, degraded, counter_visible, delay_min
+
+
+def test_linecard_incident(benchmark):
+    (fps, lost, device_kbps, clean, degraded,
+     counter_visible, delay_min) = benchmark.pedantic(
+        run_incident, rounds=1, iterations=1)
+
+    table = ResultTable(
+        "§2 failing line card — device arithmetic vs end-to-end impact",
+        ["quantity", "paper", "measured"],
+    )
+    table.add_row(["frames/s at peak (1538 B)", "812,744", f"{fps:,.0f}"])
+    table.add_row(["packets lost per second", "37", f"{lost:.0f}"])
+    table.add_row(["device-level loss", "~450 Kbps", f"{device_kbps:.0f} Kbps"])
+    table.add_row(["end-to-end TCP clean", "~10 Gbps class",
+                   f"{clean / 1e9:.2f} Gbps"])
+    table.add_row(["end-to-end TCP w/ fault", "collapses (Fig 1)",
+                   f"{degraded / 1e6:.0f} Mbps"])
+    table.add_row(["visible to device counters", "no",
+                   "yes" if counter_visible else "no"])
+    table.add_row(["noticed by OWAMP", "yes",
+                   f"yes (+{delay_min:.0f} min)" if delay_min is not None
+                   else "NO"])
+    emit("linecard_softfail", table.render_text())
+
+    record = ExperimentRecord(
+        "§2 line-card example",
+        "1/22000 loss = 37 pkt/s = 450 Kbps on the device, but dramatic "
+        "end-to-end TCP collapse; invisible to counters, caught by OWAMP",
+        f"{lost:.0f} pkt/s, {device_kbps:.0f} Kbps device-level; "
+        f"TCP {clean / 1e9:.1f} Gbps -> {degraded / 1e6:.0f} Mbps; "
+        f"OWAMP alert {delay_min} min after onset",
+    )
+    record.add_check("812,744 frames/s", lambda: round(fps) == 812_744)
+    record.add_check("~37 packets/s lost", lambda: round(lost) == 37)
+    record.add_check("device-level loss within 420-470 Kbps",
+                     lambda: 420 < device_kbps < 470)
+    record.add_check("device loss is < 0.01% of line rate yet TCP loses "
+                     ">= 80% of its throughput",
+                     lambda: device_kbps / 1e7 < 1e-4
+                     and degraded < 0.2 * clean)
+    record.add_check("fault invisible to counters",
+                     lambda: not counter_visible)
+    record.add_check("OWAMP-based alert within 30 min of onset",
+                     lambda: delay_min is not None and delay_min <= 30)
+    assert_record(record)

@@ -1,0 +1,140 @@
+"""Ablation: fluid vs packet-level model cross-validation.
+
+The library uses two traffic models: a per-RTT fluid TCP simulation for
+end-to-end experiments and a per-packet queue sweep for device studies.
+This bench checks them against each other and against closed-form theory
+on scenarios where all should agree:
+
+1. burst loss into a shallow queue: closed form vs packet sweep;
+2. fan-in overload: delivered rate must match min(offered, egress)
+   within a small tolerance in the packet model;
+3. window-limited TCP: fluid simulation vs window/RTT arithmetic;
+4. loss-limited TCP: fluid simulation vs the Mathis bound's RTT scaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import ResultTable
+from repro.analysis.report import ExperimentRecord
+from repro.netsim import Link, Topology
+from repro.netsim.buffers import DropTailQueue
+from repro.netsim.packetsim import BurstySource, simulate_fan_in
+from repro.tcp import Reno, TcpConnection
+from repro.units import GB, Gbps, KB, MB, Mbps, bytes_, ms, seconds
+
+from _common import assert_record, emit
+
+
+def burst_agreement():
+    """(closed_form, packet) loss for one bursty flow into a small queue."""
+    src = BurstySource(name="s", line_rate=Gbps(1), mean_rate=Mbps(200),
+                       burst_size=KB(512))
+    queue = DropTailQueue(capacity=KB(96), service_rate=Mbps(650))
+    closed = queue.burst_loss_fraction(src.burst_size, src.line_rate)
+    packet = simulate_fan_in([src], egress_rate=Mbps(650),
+                             buffer_size=KB(96), duration=seconds(2.0),
+                             rng=np.random.default_rng(1)).loss_fraction
+    return closed, packet
+
+
+def fanin_conservation():
+    """Delivered rate == min(offered, egress) when deeply buffered."""
+    sources = [BurstySource(name=f"s{i}", line_rate=Gbps(1),
+                            mean_rate=Mbps(700), burst_size=KB(256))
+               for i in range(8)]  # 5.6 Gbps offered
+    # Long run so the (bounded) standing backlog is an ignorable share of
+    # "delivered" — accepted-into-queue converges on drained-at-egress.
+    result = simulate_fan_in(sources, egress_rate=Gbps(4),
+                             buffer_size=MB(64), duration=seconds(10.0),
+                             rng=np.random.default_rng(2))
+    return result.offered_rate.bps, result.delivered_rate.bps
+
+
+def window_limited_agreement():
+    """Fluid TCP vs window/RTT arithmetic on a clamped path."""
+    topo = Topology("wl")
+    topo.add_host("a", nic_rate=Gbps(10))
+    topo.add_host("b", nic_rate=Gbps(10))
+    topo.connect("a", "b", Link(rate=Gbps(10), delay=ms(25),
+                                mtu=bytes_(9000)))
+    profile = topo.profile_between("a", "b")
+    from dataclasses import replace
+    profile = replace(profile,
+                      flow=profile.flow.with_(max_receive_window=MB(8)))
+    simulated = TcpConnection(profile).transfer(GB(10)).mean_throughput.bps
+    analytic = MB(8).bits / profile.base_rtt.s
+    return simulated, analytic
+
+
+def mathis_rtt_scaling():
+    """Fluid lossy TCP throughput should fall ~linearly in 1/RTT."""
+    def rate_at(rtt_ms, seed):
+        topo = Topology("ms")
+        topo.add_host("a", nic_rate=Gbps(10))
+        topo.add_host("b", nic_rate=Gbps(10))
+        topo.connect("a", "b", Link(rate=Gbps(10), delay=ms(rtt_ms / 2),
+                                    mtu=bytes_(9000),
+                                    loss_probability=1e-4))
+        profile = topo.profile_between("a", "b")
+        from dataclasses import replace
+        profile = replace(profile,
+                          flow=profile.flow.with_(max_receive_window=MB(512)))
+        conn = TcpConnection(profile, algorithm=Reno(),
+                             rng=np.random.default_rng(seed))
+        return conn.measure(seconds(60), max_rounds=200_000).mean_throughput.bps
+
+    r20 = np.mean([rate_at(20, s) for s in (1, 2, 3)])
+    r80 = np.mean([rate_at(80, s) for s in (1, 2, 3)])
+    return r20, r80
+
+
+def run_crossval():
+    return (burst_agreement(), fanin_conservation(),
+            window_limited_agreement(), mathis_rtt_scaling())
+
+
+def test_model_crossval(benchmark):
+    ((closed, packet), (offered, delivered),
+     (sim_wl, analytic_wl), (r20, r80)) = benchmark.pedantic(
+        run_crossval, rounds=1, iterations=1)
+
+    table = ResultTable(
+        "Ablation — model cross-validation",
+        ["scenario", "model A", "model B", "agreement"],
+    )
+    table.add_row(["burst loss (closed vs packet)",
+                   f"{closed:.2%}", f"{packet:.2%}",
+                   f"{abs(closed - packet):.2%} abs diff"])
+    table.add_row(["fan-in conservation (offered vs delivered at 4G cap)",
+                   f"{offered / 1e9:.2f} Gbps offered",
+                   f"{delivered / 1e9:.2f} Gbps delivered",
+                   f"cap 4.00 Gbps"])
+    table.add_row(["window-limited TCP (fluid vs window/RTT)",
+                   f"{sim_wl / 1e9:.3f} Gbps", f"{analytic_wl / 1e9:.3f} Gbps",
+                   f"{abs(sim_wl - analytic_wl) / analytic_wl:.1%} rel"])
+    table.add_row(["Mathis RTT scaling (rate@20ms / rate@80ms ~ 4)",
+                   f"{r20 / 1e6:.0f} Mbps", f"{r80 / 1e6:.0f} Mbps",
+                   f"ratio {r20 / r80:.2f}"])
+    emit("model_crossval", table.render_text())
+
+    record = ExperimentRecord(
+        "Ablation: fluid vs packet model",
+        "the two traffic models and closed-form theory agree on the "
+        "scenarios they share",
+        f"burst diff {abs(closed - packet):.2%}; window-limited diff "
+        f"{abs(sim_wl - analytic_wl) / analytic_wl:.1%}; RTT ratio "
+        f"{r20 / r80:.2f}",
+    )
+    record.add_check("burst-loss models within 5 percentage points",
+                     lambda: abs(closed - packet) < 0.05)
+    record.add_check("packet model conserves: delivered <= offered and "
+                     "delivered ~= egress cap under overload",
+                     lambda: delivered <= offered
+                     and abs(delivered - 4e9) / 4e9 < 0.05)
+    record.add_check("fluid window-limited rate within 10% of window/RTT",
+                     lambda: abs(sim_wl - analytic_wl) / analytic_wl < 0.10)
+    record.add_check("lossy-rate RTT ratio in [2.5, 6] (Mathis predicts 4)",
+                     lambda: 2.5 < r20 / r80 < 6)
+    assert_record(record)

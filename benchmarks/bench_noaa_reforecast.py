@@ -1,0 +1,80 @@
+"""§6.3: the NOAA reforecast transfers.
+
+Paper numbers: FTP behind the firewall trickled at 1-2 MB/s; the Science
+DMZ DTN with Globus Online moved 273 files / 239.5 GB in just over
+10 minutes (~395 MB/s) — "a throughput increase of nearly 200 times".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import ResultTable
+from repro.analysis.report import ExperimentRecord
+from repro.core import general_purpose_campus, simple_science_dmz
+from repro.dtn import RaidArray, TransferPlan, attach_profile, tool_by_name, tuned_dtn
+from repro.units import MBps, ms
+from repro.workloads import NOAA_GEFS_FULL_PULL, NOAA_GEFS_SAMPLE
+
+from _common import assert_record, emit
+
+
+def run_noaa():
+    rng = np.random.default_rng(63)
+    # NERSC <-> NOAA Boulder is ~25 ms over ESnet.
+    before = general_purpose_campus(wan_rtt=ms(25))
+    after = simple_science_dmz(wan_rtt=ms(25))
+    # The NOAA DTN's local RAID wrote ~400 MB/s-class in 2011 — size the
+    # destination storage accordingly so the measured rate is credible.
+    attach_profile(after.topology.node("dtn1"),
+                   tuned_dtn("dtn1", RaidArray(
+                       name="noaa-raid", disks=8,
+                       controller_limit=MBps(420))))
+
+    ftp = TransferPlan(before.topology, before.remote_dtn, "lab-server1",
+                       NOAA_GEFS_SAMPLE, "ftp").execute(rng)
+    globus = TransferPlan(after.topology, after.remote_dtn, "dtn1",
+                          NOAA_GEFS_SAMPLE,
+                          tool_by_name("globus").with_streams(8),
+                          policy=after.science_policy).execute()
+    return ftp, globus
+
+
+def test_noaa_reforecast(benchmark):
+    ftp, globus = benchmark.pedantic(run_noaa, rounds=1, iterations=1)
+    speedup = ftp.mean_throughput.bps and (
+        globus.mean_throughput.bps / ftp.mean_throughput.bps)
+
+    table = ResultTable(
+        "§6.3 NOAA reforecast — 239.5 GB / 273 files, NERSC -> Boulder",
+        ["quantity", "paper", "measured"],
+    )
+    table.add_row(["FTP behind firewall", "1-2 MB/s",
+                   f"{ftp.mean_throughput.MBps:.1f} MB/s"])
+    table.add_row(["DTN + Globus rate", "~395 MB/s",
+                   f"{globus.mean_throughput.MBps:.0f} MB/s"])
+    table.add_row(["DTN transfer time", "just over 10 min",
+                   globus.duration.human()])
+    table.add_row(["throughput increase", "nearly 200x",
+                   f"{speedup:.0f}x"])
+    table.add_row(["full 170 TB pull via DTN", "(goal)",
+                   f"{NOAA_GEFS_FULL_PULL.total_size.bits / globus.mean_throughput.bps / 86400:.1f} days"])
+    emit("noaa_reforecast", table.render_text())
+
+    record = ExperimentRecord(
+        "§6.3 NOAA",
+        "1-2 MB/s via firewalled FTP; 239.5 GB in ~10 min (~395 MB/s) via "
+        "the DTN; ~200x",
+        f"{ftp.mean_throughput.MBps:.1f} MB/s vs "
+        f"{globus.mean_throughput.MBps:.0f} MB/s in "
+        f"{globus.duration.human()} = {speedup:.0f}x",
+    )
+    record.add_check("FTP lands in the paper's 1-2 MB/s band (0.5-5)",
+                     lambda: 0.5 < ftp.mean_throughput.MBps < 5)
+    record.add_check("DTN rate within 2x of the paper's 395 MB/s",
+                     lambda: 200 < globus.mean_throughput.MBps < 800)
+    record.add_check("239.5 GB completes within 5-25 minutes",
+                     lambda: 5 < globus.duration.minutes < 25)
+    record.add_check("speedup within 2x of the paper's ~200x",
+                     lambda: 100 < speedup < 400)
+    assert_record(record)

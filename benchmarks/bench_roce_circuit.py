@@ -1,0 +1,99 @@
+"""§7.1: virtual circuits and RoCE.
+
+Paper claims (citing Kissel et al.):
+
+* OSCARS-style circuits give DTNs guaranteed bandwidth;
+* RoCE over a guaranteed circuit achieves "the same performance as TCP
+  (39.5Gbps for a single flow on a 40GE host), but with 50 times less
+  CPU utilization";
+* RoCE works "only on a guaranteed bandwidth virtual circuit with
+  minimal competing traffic" — on a lossy shared path it collapses.
+"""
+
+from __future__ import annotations
+
+
+from repro.analysis import ResultTable
+from repro.analysis.report import ExperimentRecord
+from repro.circuits import OscarsService, ReservationRequest, RoceTransfer
+from repro.netsim import Link, Topology
+from repro.netsim.node import Router
+from repro.tcp import HTcp, TcpConnection
+from repro.units import Gbps, MB, TB, bytes_, hours, ms, seconds, us
+
+from _common import assert_record, emit
+
+
+def build_40ge_path():
+    topo = Topology("roce")
+    topo.add_host("dtn-a", nic_rate=Gbps(40))
+    topo.add_host("dtn-b", nic_rate=Gbps(40))
+    topo.add_node(Router(name="r1"))
+    topo.add_node(Router(name="r2"))
+    topo.connect("dtn-a", "r1", Link(rate=Gbps(40), delay=us(50),
+                                     mtu=bytes_(9000)))
+    topo.connect("r1", "r2", Link(rate=Gbps(100), delay=ms(20),
+                                  mtu=bytes_(9000)))
+    topo.connect("r2", "dtn-b", Link(rate=Gbps(40), delay=us(50),
+                                     mtu=bytes_(9000)))
+    return topo
+
+
+def run_roce():
+    topo = build_40ge_path()
+    svc = OscarsService(topo, reservable_fraction=1.0)
+    res = svc.reserve(ReservationRequest("dtn-a", "dtn-b", Gbps(40),
+                                         seconds(0), hours(4),
+                                         description="roce circuit"))
+    circuit = svc.circuit_profile(res)
+
+    roce = RoceTransfer(circuit).transfer(TB(1))
+    # TCP on the same circuit (tuned hosts, H-TCP).
+    from dataclasses import replace
+    tcp_profile = replace(circuit,
+                          flow=circuit.flow.with_(max_receive_window=MB(512)))
+    tcp = TcpConnection(tcp_profile, algorithm=HTcp()).transfer(TB(1))
+    tcp_cores = RoceTransfer.tcp_cpu_cores(tcp.mean_throughput)
+
+    # The cautionary case: RoCE over a lossy shared path.
+    topo.link_between("r1", "r2").degrade(loss_probability=1e-4)
+    lossy = RoceTransfer(topo.profile_between("dtn-a", "dtn-b")).goodput()
+    return roce, tcp, tcp_cores, lossy
+
+
+def test_roce_circuit(benchmark):
+    roce, tcp, tcp_cores, lossy = benchmark.pedantic(
+        run_roce, rounds=1, iterations=1)
+    cpu_ratio = tcp_cores / roce.cpu_cores_used
+
+    table = ResultTable(
+        "§7.1 — RoCE vs TCP on a 40GE OSCARS circuit (1 TB transfer)",
+        ["quantity", "paper", "measured"],
+    )
+    table.add_row(["RoCE throughput", "39.5 Gbps",
+                   roce.throughput.human()])
+    table.add_row(["TCP throughput (same circuit)", "comparable",
+                   tcp.mean_throughput.human()])
+    table.add_row(["CPU ratio (TCP/RoCE)", "50x", f"{cpu_ratio:.0f}x"])
+    table.add_row(["RoCE on lossy shared path", "unusable",
+                   lossy.human()])
+    emit("roce_circuit", table.render_text())
+
+    record = ExperimentRecord(
+        "§7.1 RoCE",
+        "RoCE = TCP throughput (39.5 Gbps on 40GE) at 50x less CPU, but "
+        "only on a guaranteed loss-free circuit",
+        f"RoCE {roce.throughput.gbps:.1f} Gbps vs TCP "
+        f"{tcp.mean_throughput.gbps:.1f} Gbps; CPU ratio {cpu_ratio:.0f}x; "
+        f"lossy-path RoCE {lossy.gbps:.1f} Gbps",
+    )
+    record.add_check("RoCE hits 39.5 Gbps on the clean circuit",
+                     lambda: abs(roce.throughput.gbps - 39.5) < 0.5)
+    record.add_check("TCP achieves comparable throughput (within 15%)",
+                     lambda: tcp.mean_throughput.gbps > 0.85 * 39.5)
+    record.add_check("TCP burns ~50x the CPU",
+                     lambda: 40 < cpu_ratio < 60)
+    record.add_check("on a lossy shared path RoCE loses >= half its rate "
+                     "(why the circuit is required)",
+                     lambda: lossy.gbps < 0.5 * roce.throughput.gbps)
+    assert_record(record)

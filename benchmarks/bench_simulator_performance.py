@@ -1,0 +1,93 @@
+"""Performance regression benchmarks for the simulator itself.
+
+These are the only benches that use pytest-benchmark's repeated-rounds
+mode: they time the hot paths (fluid TCP rounds, packet sweeps, path
+profiling, mesh measurement) so a slowdown in the substrate shows up as
+a benchmark regression rather than as mysteriously slow experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import simple_science_dmz
+from repro.netsim import Link, Topology
+from repro.netsim.packetsim import BurstySource, simulate_fan_in
+from repro.tcp import Reno, TcpConnection
+from repro.units import GB, Gbps, KB, MB, Mbps, bytes_, ms, seconds
+
+
+@pytest.fixture(scope="module")
+def lossy_profile():
+    topo = Topology("perf")
+    topo.add_host("a", nic_rate=Gbps(10))
+    topo.add_host("b", nic_rate=Gbps(10))
+    topo.connect("a", "b", Link(rate=Gbps(10), delay=ms(10),
+                                mtu=bytes_(9000),
+                                loss_probability=1e-4))
+    profile = topo.profile_between("a", "b")
+    from dataclasses import replace
+    return replace(profile,
+                   flow=profile.flow.with_(max_receive_window=MB(64)))
+
+
+def test_perf_fluid_tcp_10k_rounds(benchmark, lossy_profile):
+    """~10k fluid TCP rounds with stochastic loss (the workhorse loop)."""
+    def run():
+        conn = TcpConnection(lossy_profile, algorithm=Reno(),
+                             rng=np.random.default_rng(1))
+        return conn.measure(seconds(200), max_rounds=20_000).rounds
+
+    rounds = benchmark(run)
+    assert rounds >= 9_000
+
+
+def test_perf_packet_sweep_100k(benchmark):
+    """~100k packets through the fan-in sweep (vectorized generation +
+    python drain loop)."""
+    sources = [BurstySource(name=f"s{i}", line_rate=Gbps(1),
+                            mean_rate=Mbps(500), burst_size=KB(128))
+               for i in range(4)]
+
+    def run():
+        return simulate_fan_in(sources, egress_rate=Gbps(1.5),
+                               buffer_size=KB(512),
+                               duration=seconds(1.0),
+                               rng=np.random.default_rng(2)).total_offered
+
+    offered = benchmark(run)
+    assert offered > 80_000
+
+
+def test_perf_path_profile(benchmark):
+    """Profile folding on a realistic design (done per probe/transfer)."""
+    bundle = simple_science_dmz()
+
+    def run():
+        return bundle.topology.profile_between(
+            "remote-dtn", "dtn1", **bundle.science_policy).capacity.bps
+
+    assert benchmark(run) > 0
+
+
+def test_perf_loss_free_fast_forward(benchmark):
+    """A 1 TB loss-free transfer must be effectively O(1) thanks to the
+    steady-state fast-forward."""
+    topo = Topology("ff")
+    topo.add_host("a", nic_rate=Gbps(10))
+    topo.add_host("b", nic_rate=Gbps(10))
+    topo.connect("a", "b", Link(rate=Gbps(10), delay=ms(40),
+                                mtu=bytes_(9000)))
+    profile = topo.profile_between("a", "b")
+    from dataclasses import replace
+    profile = replace(profile,
+                      flow=profile.flow.with_(max_receive_window=MB(512)))
+
+    def run():
+        return TcpConnection(profile).transfer(GB(1000)).duration.s
+
+    duration = benchmark(run)
+    assert duration > 700  # ~13.6 min of simulated time...
+    # ...computed in well under a millisecond of wall time (benchmark
+    # stats assert nothing here; regressions show in the timing report).

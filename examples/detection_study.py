@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Detection-latency study with the scenario runner and sweep helper.
+
+How fast does a Science DMZ's monitoring catch a §2-style soft failure,
+as a function of how aggressively it probes?  This composes two of the
+library's orchestration tools:
+
+* :class:`repro.scenario.Scenario` — declarative fault/mesh timelines;
+* :func:`repro.analysis.sweep` — parameter grids with table output.
+
+Run:  python examples/detection_study.py
+"""
+
+from repro.analysis import sweep
+from repro.core import simple_science_dmz
+from repro.devices.faults import FailingLineCard
+from repro.perfsonar import MeshConfig
+from repro.scenario import Scenario
+from repro.units import minutes
+
+
+def detection_delay_minutes(cadence_min: float, probes: int,
+                            seed: int) -> float:
+    """Minutes to detect the §2 line card at the given probe settings."""
+    bundle = simple_science_dmz()
+    scenario = (
+        Scenario(bundle, seed=seed)
+        .with_mesh(
+            ["dmz-perfsonar", "remote-dtn"],
+            config=MeshConfig(owamp_interval=minutes(cadence_min),
+                              bwctl_interval=minutes(60),
+                              owamp_packets=probes))
+        .inject("border", FailingLineCard(), at=minutes(30))
+    )
+    outcome = scenario.run(until=minutes(30 + 8 * 60))
+    delay = outcome.detection_delays[0]
+    return float("inf") if delay is None else delay / 60.0
+
+
+def main() -> None:
+    result = sweep(
+        lambda cadence_min, probes: round(
+            min(detection_delay_minutes(cadence_min, probes, seed)
+                for seed in (1, 2)), 1),
+        {
+            "cadence_min": [1, 5, 15],
+            "probes": [600, 6000, 20000],
+        },
+        value_label="detect_delay_min",
+    )
+    print(result.table(
+        "minutes to detect a 1/22000-loss line card "
+        "(min of 2 seeds, fault at T+30min, 8h watch)").render_text())
+
+    best = result.best(key=lambda v: -v if v != float("inf") else -1e9)
+    print(f"\nfastest configuration: {best.params} "
+          f"-> {best.value} min")
+    print("takeaway: probe volume matters as much as cadence at loss "
+          "rates this low — single sessions usually see zero lost packets.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so the package installs in offline
+environments that lack the ``wheel`` package (where PEP 660 editable
+builds fail): ``python setup.py develop`` needs only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

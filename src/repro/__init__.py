@@ -1,0 +1,47 @@
+"""repro — a reproduction of "The Science DMZ: A Network Design Pattern
+for Data-Intensive Science" (Dart, Rotman, Tierney, Hester, Zurawski;
+SC '13) as a simulatable network-design library.
+
+The paper's contribution is an architecture: four composable design
+patterns (proper location, dedicated data transfer nodes, performance
+monitoring, appropriate security) that together give science traffic a
+loss-free, measurable, secure path to the wide area.  Since the original
+evidence lives on production WANs and campuses, this library rebuilds the
+whole stack as a deterministic simulation substrate:
+
+- :mod:`repro.netsim` — topologies, links, policy routing, packet/fluid
+  simulation machinery;
+- :mod:`repro.tcp` — Mathis-model analytics and fluid TCP dynamics
+  (Reno, H-TCP, CUBIC);
+- :mod:`repro.devices` — firewalls, ACLs, IDS, switch fabrics, and the
+  soft-failure library;
+- :mod:`repro.perfsonar` — OWAMP/BWCTL active measurement, archives,
+  dashboards, alerting;
+- :mod:`repro.dtn` — host tuning, storage systems, transfer tools, and
+  the end-to-end transfer planner;
+- :mod:`repro.circuits` — OSCARS virtual circuits, OpenFlow bypass, RoCE;
+- :mod:`repro.workloads` — science and enterprise traffic generators;
+- :mod:`repro.analysis` — result tables, ASCII figures, paper-vs-measured
+  experiment records;
+- :mod:`repro.core` — the Science DMZ patterns, builder, notional designs
+  (paper Figures 3-7) and the compliance audit.
+
+Quick start::
+
+    from repro.core import simple_science_dmz
+    from repro.dtn import TransferPlan, Dataset
+    from repro.units import GB
+
+    bundle = simple_science_dmz()
+    plan = TransferPlan(bundle.topology, "remote-dtn", "dtn1",
+                        Dataset("sample", GB(100), 50), "globus",
+                        policy=bundle.science_policy)
+    print(plan.execute().summary())
+"""
+
+from . import units
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["units", "ReproError", "__version__"]

@@ -1,0 +1,28 @@
+"""Result analysis and reporting.
+
+* :mod:`repro.analysis.tables` — lightweight result tables with aligned
+  text rendering and CSV export (what every bench prints).
+* :mod:`repro.analysis.series` — time-series helpers: decimation, ASCII
+  charts for figures rendered in a terminal.
+* :mod:`repro.analysis.report` — paper-vs-measured experiment records and
+  the shape checks ("who wins, by roughly what factor") EXPERIMENTS.md is
+  built from.
+"""
+
+from .tables import ResultTable
+from .series import ascii_chart, decimate, rolling_mean
+from .report import ExperimentRecord, ShapeCheck, ExperimentReport
+from .sweep import SweepRecord, SweepResult, sweep
+
+__all__ = [
+    "ResultTable",
+    "SweepRecord",
+    "SweepResult",
+    "sweep",
+    "ascii_chart",
+    "decimate",
+    "rolling_mean",
+    "ExperimentRecord",
+    "ShapeCheck",
+    "ExperimentReport",
+]

@@ -1,0 +1,114 @@
+"""Paper-vs-measured experiment records.
+
+Each bench produces an :class:`ExperimentRecord`: the experiment id
+(figure/section), the paper's claim, our measured value, and a list of
+:class:`ShapeCheck` assertions ("who wins, by roughly what factor").  A
+record renders as the EXPERIMENTS.md row for that experiment, and its
+checks double as integration-test assertions.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..errors import ConfigurationError
+
+__all__ = ["ShapeCheck", "ExperimentRecord", "ExperimentReport"]
+
+
+@dataclass
+class ShapeCheck:
+    """One qualitative/quantitative shape assertion.
+
+    ``passed`` is set when :meth:`evaluate` runs; checks are built with a
+    thunk so records can be constructed before results exist.
+    """
+
+    description: str
+    predicate: Callable[[], bool]
+    passed: Optional[bool] = None
+
+    def evaluate(self) -> bool:
+        self.passed = bool(self.predicate())
+        return self.passed
+
+    def status(self) -> str:
+        if self.passed is None:
+            return "not-run"
+        return "PASS" if self.passed else "FAIL"
+
+
+@dataclass
+class ExperimentRecord:
+    """One paper experiment's reproduction outcome."""
+
+    experiment_id: str          # e.g. "Figure 1", "§6.3 NOAA"
+    paper_claim: str            # what the paper reports
+    measured: str               # what we measured (filled by the bench)
+    checks: List[ShapeCheck] = field(default_factory=list)
+    notes: str = ""
+
+    def add_check(self, description: str,
+                  predicate: Callable[[], bool]) -> ShapeCheck:
+        check = ShapeCheck(description=description, predicate=predicate)
+        self.checks.append(check)
+        return check
+
+    def evaluate(self) -> bool:
+        """Run all checks; True iff every one passes."""
+        return all(c.evaluate() for c in self.checks) if self.checks else True
+
+    @property
+    def all_passed(self) -> bool:
+        return all(c.passed for c in self.checks) if self.checks else True
+
+    def render_markdown(self) -> str:
+        buf = io.StringIO()
+        buf.write(f"### {self.experiment_id}\n\n")
+        buf.write(f"- **Paper:** {self.paper_claim}\n")
+        buf.write(f"- **Measured:** {self.measured}\n")
+        for check in self.checks:
+            buf.write(f"- [{check.status()}] {check.description}\n")
+        if self.notes:
+            buf.write(f"- Notes: {self.notes}\n")
+        return buf.getvalue()
+
+    def render_text(self) -> str:
+        lines = [f"{self.experiment_id}:",
+                 f"  paper:    {self.paper_claim}",
+                 f"  measured: {self.measured}"]
+        for check in self.checks:
+            lines.append(f"  [{check.status()}] {check.description}")
+        if self.notes:
+            lines.append(f"  notes: {self.notes}")
+        return "\n".join(lines)
+
+
+class ExperimentReport:
+    """A collection of records (one full bench run)."""
+
+    def __init__(self, title: str) -> None:
+        if not title:
+            raise ConfigurationError("report needs a title")
+        self.title = title
+        self.records: List[ExperimentRecord] = []
+
+    def add(self, record: ExperimentRecord) -> ExperimentRecord:
+        self.records.append(record)
+        return record
+
+    def evaluate(self) -> bool:
+        return all(r.evaluate() for r in self.records)
+
+    def render_markdown(self) -> str:
+        buf = io.StringIO()
+        buf.write(f"## {self.title}\n\n")
+        for record in self.records:
+            buf.write(record.render_markdown())
+            buf.write("\n")
+        return buf.getvalue()
+
+    def failures(self) -> List[ShapeCheck]:
+        return [c for r in self.records for c in r.checks if c.passed is False]

@@ -1,0 +1,119 @@
+"""Time-series helpers and terminal figure rendering."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["decimate", "rolling_mean", "ascii_chart"]
+
+
+def decimate(times: np.ndarray, values: np.ndarray,
+             max_points: int = 512) -> Tuple[np.ndarray, np.ndarray]:
+    """Uniformly thin a series to at most ``max_points`` points."""
+    times = np.asarray(times, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if times.shape != values.shape:
+        raise ConfigurationError("times and values must have the same shape")
+    if max_points < 2:
+        raise ConfigurationError("max_points must be >= 2")
+    if times.size <= max_points:
+        return times, values
+    idx = np.linspace(0, times.size - 1, max_points).round().astype(int)
+    return times[idx], values[idx]
+
+
+def rolling_mean(values: np.ndarray, window: int) -> np.ndarray:
+    """Trailing rolling mean with a warm-up that averages what exists."""
+    values = np.asarray(values, dtype=np.float64)
+    if window < 1:
+        raise ConfigurationError("window must be >= 1")
+    if values.size == 0:
+        return values.copy()
+    cumsum = np.cumsum(values)
+    out = np.empty_like(values)
+    for i in range(values.size):
+        lo = max(0, i - window + 1)
+        total = cumsum[i] - (cumsum[lo - 1] if lo > 0 else 0.0)
+        out[i] = total / (i - lo + 1)
+    return out
+
+
+def ascii_chart(
+    series: Sequence[Tuple[str, np.ndarray, np.ndarray]],
+    *,
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    logy: bool = False,
+    ylabel: str = "",
+    xlabel: str = "",
+) -> str:
+    """Render one or more (label, x, y) series as an ASCII chart.
+
+    Used by the benches to render the paper's figures in a terminal; each
+    series gets a distinct glyph, and the legend maps glyphs to labels.
+    """
+    if not series:
+        raise ConfigurationError("ascii_chart needs at least one series")
+    glyphs = "*o+x#@%&"
+    xs_all = np.concatenate([np.asarray(x, dtype=np.float64) for _, x, _ in series])
+    ys_all = np.concatenate([np.asarray(y, dtype=np.float64) for _, _, y in series])
+    if xs_all.size == 0:
+        raise ConfigurationError("series are empty")
+    if logy:
+        positive = ys_all[ys_all > 0]
+        if positive.size == 0:
+            raise ConfigurationError("logy chart needs positive values")
+        y_min, y_max = positive.min(), ys_all.max()
+    else:
+        y_min, y_max = float(ys_all.min()), float(ys_all.max())
+    x_min, x_max = float(xs_all.min()), float(xs_all.max())
+    x_span = (x_max - x_min) or 1.0
+
+    def y_to_row(y: float) -> Optional[int]:
+        if logy:
+            if y <= 0:
+                return None
+            lo, hi = np.log10(y_min), np.log10(y_max)
+            frac = (np.log10(y) - lo) / ((hi - lo) or 1.0)
+        else:
+            frac = (y - y_min) / ((y_max - y_min) or 1.0)
+        return int(round((height - 1) * (1.0 - frac)))
+
+    canvas = [[" "] * width for _ in range(height)]
+    for (label, x, y), glyph in zip(series, glyphs):
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        for xv, yv in zip(x, y):
+            col = int(round((width - 1) * (xv - x_min) / x_span))
+            row = y_to_row(float(yv))
+            if row is not None:
+                canvas[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.3g}"
+    bottom_label = f"{y_min:.3g}"
+    margin = max(len(top_label), len(bottom_label), len(ylabel)) + 1
+    for i, row in enumerate(canvas):
+        if i == 0:
+            prefix = top_label.rjust(margin)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(margin)
+        elif i == height // 2 and ylabel:
+            prefix = ylabel.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(prefix + "|" + "".join(row))
+    axis = " " * margin + "+" + "-" * width
+    lines.append(axis)
+    xl = f"{x_min:.3g}".ljust(width // 2) + f"{x_max:.3g}".rjust(width // 2)
+    lines.append(" " * (margin + 1) + xl + (f"  {xlabel}" if xlabel else ""))
+    legend = "  ".join(f"{g}={label}" for (label, _, _), g in zip(series, glyphs))
+    lines.append(" " * (margin + 1) + "legend: " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Parameter sweeps: the benches' grid machinery, reusable.
+
+:func:`sweep` evaluates a function over the cartesian product of named
+parameter grids and collects results into a :class:`ResultTable` plus raw
+records, so ablation studies ("loss x RTT x algorithm") are three lines:
+
+>>> from repro.analysis.sweep import sweep
+>>> result = sweep(lambda x, y: x * y, {"x": [1, 2], "y": [10, 20]})
+>>> [r.value for r in result.records]
+[10, 20, 20, 40]
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..errors import ConfigurationError
+from .tables import ResultTable
+
+__all__ = ["SweepRecord", "SweepResult", "sweep"]
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One grid point and its outcome."""
+
+    params: Dict[str, object]
+    value: object
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class SweepResult:
+    """All grid points, with table rendering."""
+
+    param_names: List[str]
+    records: List[SweepRecord] = field(default_factory=list)
+    value_label: str = "value"
+
+    def table(self, title: str = "sweep") -> ResultTable:
+        table = ResultTable(title, self.param_names + [self.value_label])
+        for record in self.records:
+            cells = [record.params[k] for k in self.param_names]
+            cells.append(record.value if record.ok
+                         else f"error: {record.error}")
+            table.add_row(cells)
+        return table
+
+    def values(self) -> List[object]:
+        """Outcomes of the successful points, in grid order."""
+        return [r.value for r in self.records if r.ok]
+
+    def best(self, key: Callable[[object], float], *,
+             maximize: bool = True) -> SweepRecord:
+        """The grid point optimizing ``key`` over successful outcomes."""
+        candidates = [r for r in self.records if r.ok]
+        if not candidates:
+            raise ConfigurationError("sweep produced no successful points")
+        return (max if maximize else min)(
+            candidates, key=lambda r: key(r.value))
+
+    def failures(self) -> List[SweepRecord]:
+        return [r for r in self.records if not r.ok]
+
+
+def sweep(
+    fn: Callable[..., object],
+    grid: Mapping[str, Sequence[object]],
+    *,
+    value_label: str = "value",
+    catch_errors: bool = False,
+) -> SweepResult:
+    """Evaluate ``fn(**point)`` over the cartesian product of ``grid``.
+
+    Parameters
+    ----------
+    fn:
+        Called with one keyword argument per grid dimension.
+    grid:
+        ``{param_name: [values...]}``.  Order of keys defines column and
+        iteration order (last key varies fastest).
+    catch_errors:
+        When True, exceptions from ``fn`` become failed records instead
+        of propagating — useful for sweeps that intentionally cross into
+        invalid regions (e.g. oversubscribed reservations).
+    """
+    if not grid:
+        raise ConfigurationError("sweep needs at least one parameter")
+    names = list(grid.keys())
+    for name, values in grid.items():
+        if not values:
+            raise ConfigurationError(f"parameter {name!r} has no values")
+    result = SweepResult(param_names=names, value_label=value_label)
+    for combo in itertools.product(*(grid[n] for n in names)):
+        params = dict(zip(names, combo))
+        try:
+            value = fn(**params)
+            result.records.append(SweepRecord(params=params, value=value))
+        except Exception as exc:  # noqa: BLE001 - intentional catch-all
+            if not catch_errors:
+                raise
+            result.records.append(SweepRecord(
+                params=params, value=None, error=str(exc)))
+    return result

@@ -1,0 +1,89 @@
+"""Aligned result tables.
+
+Every benchmark prints one or more of these so its output can be compared
+line-for-line with the paper's figures and case-study numbers.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["ResultTable"]
+
+
+class ResultTable:
+    """A column-typed table with text and CSV rendering.
+
+    Examples
+    --------
+    >>> t = ResultTable("demo", ["name", "value"])
+    >>> t.add_row(["alpha", 1.5])
+    >>> print(t.render_text())  # doctest: +NORMALIZE_WHITESPACE
+    == demo ==
+    name  | value
+    ------+------
+    alpha | 1.5
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        if not columns:
+            raise ConfigurationError("a table needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise ConfigurationError("column names must be unique")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    @staticmethod
+    def _fmt(value: object) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            magnitude = abs(value)
+            if magnitude >= 1e5 or magnitude < 1e-3:
+                return f"{value:.3e}"
+            return f"{value:.4g}"
+        return str(value)
+
+    def add_row(self, values: Iterable[object]) -> None:
+        row = [self._fmt(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ConfigurationError(
+                f"row has {len(row)} cells for {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def column(self, name: str) -> List[str]:
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise ConfigurationError(f"no column named {name!r}") from None
+        return [r[idx] for r in self.rows]
+
+    def render_text(self) -> str:
+        widths = [
+            max(len(c), *(len(r[i]) for r in self.rows)) if self.rows else len(c)
+            for i, c in enumerate(self.columns)
+        ]
+        buf = io.StringIO()
+        buf.write(f"== {self.title} ==\n")
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        buf.write(header.rstrip() + "\n")
+        buf.write("-+-".join("-" * w for w in widths) + "\n")
+        for row in self.rows:
+            line = " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            buf.write(line.rstrip() + "\n")
+        return buf.getvalue().rstrip("\n")
+
+    def render_csv(self) -> str:
+        buf = io.StringIO()
+        buf.write(",".join(self.columns) + "\n")
+        for row in self.rows:
+            buf.write(",".join(cell.replace(",", ";") for cell in row) + "\n")
+        return buf.getvalue()
+
+    def __len__(self) -> int:
+        return len(self.rows)

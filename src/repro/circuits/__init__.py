@@ -1,0 +1,32 @@
+"""Future-technology extensions (paper §7).
+
+* :mod:`repro.circuits.oscars` — OSCARS-style virtual-circuit reservation:
+  guaranteed-bandwidth layer-2 paths with calendar admission control (§7.1).
+* :mod:`repro.circuits.sdn` — OpenFlow-style flow tables and the dynamic
+  firewall-bypass / IDS-inspect-then-bypass workflows (§7.3).
+* :mod:`repro.circuits.roce` — RDMA over Converged Ethernet transfer
+  model: TCP-equal throughput at a fraction of the CPU, but only on a
+  loss-free guaranteed circuit (§7.1, Kissel et al.).
+"""
+
+from .oscars import OscarsService, Reservation, ReservationRequest
+from .sdn import FlowTable, FlowRule, OpenFlowController, BypassDecision
+from .roce import RoceTransfer, RoceResult, TCP_CPU_PER_GBPS, ROCE_CPU_PER_GBPS
+from .multidomain import Domain, EndToEndCircuit, InterDomainController
+
+__all__ = [
+    "OscarsService",
+    "Reservation",
+    "ReservationRequest",
+    "Domain",
+    "EndToEndCircuit",
+    "InterDomainController",
+    "FlowTable",
+    "FlowRule",
+    "OpenFlowController",
+    "BypassDecision",
+    "RoceTransfer",
+    "RoceResult",
+    "TCP_CPU_PER_GBPS",
+    "ROCE_CPU_PER_GBPS",
+]

@@ -1,0 +1,152 @@
+"""OSCARS-style virtual-circuit reservation service.
+
+§7.1: "Virtual circuit services, such as the ESnet-developed On-demand
+Secure Circuits and Reservation System, or OSCARS platform, can be used to
+connect wide area layer-2 circuits directly to DTNs, allowing the DTNs to
+receive the benefits of the bandwidth reservation, quality of service
+guarantees, and traffic engineering capabilities."
+
+The model: a reservation calendar per link.  A request names endpoints, a
+bandwidth, and a time window; admission control walks a candidate path and
+accepts only if every link has the headroom for the whole window.  An
+active reservation yields a dedicated :class:`~repro.netsim.topology.Path`
+whose profile the caller can treat as loss-free guaranteed capacity — the
+precondition RoCE needs (§7.1: "only on a guaranteed bandwidth virtual
+circuit with minimal competing traffic").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import CapacityError, ConfigurationError
+from ..netsim.link import Link
+from ..netsim.topology import Path, Topology
+from ..units import DataRate, TimeDelta, seconds
+
+__all__ = ["ReservationRequest", "Reservation", "OscarsService"]
+
+
+@dataclass(frozen=True)
+class ReservationRequest:
+    """A virtual-circuit request."""
+
+    src: str
+    dst: str
+    bandwidth: DataRate
+    start: TimeDelta
+    end: TimeDelta
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.bandwidth.bps <= 0:
+            raise ConfigurationError("reservation bandwidth must be positive")
+        if self.end.s <= self.start.s:
+            raise ConfigurationError("reservation end must be after start")
+
+    @property
+    def duration(self) -> TimeDelta:
+        return seconds(self.end.s - self.start.s)
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """An admitted circuit."""
+
+    circuit_id: int
+    request: ReservationRequest
+    path: Path
+
+    def overlaps(self, other: "ReservationRequest") -> bool:
+        return not (other.end.s <= self.request.start.s
+                    or other.start.s >= self.request.end.s)
+
+
+class OscarsService:
+    """Bandwidth-calendar admission control over a topology.
+
+    Parameters
+    ----------
+    topology:
+        The network circuits are provisioned on.
+    reservable_fraction:
+        Fraction of each link's rate available to circuits (operators
+        keep headroom for routed IP traffic).
+    policy:
+        Routing-policy kwargs used for circuit path computation.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        reservable_fraction: float = 0.8,
+        policy: Optional[dict] = None,
+    ) -> None:
+        if not 0.0 < reservable_fraction <= 1.0:
+            raise ConfigurationError("reservable_fraction must be in (0,1]")
+        self.topology = topology
+        self.reservable_fraction = reservable_fraction
+        self.policy = dict(policy or {})
+        self._reservations: List[Reservation] = []
+        self._ids = itertools.count(1)
+
+    # -- queries -------------------------------------------------------------------
+    def active(self) -> List[Reservation]:
+        return list(self._reservations)
+
+    def committed_on_link(self, link: Link, window: ReservationRequest) -> float:
+        """Bandwidth (bps) already committed on ``link`` overlapping the window."""
+        committed = 0.0
+        for res in self._reservations:
+            if not res.overlaps(window):
+                continue
+            if any(l is link for l in res.path.links):
+                committed += res.request.bandwidth.bps
+        return committed
+
+    def available_on_path(self, path: Path, window: ReservationRequest) -> DataRate:
+        """Largest admissible bandwidth on ``path`` for the window."""
+        available = float("inf")
+        for link in path.links:
+            ceiling = link.rate.bps * self.reservable_fraction
+            headroom = ceiling - self.committed_on_link(link, window)
+            available = min(available, headroom)
+        return DataRate(max(0.0, available))
+
+    # -- admission -----------------------------------------------------------------
+    def reserve(self, request: ReservationRequest) -> Reservation:
+        """Admit a circuit or raise :class:`CapacityError`."""
+        path = self.topology.path(request.src, request.dst, **self.policy)
+        available = self.available_on_path(path, request)
+        if request.bandwidth.bps > available.bps + 1e-9:
+            raise CapacityError(
+                f"cannot reserve {request.bandwidth.human()} "
+                f"{request.src}->{request.dst}: only {available.human()} "
+                f"available in the window"
+            )
+        reservation = Reservation(
+            circuit_id=next(self._ids), request=request, path=path
+        )
+        self._reservations.append(reservation)
+        return reservation
+
+    def release(self, reservation: Reservation) -> None:
+        try:
+            self._reservations.remove(reservation)
+        except ValueError:
+            raise ConfigurationError(
+                f"circuit {reservation.circuit_id} is not active"
+            ) from None
+
+    # -- circuit view ------------------------------------------------------------------
+    def circuit_profile(self, reservation: Reservation):
+        """Path profile of the circuit with capacity clamped to the
+        reservation — the guaranteed, loss-free view the DTN sees."""
+        from dataclasses import replace as _replace
+        profile = self.topology.profile(reservation.path)
+        capacity = DataRate(min(profile.capacity.bps,
+                                reservation.request.bandwidth.bps))
+        return _replace(profile, capacity=capacity)

@@ -1,0 +1,184 @@
+"""OpenFlow-style SDN: flow tables and dynamic firewall bypass.
+
+§7.3 describes two promising uses of OpenFlow in a Science DMZ:
+
+1. plumbing an OSCARS circuit all the way to the end host automatically
+   (instead of "by hand");
+2. "a mechanism to dynamically modify the security policy for large flows
+   between trusted sites" — send connection-setup traffic through the
+   IDS/firewall, and once the connection is verified, install a flow rule
+   that bypasses both.
+
+:class:`FlowTable` is a priority-matched rule table (the OpenFlow
+pipeline, reduced to the match fields this library uses);
+:class:`OpenFlowController` implements the inspect-then-bypass workflow
+against a topology containing a firewall node and an IDS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..devices.ids import IntrusionDetectionSystem
+from ..errors import ConfigurationError, SecurityPolicyError
+from ..netsim.topology import Path, Topology
+
+__all__ = ["FlowRule", "FlowTable", "BypassDecision", "OpenFlowController"]
+
+
+@dataclass(frozen=True)
+class FlowRule:
+    """One flow-table entry: match (src, dst, port) -> action.
+
+    Higher ``priority`` wins; ties break toward the more specific match
+    (fewer wildcards), then insertion order.
+    """
+
+    src: str = "*"
+    dst: str = "*"
+    port: object = "*"
+    action: str = "forward"  # 'forward' | 'bypass' | 'inspect' | 'drop'
+    priority: int = 0
+    cookie: str = ""
+
+    def __post_init__(self) -> None:
+        if self.action not in ("forward", "bypass", "inspect", "drop"):
+            raise ConfigurationError(f"unknown action {self.action!r}")
+        if self.port != "*" and not isinstance(self.port, int):
+            raise ConfigurationError("port must be an int or '*'")
+
+    def matches(self, src: str, dst: str, port: int) -> bool:
+        return ((self.src == "*" or self.src == src)
+                and (self.dst == "*" or self.dst == dst)
+                and (self.port == "*" or self.port == port))
+
+    @property
+    def specificity(self) -> int:
+        return sum(f != "*" for f in (self.src, self.dst, self.port))
+
+
+class FlowTable:
+    """A priority-ordered OpenFlow-style table."""
+
+    def __init__(self, default_action: str = "inspect") -> None:
+        if default_action not in ("forward", "bypass", "inspect", "drop"):
+            raise ConfigurationError(f"unknown action {default_action!r}")
+        self._rules: List[Tuple[int, FlowRule]] = []  # (insertion seq, rule)
+        self._seq = 0
+        self.default_action = default_action
+
+    def install(self, rule: FlowRule) -> None:
+        self._rules.append((self._seq, rule))
+        self._seq += 1
+
+    def remove_cookie(self, cookie: str) -> int:
+        """Remove all rules with the cookie; returns how many."""
+        before = len(self._rules)
+        self._rules = [(s, r) for s, r in self._rules if r.cookie != cookie]
+        return before - len(self._rules)
+
+    def lookup(self, src: str, dst: str, port: int) -> str:
+        """Resolve the action for a packet's 3-tuple."""
+        best: Optional[Tuple[int, int, int, FlowRule]] = None
+        for seq, rule in self._rules:
+            if not rule.matches(src, dst, port):
+                continue
+            key = (rule.priority, rule.specificity, -seq, rule)
+            if best is None or key[:3] > best[:3]:
+                best = key
+        return best[3].action if best else self.default_action
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+
+@dataclass
+class BypassDecision:
+    """Outcome of the inspect-then-bypass workflow for one flow."""
+
+    src: str
+    dst: str
+    port: int
+    verified: bool
+    bypass_installed: bool
+    alerts: list
+    path: Optional[Path] = None
+
+    def describe(self) -> str:
+        if self.bypass_installed:
+            return (f"{self.src}->{self.dst}:{self.port} verified; "
+                    f"bypass rule installed (firewall/IDS out of path)")
+        return (f"{self.src}->{self.dst}:{self.port} NOT bypassed "
+                f"({len(self.alerts)} IDS alerts)")
+
+
+class OpenFlowController:
+    """The §7.3 inspect-then-bypass controller.
+
+    Parameters
+    ----------
+    topology:
+        Network with both a firewalled path and a bypass (science) path
+        between the relevant hosts.
+    ids:
+        IDS that inspects connection-setup traffic.
+    trusted_sites:
+        Host names whose flows are eligible for bypass once verified.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        ids: IntrusionDetectionSystem,
+        *,
+        trusted_sites: Optional[set] = None,
+    ) -> None:
+        self.topology = topology
+        self.ids = ids
+        self.trusted_sites = set(trusted_sites or ())
+        self.table = FlowTable(default_action="inspect")
+
+    def request_flow(self, src: str, dst: str, port: int,
+                     *, time: float = 0.0) -> BypassDecision:
+        """Run connection setup through the IDS; install bypass if clean.
+
+        Returns the decision; when bypass is installed, ``path`` is the
+        firewall-free route the flow will take.
+        """
+        alerts = self.ids.observe(src, dst, port, time=time)
+        trusted = (src in self.trusted_sites and dst in self.trusted_sites)
+        verified = trusted and not alerts
+        decision = BypassDecision(src=src, dst=dst, port=port,
+                                  verified=verified,
+                                  bypass_installed=False, alerts=alerts)
+        if not verified:
+            self.table.install(FlowRule(src=src, dst=dst, port=port,
+                                        action="inspect", priority=10,
+                                        cookie=f"inspect:{src}:{dst}:{port}"))
+            return decision
+        self.table.install(FlowRule(src=src, dst=dst, port=port,
+                                    action="bypass", priority=100,
+                                    cookie=f"bypass:{src}:{dst}:{port}"))
+        decision.bypass_installed = True
+        decision.path = self.topology.path(
+            src, dst, forbid_node_kinds=("firewall",)
+        )
+        return decision
+
+    def path_for(self, src: str, dst: str, port: int) -> Path:
+        """Route a flow according to the current flow table."""
+        action = self.table.lookup(src, dst, port)
+        if action == "drop":
+            raise SecurityPolicyError(
+                f"flow {src}->{dst}:{port} dropped by SDN policy"
+            )
+        if action == "bypass":
+            return self.topology.path(src, dst,
+                                      forbid_node_kinds=("firewall",))
+        # 'forward'/'inspect': take whatever the default (firewalled) path is.
+        return self.topology.path(src, dst)
+
+    def revoke(self, src: str, dst: str, port: int) -> int:
+        """Tear down a previously installed bypass (returns rules removed)."""
+        return self.table.remove_cookie(f"bypass:{src}:{dst}:{port}")

@@ -1,0 +1,276 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Gives operators the library's main workflows without writing Python:
+
+* ``designs``  — list the built-in notional designs (paper Figs 3-7);
+* ``audit``    — run the four-pattern compliance audit on a design;
+* ``transfer`` — simulate a data transfer over a design;
+* ``mathis``   — Eq 1/Eq 2 calculator (throughput, required window);
+* ``upgrade``  — plan + apply the Science DMZ upgrade to the baseline
+  campus and show the before/after audits.
+
+Examples
+--------
+::
+
+    python -m repro.cli audit simple-science-dmz
+    python -m repro.cli transfer simple-science-dmz --size 239.5GB \
+        --files 273 --tool globus
+    python -m repro.cli mathis --mss 9000B --rtt 50ms --loss 4.5e-5
+    python -m repro.cli upgrade
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from .analysis import ResultTable
+from .core import (
+    apply_upgrade,
+    big_data_site,
+    campus_with_rcnet,
+    general_purpose_campus,
+    plan_upgrade,
+    simple_science_dmz,
+    supercomputer_center,
+)
+from .core.designs import DesignBundle
+from .dtn import Dataset, TransferPlan, TOOL_REGISTRY
+from .errors import ReproError
+from .tcp.mathis import mathis_throughput, required_window
+from .units import parse_rate, parse_size, parse_time
+
+__all__ = ["main", "DESIGNS"]
+
+DESIGNS: Dict[str, Callable[[], DesignBundle]] = {
+    "general-purpose-campus": general_purpose_campus,
+    "simple-science-dmz": simple_science_dmz,
+    "supercomputer-center": supercomputer_center,
+    "big-data-site": big_data_site,
+    "colorado-campus": campus_with_rcnet,
+}
+
+
+def _build(name: str) -> DesignBundle:
+    try:
+        return DESIGNS[name]()
+    except KeyError:
+        known = ", ".join(sorted(DESIGNS))
+        raise ReproError(f"unknown design {name!r}; known designs: {known}")
+
+
+def cmd_designs(args: argparse.Namespace) -> int:
+    table = ResultTable("built-in designs", ["name", "figure", "description"])
+    figures = {
+        "general-purpose-campus": "§2 baseline",
+        "simple-science-dmz": "Figure 3",
+        "supercomputer-center": "Figure 4",
+        "big-data-site": "Figure 5",
+        "colorado-campus": "Figures 6/7",
+    }
+    for name in sorted(DESIGNS):
+        bundle = DESIGNS[name]()
+        table.add_row([name, figures[name], bundle.description])
+    print(table.render_text())
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    bundle = _build(args.design)
+    report = bundle.audit()
+    print(report.render_text())
+    return 0 if report.passed else 1
+
+
+def cmd_transfer(args: argparse.Namespace) -> int:
+    bundle = _build(args.design)
+    size = parse_size(args.size)
+    dataset = Dataset("cli-transfer", size, file_count=args.files)
+    dst = args.dst or bundle.dtns[0]
+    policy = bundle.science_policy if not args.via_firewall else {}
+    plan = TransferPlan(bundle.topology, bundle.remote_dtn, dst, dataset,
+                        args.tool, policy=policy)
+    rng = np.random.default_rng(args.seed)
+    report = plan.execute(rng)
+    print(report.summary())
+    if report.expected_corrupt_files > 0.01:
+        print(f"warning: ~{report.expected_corrupt_files:.2f} files "
+              "expected silently corrupted (tool has no checksums)")
+    return 0
+
+
+def cmd_mathis(args: argparse.Namespace) -> int:
+    mss = parse_size(args.mss)
+    rtt = parse_time(args.rtt)
+    if args.loss is not None:
+        rate = mathis_throughput(mss, rtt, args.loss)
+        print(f"Mathis ceiling: {rate.human()} "
+              f"(mss {mss.human()}, rtt {rtt.human()}, loss {args.loss:g})")
+    if args.rate is not None:
+        target = parse_rate(args.rate)
+        window = required_window(target, rtt)
+        print(f"required window for {target.human()} at {rtt.human()}: "
+              f"{window.human()}")
+    if args.loss is None and args.rate is None:
+        print("nothing to compute: pass --loss and/or --rate", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .core import lint_path
+    bundle = _build(args.design)
+    dst = args.dst or bundle.dtns[0]
+    policy = bundle.science_policy if not args.via_firewall else {}
+    findings = lint_path(bundle.topology, bundle.remote_dtn, dst,
+                         policy=policy)
+    if not findings:
+        print(f"path {bundle.remote_dtn} -> {dst}: clean "
+              "(no §5 hygiene findings)")
+        return 0
+    for finding in findings:
+        print(str(finding))
+    worst = findings[0].level.value
+    print(f"\n{len(findings)} findings; worst severity: {worst}")
+    return 1
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    import json
+
+    from .netsim import topology_to_dict
+    bundle = _build(args.design)
+    data = topology_to_dict(bundle.topology)
+    text = json.dumps(data, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {bundle.topology.node_count} nodes / "
+              f"{bundle.topology.link_count} links to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    import json
+
+    from .netsim import topology_from_dict
+    with open(args.file, "r", encoding="utf-8") as handle:
+        topo = topology_from_dict(json.load(handle))
+    table = ResultTable(f"topology {topo.name!r}",
+                        ["node", "kind", "tags"])
+    for node in sorted(topo.nodes(), key=lambda n: n.name):
+        table.add_row([node.name, node.kind, ",".join(sorted(node.tags))])
+    print(table.render_text())
+    print(f"{topo.link_count} links")
+    return 0
+
+
+def cmd_upgrade(args: argparse.Namespace) -> int:
+    bundle = _build(args.design)
+    hosts = bundle.dtns
+    plan = plan_upgrade(bundle.topology, science_hosts=hosts,
+                        border=bundle.border, wan=bundle.wan)
+    print("BEFORE:")
+    print(plan.before.render_text())
+    print()
+    if not plan.needed:
+        print("design already passes; nothing to do")
+        return 0
+    result = apply_upgrade(bundle.topology, science_hosts=hosts,
+                           border=bundle.border, wan=bundle.wan)
+    print(result.render_text())
+    print()
+    print("AFTER:")
+    print(result.after.render_text())
+    return 0 if result.successful else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Science DMZ design-pattern simulator (SC'13 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("designs", help="list built-in designs").set_defaults(
+        func=cmd_designs)
+
+    p_audit = sub.add_parser("audit", help="run the four-pattern audit")
+    p_audit.add_argument("design", choices=sorted(DESIGNS))
+    p_audit.set_defaults(func=cmd_audit)
+
+    p_xfer = sub.add_parser("transfer", help="simulate a data transfer")
+    p_xfer.add_argument("design", choices=sorted(DESIGNS))
+    p_xfer.add_argument("--size", default="100GB",
+                        help="dataset size, e.g. 239.5GB (default 100GB)")
+    p_xfer.add_argument("--files", type=int, default=100,
+                        help="file count (default 100)")
+    p_xfer.add_argument("--tool", default="globus",
+                        choices=sorted(TOOL_REGISTRY),
+                        help="transfer tool (default globus)")
+    p_xfer.add_argument("--dst", default=None,
+                        help="destination host (default: the design's "
+                             "first DTN)")
+    p_xfer.add_argument("--via-firewall", action="store_true",
+                        help="do not apply the science routing policy")
+    p_xfer.add_argument("--seed", type=int, default=0)
+    p_xfer.set_defaults(func=cmd_transfer)
+
+    p_math = sub.add_parser("mathis", help="Eq 1 / Eq 2 calculator")
+    p_math.add_argument("--mss", default="1460B")
+    p_math.add_argument("--rtt", default="50ms")
+    p_math.add_argument("--loss", type=float, default=None,
+                        help="per-packet loss probability")
+    p_math.add_argument("--rate", default=None,
+                        help="target rate for the window calculation, "
+                             "e.g. 1Gbps")
+    p_math.set_defaults(func=cmd_mathis)
+
+    p_lint = sub.add_parser("lint",
+                            help="run §5 path-hygiene checks on a design")
+    p_lint.add_argument("design", choices=sorted(DESIGNS))
+    p_lint.add_argument("--dst", default=None,
+                        help="destination host (default: first DTN)")
+    p_lint.add_argument("--via-firewall", action="store_true",
+                        help="lint the firewalled path instead")
+    p_lint.set_defaults(func=cmd_lint)
+
+    p_exp = sub.add_parser("export",
+                           help="serialize a built-in design to JSON")
+    p_exp.add_argument("design", choices=sorted(DESIGNS))
+    p_exp.add_argument("--output", "-o", default=None,
+                       help="file path (default: stdout)")
+    p_exp.set_defaults(func=cmd_export)
+
+    p_desc = sub.add_parser("describe",
+                            help="summarize a serialized topology file")
+    p_desc.add_argument("file")
+    p_desc.set_defaults(func=cmd_describe)
+
+    p_up = sub.add_parser("upgrade",
+                          help="plan + apply a Science DMZ upgrade")
+    p_up.add_argument("design", nargs="?",
+                      default="general-purpose-campus",
+                      choices=sorted(DESIGNS))
+    p_up.set_defaults(func=cmd_upgrade)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

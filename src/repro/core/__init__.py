@@ -1,0 +1,74 @@
+"""The Science DMZ design pattern (the paper's contribution).
+
+* :mod:`repro.core.patterns` — the four sub-patterns (§3): proper
+  location, dedicated systems, performance monitoring, appropriate
+  security — as first-class objects with metadata and topology checks.
+* :mod:`repro.core.dmz` — the :class:`~repro.core.dmz.ScienceDMZ`
+  builder: composes the patterns onto a topology.
+* :mod:`repro.core.designs` — the paper's notional designs as
+  constructible topologies: general-purpose campus (baseline), simple
+  Science DMZ (Fig 3), supercomputer center (Fig 4), big-data site
+  (Fig 5), campus+RCNet (Fig 6/7).
+* :mod:`repro.core.audit` — pattern-compliance auditing of an arbitrary
+  topology.
+"""
+
+from .patterns import (
+    DesignPattern,
+    LOCATION_PATTERN,
+    DEDICATED_SYSTEMS_PATTERN,
+    MONITORING_PATTERN,
+    SECURITY_PATTERN,
+    ALL_PATTERNS,
+)
+from .dmz import ScienceDMZ
+from .designs import (
+    DesignBundle,
+    general_purpose_campus,
+    simple_science_dmz,
+    supercomputer_center,
+    big_data_site,
+    campus_with_rcnet,
+)
+from .audit import AuditFinding, AuditReport, Severity, audit_design
+from .upgrade import (
+    UpgradeAction,
+    UpgradePlan,
+    UpgradeResult,
+    apply_upgrade,
+    plan_upgrade,
+)
+from .hygiene import HygieneFinding, HygieneLevel, lint_path
+from .wan import BackboneSite, SITES, national_backbone, site_names
+
+__all__ = [
+    "BackboneSite",
+    "SITES",
+    "national_backbone",
+    "site_names",
+    "HygieneFinding",
+    "HygieneLevel",
+    "lint_path",
+    "UpgradeAction",
+    "UpgradePlan",
+    "UpgradeResult",
+    "apply_upgrade",
+    "plan_upgrade",
+    "DesignPattern",
+    "LOCATION_PATTERN",
+    "DEDICATED_SYSTEMS_PATTERN",
+    "MONITORING_PATTERN",
+    "SECURITY_PATTERN",
+    "ALL_PATTERNS",
+    "ScienceDMZ",
+    "DesignBundle",
+    "general_purpose_campus",
+    "simple_science_dmz",
+    "supercomputer_center",
+    "big_data_site",
+    "campus_with_rcnet",
+    "AuditFinding",
+    "AuditReport",
+    "Severity",
+    "audit_design",
+]

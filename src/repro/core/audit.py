@@ -1,0 +1,127 @@
+"""Design audit: grade a topology against the Science DMZ patterns.
+
+:func:`audit_design` runs every sub-pattern evaluator over a topology and
+produces an :class:`AuditReport` of severity-graded findings.  The benches
+use it two ways: to show that the paper's notional designs (Figs 3-5)
+pass, and that the general-purpose campus baseline fails for exactly the
+reasons §2 describes.
+"""
+
+from __future__ import annotations
+
+import enum
+import io
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import AuditError
+from ..netsim.topology import Topology
+from .patterns import ALL_PATTERNS, DesignPattern
+
+__all__ = ["Severity", "AuditFinding", "AuditReport", "audit_design"]
+
+
+class Severity(enum.Enum):
+    """Grade of an audit finding."""
+
+    PASS = "pass"
+    FAIL = "fail"
+
+    @property
+    def mark(self) -> str:
+        return {"pass": "ok", "fail": "FAIL"}[self.value]
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One graded finding from one pattern."""
+
+    pattern: str
+    severity: Severity
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity.mark}] {self.pattern}: {self.message}"
+
+
+@dataclass
+class AuditReport:
+    """All findings for one topology."""
+
+    topology_name: str
+    findings: List[AuditFinding] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(f.severity is Severity.PASS for f in self.findings)
+
+    def failures(self) -> List[AuditFinding]:
+        return [f for f in self.findings if f.severity is Severity.FAIL]
+
+    def by_pattern(self) -> Dict[str, List[AuditFinding]]:
+        out: Dict[str, List[AuditFinding]] = {}
+        for f in self.findings:
+            out.setdefault(f.pattern, []).append(f)
+        return out
+
+    def pattern_passed(self, pattern_name: str) -> bool:
+        relevant = [f for f in self.findings if f.pattern == pattern_name]
+        if not relevant:
+            raise AuditError(f"no findings for pattern {pattern_name!r}")
+        return all(f.severity is Severity.PASS for f in relevant)
+
+    def render_text(self) -> str:
+        buf = io.StringIO()
+        verdict = "PASSES" if self.passed else "FAILS"
+        buf.write(
+            f"Science DMZ audit of {self.topology_name!r}: {verdict} "
+            f"({len(self.failures())} failing findings)\n"
+        )
+        for pattern, findings in self.by_pattern().items():
+            status = ("ok" if all(f.severity is Severity.PASS
+                                  for f in findings) else "FAIL")
+            buf.write(f"  pattern {pattern} [{status}]\n")
+            for f in findings:
+                buf.write(f"    [{f.severity.mark}] {f.message}\n")
+        return buf.getvalue().rstrip("\n")
+
+    def require_pass(self) -> None:
+        """Raise :class:`AuditError` with details unless everything passed."""
+        if not self.passed:
+            details = "; ".join(f.message for f in self.failures())
+            raise AuditError(
+                f"design {self.topology_name!r} fails the Science DMZ "
+                f"audit: {details}"
+            )
+
+
+def audit_design(
+    topology: Topology,
+    *,
+    dtns: Sequence[str],
+    wan_node: str,
+    patterns: Optional[Sequence[DesignPattern]] = None,
+) -> AuditReport:
+    """Evaluate the Science DMZ sub-patterns against a topology.
+
+    Parameters
+    ----------
+    topology:
+        The design under audit.
+    dtns:
+        Names of the hosts intended as data transfer nodes.
+    wan_node:
+        The node representing the wide-area attachment (border-facing).
+    patterns:
+        Subset of patterns to run (default: all four).
+    """
+    context = {"dtns": list(dtns), "wan_node": wan_node}
+    report = AuditReport(topology_name=topology.name)
+    for pattern in (patterns if patterns is not None else ALL_PATTERNS):
+        for ok, message in pattern.check(topology, context):
+            report.findings.append(AuditFinding(
+                pattern=pattern.name,
+                severity=Severity.PASS if ok else Severity.FAIL,
+                message=message,
+            ))
+    return report

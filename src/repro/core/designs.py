@@ -1,0 +1,482 @@
+"""The paper's notional designs as constructible topologies.
+
+Five builders, each returning a :class:`DesignBundle`:
+
+* :func:`general_purpose_campus` — the §2 baseline: every byte, science
+  or not, crosses the perimeter firewall and a shallow-buffered campus
+  fabric.  This design *should fail* the audit.
+* :func:`simple_science_dmz` — Figure 3: DMZ switch on the border router,
+  one DTN, a perfSONAR host, ACL security; campus LAN unchanged behind
+  the firewall.
+* :func:`supercomputer_center` — Figure 4: DTN cluster fronting a shared
+  parallel filesystem, login nodes that never handle WAN transfers,
+  enterprise offices behind HA firewalls off to the side.
+* :func:`big_data_site` — Figure 5: redundant borders, a data-service
+  switch plane, a DTN cluster, security in the routing plane.
+* :func:`campus_with_rcnet` — Figures 6/7: the University of Colorado
+  layout with RCNet at the perimeter, the physics cluster's 1G hosts
+  fanning into a 10G uplink, and perfSONAR at both 1G and 10G.
+
+Every bundle embeds a remote peer (``remote-dtn``) across a configurable-
+RTT WAN so transfer experiments run out of the box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..devices.firewall import Firewall
+from ..devices.switchfab import SwitchFabric, SwitchingMode
+from ..dtn.host import attach_profile, tuned_dtn, untuned_host
+from ..dtn.storage import (
+    ParallelFilesystem,
+    RaidArray,
+    SingleDisk,
+    StorageAreaNetwork,
+)
+from ..errors import ConfigurationError
+from ..netsim.link import JUMBO_MTU, Link
+from ..netsim.node import Host, Router, Switch
+from ..netsim.topology import Topology
+from ..units import DataRate, Gbps, KB, TimeDelta, ms, us
+from .dmz import ScienceDMZ
+
+__all__ = [
+    "DesignBundle",
+    "general_purpose_campus",
+    "simple_science_dmz",
+    "supercomputer_center",
+    "big_data_site",
+    "campus_with_rcnet",
+]
+
+
+@dataclass
+class DesignBundle:
+    """A built design plus the role map experiments need."""
+
+    topology: Topology
+    wan: str                      # WAN cloud node name
+    border: str                   # border router name
+    remote_dtn: str               # the far-end peer host
+    dtns: List[str] = field(default_factory=list)
+    perfsonar: List[str] = field(default_factory=list)
+    enterprise_hosts: List[str] = field(default_factory=list)
+    science_policy: Dict[str, object] = field(default_factory=dict)
+    extras: Dict[str, object] = field(default_factory=dict)
+    description: str = ""
+
+    def audit(self):
+        """Run the Science DMZ audit with this bundle's role map."""
+        from .audit import audit_design
+        return audit_design(self.topology, dtns=self.dtns, wan_node=self.wan)
+
+
+def _wan_and_remote(topo: Topology, *, wan_rtt: TimeDelta,
+                    wan_rate: DataRate) -> None:
+    """Add the WAN cloud and a tuned remote peer DTN."""
+    wan = topo.add_node(Router(name="wan", tags={"wan"}))
+    remote = topo.add_node(Host(name="remote-dtn", nic_rate=wan_rate,
+                                tags={"dtn"}))
+    # The WAN span carries the whole end-to-end latency budget; the paper
+    # assumes "the wide area network is doing its job" (§3.1), so it is
+    # clean and jumbo-capable.
+    topo.connect(remote, wan, Link(
+        rate=wan_rate, delay=TimeDelta(wan_rtt.s / 2.0), mtu=JUMBO_MTU,
+        name="wan-span",
+    ))
+    attach_profile(remote, tuned_dtn("remote-dtn", ParallelFilesystem()))
+
+
+def _campus_core(topo: Topology, *, border_rate: DataRate) -> Firewall:
+    """Border + firewall + campus core shared by the campus designs."""
+    border = topo.add_node(Router(name="border"))
+    topo.connect("border", "wan", Link(
+        rate=border_rate, delay=us(50), mtu=JUMBO_MTU, name="border-uplink",
+    ))
+    firewall = topo.add_node(Firewall(
+        name="campus-firewall",
+        sequence_checking=True,   # the §6.2 default-on "security feature"
+    ))
+    firewall.policy.allow(comment="campus egress/ingress after inspection")
+    topo.connect("border", "campus-firewall", Link(
+        rate=border_rate, delay=us(20),
+    ))
+    core = topo.add_node(Switch(name="campus-core", tags={"enterprise"}))
+    topo.connect("campus-firewall", "campus-core", Link(
+        rate=border_rate, delay=us(20),
+    ))
+    return firewall
+
+
+def general_purpose_campus(
+    *,
+    wan_rtt: TimeDelta = ms(40),
+    wan_rate: DataRate = Gbps(10),
+    lab_hosts: int = 2,
+) -> DesignBundle:
+    """The §2 baseline: science rides the business network.
+
+    Science servers sit behind the perimeter firewall on a shallow-
+    buffered departmental switch, with stock host tuning and legacy
+    tools.  The audit fails on all four patterns.
+    """
+    if lab_hosts < 1:
+        raise ConfigurationError("need at least one lab host")
+    topo = Topology("general-purpose-campus")
+    _wan_and_remote(topo, wan_rtt=wan_rtt, wan_rate=wan_rate)
+    _campus_core(topo, border_rate=wan_rate)
+
+    dept = topo.add_node(Switch(name="dept-switch", tags={"enterprise"}))
+    dept.attach(SwitchFabric(
+        name="dept-fabric", egress_rate=Gbps(1), port_buffer=KB(256),
+        mode=SwitchingMode.STORE_AND_FORWARD,
+    ))
+    topo.connect("campus-core", "dept-switch", Link(
+        rate=Gbps(1), delay=us(20),
+    ))
+    hosts = []
+    for i in range(lab_hosts):
+        name = f"lab-server{i + 1}"
+        host = topo.add_node(Host(name=name, nic_rate=Gbps(1)))
+        topo.connect("dept-switch", name, Link(rate=Gbps(1), delay=us(10)))
+        attach_profile(host, untuned_host(name, SingleDisk()))
+        hosts.append(name)
+
+    return DesignBundle(
+        topology=topo,
+        wan="wan",
+        border="border",
+        remote_dtn="remote-dtn",
+        dtns=hosts,        # the "DTNs" here are ordinary lab servers
+        perfsonar=[],
+        enterprise_hosts=hosts,
+        science_policy={},  # no separate science path exists
+        description=("General-purpose campus baseline: firewall + shallow "
+                     "switches in every path, untuned hosts, no monitoring"),
+    )
+
+
+def simple_science_dmz(
+    *,
+    wan_rtt: TimeDelta = ms(40),
+    wan_rate: DataRate = Gbps(10),
+) -> DesignBundle:
+    """Figure 3: the minimal complete Science DMZ.
+
+    Keeps the general-purpose campus (firewall and all) for business
+    traffic and adds the perimeter DMZ: border -> DMZ switch -> {DTN,
+    perfSONAR}, secured with ACLs.
+    """
+    bundle = general_purpose_campus(wan_rtt=wan_rtt, wan_rate=wan_rate,
+                                    lab_hosts=1)
+    topo = bundle.topology
+    topo.name = "simple-science-dmz"
+    dmz = ScienceDMZ(topo, border="border", wan="wan",
+                     uplink_rate=wan_rate)
+    dtn = dmz.add_dtn("dtn1", nic_rate=wan_rate,
+                      storage=RaidArray(name="dtn1-raid"))
+    ps = dmz.add_perfsonar("dmz-perfsonar")
+    dmz.install_acl(allowed_peers=["remote-dtn"])
+    dmz.attach_ids()
+
+    return DesignBundle(
+        topology=topo,
+        wan="wan",
+        border="border",
+        remote_dtn="remote-dtn",
+        dtns=[dtn.name],
+        perfsonar=[ps.name],
+        enterprise_hosts=bundle.enterprise_hosts,
+        science_policy=dmz.science_policy(),
+        extras={"dmz": dmz},
+        description=("Figure 3: simple Science DMZ — border-attached DMZ "
+                     "switch, one DTN, perfSONAR, ACL security"),
+    )
+
+
+def supercomputer_center(
+    *,
+    wan_rtt: TimeDelta = ms(40),
+    wan_rate: DataRate = Gbps(100),
+    dtn_count: int = 4,
+    login_nodes: int = 2,
+) -> DesignBundle:
+    """Figure 4: a supercomputer center built as a Science DMZ.
+
+    The whole front-end is the DMZ: no firewall in the data path, DTNs
+    mount the parallel filesystem directly (no double copy), and login
+    nodes never handle WAN transfers.  Enterprise offices hang off HA
+    firewalls to the side.
+    """
+    if dtn_count < 1 or login_nodes < 1:
+        raise ConfigurationError("need at least one DTN and one login node")
+    topo = Topology("supercomputer-center")
+    _wan_and_remote(topo, wan_rtt=wan_rtt, wan_rate=wan_rate)
+    border = topo.add_node(Router(name="border"))
+    topo.connect("border", "wan", Link(
+        rate=wan_rate, delay=us(50), mtu=JUMBO_MTU, name="border-uplink",
+    ))
+    core = topo.add_node(Router(name="core", tags={"science-dmz"}))
+    topo.connect("border", "core", Link(
+        rate=wan_rate, delay=us(20), mtu=JUMBO_MTU, tags={"science"},
+    ))
+
+    pfs = ParallelFilesystem(name="center-pfs", ost_count=64)
+    dtns = []
+    for i in range(dtn_count):
+        name = f"dtn{i + 1}"
+        host = topo.add_node(Host(name=name, nic_rate=Gbps(10),
+                                  tags={"science-dmz", "dtn"}))
+        topo.connect("core", name, Link(
+            rate=Gbps(10), delay=us(10), mtu=JUMBO_MTU, tags={"science"},
+        ))
+        attach_profile(host, tuned_dtn(name, pfs))
+        dtns.append(name)
+
+    ps = topo.add_node(Host(name="center-perfsonar", nic_rate=Gbps(10),
+                            tags={"science-dmz", "perfsonar"}))
+    topo.connect("core", "center-perfsonar", Link(
+        rate=Gbps(10), delay=us(10), mtu=JUMBO_MTU, tags={"science"},
+    ))
+    attach_profile(ps, tuned_dtn("center-perfsonar"))
+
+    # ACL security in the routing plane (no firewall on the data path).
+    from ..devices.acl import AccessControlList, AclEngine
+    acl = AccessControlList(name="center-acl")
+    for name in dtns:
+        for port in range(50000, 50006):
+            acl.permit(src="*", dst=name, protocol="tcp", port=port)
+    for port in (861, 4823, 5001):
+        acl.permit(src="*", dst="center-perfsonar", protocol="tcp", port=port)
+    topo.node("core").attach(AclEngine(acl=acl))
+
+    # Login nodes: reachable, but never part of the WAN data path.
+    logins = []
+    for i in range(login_nodes):
+        name = f"login{i + 1}"
+        host = topo.add_node(Host(name=name, nic_rate=Gbps(10)))
+        topo.connect("core", name, Link(rate=Gbps(10), delay=us(10)))
+        attach_profile(host, untuned_host(name, SingleDisk(name=f"{name}-scratch")))
+        logins.append(name)
+
+    # Enterprise offices behind HA firewalls off the core.
+    fw = topo.add_node(Firewall(name="office-firewall"))
+    fw.policy.allow()
+    topo.connect("core", "office-firewall", Link(rate=Gbps(10), delay=us(20)))
+    offices = topo.add_node(Switch(name="office-switch", tags={"enterprise"}))
+    topo.connect("office-firewall", "office-switch", Link(
+        rate=Gbps(1), delay=us(20),
+    ))
+    desk = topo.add_node(Host(name="office-host", nic_rate=Gbps(1)))
+    topo.connect("office-switch", "office-host", Link(rate=Gbps(1), delay=us(10)))
+    attach_profile(desk, untuned_host("office-host"))
+
+    return DesignBundle(
+        topology=topo,
+        wan="wan",
+        border="border",
+        remote_dtn="remote-dtn",
+        dtns=dtns,
+        perfsonar=["center-perfsonar"],
+        enterprise_hosts=["office-host"],
+        science_policy={"forbid_node_kinds": ("firewall",)},
+        extras={"parallel_fs": pfs, "login_nodes": logins},
+        description=("Figure 4: supercomputer center — DTN cluster fronts "
+                     "the parallel filesystem; login nodes untouched; "
+                     "offices behind HA firewalls"),
+    )
+
+
+def big_data_site(
+    *,
+    wan_rtt: TimeDelta = ms(80),
+    wan_rate: DataRate = Gbps(100),
+    dtn_count: int = 8,
+) -> DesignBundle:
+    """Figure 5: an extreme-data cluster (LHC Tier-1 style).
+
+    Redundant border routers, a data-service switch plane serving a DTN
+    cluster from multi-petabyte storage, enterprise riding the same
+    redundant infrastructure but behind its own firewalls.  "The science
+    data flows do not traverse these devices."
+    """
+    if dtn_count < 2:
+        raise ConfigurationError("a data transfer cluster needs >= 2 DTNs")
+    topo = Topology("big-data-site")
+    _wan_and_remote(topo, wan_rtt=wan_rtt, wan_rate=wan_rate)
+
+    # Redundant borders: wan -> border1/border2 via a provider-edge split.
+    border1 = topo.add_node(Router(name="border1"))
+    border2 = topo.add_node(Router(name="border2"))
+    topo.connect("border1", "wan", Link(
+        rate=wan_rate, delay=us(50), mtu=JUMBO_MTU, name="uplink-1",
+    ))
+    topo.connect("border2", "wan", Link(
+        rate=wan_rate, delay=us(60), mtu=JUMBO_MTU, name="uplink-2",
+    ))
+    plane = topo.add_node(Switch(name="data-plane", tags={"science-dmz"}))
+    topo.connect("border1", "data-plane", Link(
+        rate=wan_rate, delay=us(10), mtu=JUMBO_MTU, tags={"science"},
+    ))
+    topo.connect("border2", "data-plane", Link(
+        rate=wan_rate, delay=us(10), mtu=JUMBO_MTU, tags={"science"},
+    ))
+
+    store = StorageAreaNetwork(name="tape-frontend",
+                               fabric_rate=Gbps(40),
+                               array_rate=Gbps(100))
+    dtns = []
+    for i in range(dtn_count):
+        name = f"cluster-dtn{i + 1}"
+        host = topo.add_node(Host(name=name, nic_rate=Gbps(10),
+                                  tags={"science-dmz", "dtn"}))
+        topo.connect("data-plane", name, Link(
+            rate=Gbps(10), delay=us(10), mtu=JUMBO_MTU, tags={"science"},
+        ))
+        attach_profile(host, tuned_dtn(
+            name, ParallelFilesystem(name="tier1-store", ost_count=128)))
+        dtns.append(name)
+
+    ps = topo.add_node(Host(name="site-perfsonar", nic_rate=Gbps(10),
+                            tags={"science-dmz", "perfsonar"}))
+    topo.connect("data-plane", "site-perfsonar", Link(
+        rate=Gbps(10), delay=us(10), mtu=JUMBO_MTU, tags={"science"},
+    ))
+    attach_profile(ps, tuned_dtn("site-perfsonar"))
+
+    from ..devices.acl import AccessControlList, AclEngine
+    acl = AccessControlList(name="routing-plane-acl")
+    for name in dtns:
+        for port in range(50000, 50006):
+            acl.permit(src="*", dst=name, protocol="tcp", port=port)
+    for port in (861, 4823, 5001):
+        acl.permit(src="*", dst="site-perfsonar", protocol="tcp", port=port)
+    topo.node("data-plane").attach(AclEngine(acl=acl))
+
+    # Enterprise: redundant firewalls off border2 (structurally present;
+    # the science plane never crosses them).
+    fw = topo.add_node(Firewall(name="enterprise-firewall"))
+    fw.policy.allow()
+    topo.connect("border2", "enterprise-firewall", Link(
+        rate=Gbps(10), delay=us(20),
+    ))
+    ent = topo.add_node(Switch(name="enterprise-switch", tags={"enterprise"}))
+    topo.connect("enterprise-firewall", "enterprise-switch", Link(
+        rate=Gbps(10), delay=us(20),
+    ))
+    desk = topo.add_node(Host(name="enterprise-host", nic_rate=Gbps(1)))
+    topo.connect("enterprise-switch", "enterprise-host", Link(
+        rate=Gbps(1), delay=us(10),
+    ))
+    attach_profile(desk, untuned_host("enterprise-host"))
+
+    return DesignBundle(
+        topology=topo,
+        wan="wan",
+        border="border1",
+        remote_dtn="remote-dtn",
+        dtns=dtns,
+        perfsonar=["site-perfsonar"],
+        enterprise_hosts=["enterprise-host"],
+        science_policy={"forbid_node_kinds": ("firewall",)},
+        extras={"storage": store},
+        description=("Figure 5: extreme-data cluster — redundant borders, "
+                     "data-service switch plane, DTN cluster, security in "
+                     "the routing plane"),
+    )
+
+
+def campus_with_rcnet(
+    *,
+    wan_rtt: TimeDelta = ms(40),
+    wan_rate: DataRate = Gbps(10),
+    physics_hosts: int = 9,
+    fixed_fabric: bool = False,
+) -> DesignBundle:
+    """Figures 6/7: the University of Colorado layout.
+
+    The campus splits at the border: protected campus behind the
+    firewall, RCNet delivering unprotected research connectivity at the
+    perimeter.  The physics (CMS) cluster's 1G hosts fan into a 10G
+    uplink through a fabric that, before the vendor fix, flips to a
+    degraded store-and-forward mode under load (§6.1).
+
+    ``fixed_fabric=True`` builds the post-fix network.
+    """
+    if physics_hosts < 1:
+        raise ConfigurationError("need at least one physics host")
+    topo = Topology("colorado-campus" + ("-fixed" if fixed_fabric else ""))
+    _wan_and_remote(topo, wan_rtt=wan_rtt, wan_rate=wan_rate)
+    _campus_core(topo, border_rate=wan_rate)
+
+    # perf1g: the campus-side perfSONAR host at 1G (Figure 6).
+    perf1g = topo.add_node(Host(name="perf1g", nic_rate=Gbps(1),
+                                tags={"perfsonar"}))
+    topo.connect("campus-core", "perf1g", Link(rate=Gbps(1), delay=us(10)))
+    attach_profile(perf1g, tuned_dtn("perf1g"))
+
+    # RCNet: research network at the perimeter.
+    rcnet = topo.add_node(Router(name="rcnet", tags={"science-dmz"}))
+    topo.connect("border", "rcnet", Link(
+        rate=wan_rate, delay=us(20), mtu=JUMBO_MTU, tags={"science"},
+    ))
+    perf10g = topo.add_node(Host(name="perf10g", nic_rate=Gbps(10),
+                                 tags={"science-dmz", "perfsonar"}))
+    topo.connect("rcnet", "perf10g", Link(
+        rate=Gbps(10), delay=us(10), mtu=JUMBO_MTU, tags={"science"},
+    ))
+    attach_profile(perf10g, tuned_dtn("perf10g"))
+
+    # The physics aggregation switch with the (buggy) fabric.
+    fabric = SwitchFabric(
+        name="physics-fabric",
+        egress_rate=Gbps(10),
+        port_buffer=KB(384),
+        mode=SwitchingMode.CUT_THROUGH,
+        flip_bug=not fixed_fabric,
+    )
+    physics_switch = topo.add_node(Switch(name="physics-switch",
+                                          tags={"science-dmz"}))
+    physics_switch.attach(fabric)
+    topo.connect("rcnet", "physics-switch", Link(
+        rate=Gbps(10), delay=us(10), mtu=JUMBO_MTU, tags={"science"},
+    ))
+
+    hosts = []
+    for i in range(physics_hosts):
+        name = f"cms{i + 1}"
+        host = topo.add_node(Host(name=name, nic_rate=Gbps(1),
+                                  tags={"science-dmz", "dtn"}))
+        topo.connect("physics-switch", name, Link(
+            rate=Gbps(1), delay=us(10), tags={"science"},
+        ))
+        attach_profile(host, tuned_dtn(name, SingleDisk(name=f"{name}-disk")))
+        hosts.append(name)
+
+    from ..devices.acl import AccessControlList, AclEngine
+    acl = AccessControlList(name="rcnet-acl")
+    for name in hosts:
+        for port in range(50000, 50006):
+            acl.permit(src="*", dst=name, protocol="tcp", port=port)
+    for host_name in ("perf10g",):
+        for port in (861, 4823, 5001):
+            acl.permit(src="*", dst=host_name, protocol="tcp", port=port)
+    topo.node("rcnet").attach(AclEngine(acl=acl))
+
+    return DesignBundle(
+        topology=topo,
+        wan="wan",
+        border="border",
+        remote_dtn="remote-dtn",
+        dtns=hosts,
+        perfsonar=["perf1g", "perf10g"],
+        enterprise_hosts=[],
+        science_policy={"forbid_node_kinds": ("firewall",)},
+        extras={"fabric": fabric},
+        description=("Figures 6/7: CU Boulder — RCNet at the perimeter, "
+                     "physics cluster fan-in through a "
+                     + ("fixed" if fixed_fabric else "buggy")
+                     + " aggregation fabric"),
+    )

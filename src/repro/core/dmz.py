@@ -1,0 +1,181 @@
+"""The ScienceDMZ builder: compose the four patterns onto a topology.
+
+Given an existing topology with a border router, :class:`ScienceDMZ`
+constructs the Figure 3 structure step by step — a high-performance DMZ
+switch off the border, DTNs and a perfSONAR host on it, ACL security on
+the switch — tagging everything so routing policy and the audit can
+recognize the science fabric.
+
+Examples
+--------
+>>> from repro.units import Gbps, ms
+>>> from repro.netsim import Topology, Link, Router
+>>> topo = Topology("campus")
+>>> border = topo.add_node(Router(name="border"))
+>>> wan = topo.add_node(Router(name="wan"))
+>>> _ = topo.connect(border, wan, Link(rate=Gbps(10), delay=ms(1)))
+>>> dmz = ScienceDMZ(topo, border="border", wan="wan")
+>>> dtn = dmz.add_dtn("dtn1")
+>>> ps = dmz.add_perfsonar()
+>>> dmz.install_acl(allowed_peers=["remote-dtn"])
+>>> topo.path("dtn1", "wan").hop_count
+3
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..devices.acl import AccessControlList, AclEngine
+from ..devices.ids import IdsMode, IntrusionDetectionSystem
+from ..dtn.host import HostSystemProfile, attach_profile, tuned_dtn
+from ..dtn.storage import StorageSystem
+from ..errors import ConfigurationError
+from ..netsim.link import JUMBO_MTU, Link
+from ..netsim.node import Host, Switch
+from ..netsim.topology import Topology
+from ..units import DataRate, Gbps, us
+
+__all__ = ["ScienceDMZ"]
+
+#: GridFTP's standard data-channel port range.
+GRIDFTP_PORTS = list(range(50000, 50006))
+#: perfSONAR test ports (OWAMP, BWCTL control).
+PERFSONAR_PORTS = [861, 4823, 5001]
+
+
+class ScienceDMZ:
+    """Build a Science DMZ enclave on an existing topology.
+
+    Parameters
+    ----------
+    topology:
+        Target topology; must already contain the border router.
+    border:
+        Name of the border router the DMZ attaches to (§3.1: "close to or
+        directly connected to the border router").
+    wan:
+        Name of the node representing the wide-area side (used for audit
+        and policy conveniences).
+    switch_name / uplink_rate:
+        The DMZ switch and its border uplink.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        border: str,
+        wan: str,
+        switch_name: str = "dmz-switch",
+        uplink_rate: DataRate = Gbps(10),
+    ) -> None:
+        self.topology = topology
+        self.border = topology.node(border)
+        self.wan_name = wan
+        if not topology.has_node(wan):
+            raise ConfigurationError(f"WAN node {wan!r} not in topology")
+        self.switch = topology.add_node(Switch(
+            name=switch_name, tags={"science-dmz"},
+        ))
+        topology.connect(self.border, self.switch, Link(
+            rate=uplink_rate, delay=us(5), mtu=JUMBO_MTU,
+            tags={"science"}, name=f"{border}--{switch_name}",
+        ))
+        self.dtns: List[Host] = []
+        self.perfsonar_hosts: List[Host] = []
+        self.acl_engine: Optional[AclEngine] = None
+        self.ids: Optional[IntrusionDetectionSystem] = None
+
+    # -- dedicated systems ---------------------------------------------------------
+    def add_dtn(
+        self,
+        name: str,
+        *,
+        nic_rate: DataRate = Gbps(10),
+        profile: Optional[HostSystemProfile] = None,
+        storage: Optional[StorageSystem] = None,
+    ) -> Host:
+        """Attach a tuned DTN to the DMZ switch."""
+        host = self.topology.add_node(Host(
+            name=name, nic_rate=nic_rate, tags={"science-dmz", "dtn"},
+        ))
+        self.topology.connect(self.switch, host, Link(
+            rate=nic_rate, delay=us(5), mtu=JUMBO_MTU,
+            tags={"science"}, name=f"{self.switch.name}--{name}",
+        ))
+        attach_profile(host, profile or tuned_dtn(name, storage))
+        self.dtns.append(host)
+        return host
+
+    # -- monitoring -------------------------------------------------------------------
+    def add_perfsonar(self, name: str = "perfsonar",
+                      *, nic_rate: DataRate = Gbps(10)) -> Host:
+        """Attach a perfSONAR measurement host to the DMZ switch."""
+        host = self.topology.add_node(Host(
+            name=name, nic_rate=nic_rate, tags={"science-dmz", "perfsonar"},
+        ))
+        self.topology.connect(self.switch, host, Link(
+            rate=nic_rate, delay=us(5), mtu=JUMBO_MTU,
+            tags={"science"}, name=f"{self.switch.name}--{name}",
+        ))
+        attach_profile(host, tuned_dtn(name))
+        self.perfsonar_hosts.append(host)
+        return host
+
+    # -- security ------------------------------------------------------------------------
+    def install_acl(
+        self,
+        *,
+        allowed_peers: Iterable[str] = ("*",),
+        data_ports: Sequence[int] = tuple(GRIDFTP_PORTS),
+        name: str = "dmz-acl",
+    ) -> AclEngine:
+        """Install per-service ACLs on the DMZ switch (§3.4, §4.1).
+
+        Permits the data-transfer ports from the allowed peers to each
+        DTN, the perfSONAR test ports to the measurement hosts, and
+        denies everything else — the "per-service security policy control
+        points" of Figure 3.
+        """
+        acl = AccessControlList(name=name)
+        for peer in allowed_peers:
+            for dtn in self.dtns:
+                for port in data_ports:
+                    acl.permit(src=peer, dst=dtn.name, protocol="tcp",
+                               port=port, comment="science data channel")
+            for ps in self.perfsonar_hosts:
+                for port in PERFSONAR_PORTS:
+                    acl.permit(src=peer, dst=ps.name, protocol="tcp",
+                               port=port, comment="perfSONAR testing")
+        engine = AclEngine(acl=acl)
+        if self.acl_engine is not None:
+            self.switch.detach(self.acl_engine)
+        self.switch.attach(engine)
+        self.acl_engine = engine
+        return engine
+
+    def attach_ids(self, ids: Optional[IntrusionDetectionSystem] = None
+                   ) -> IntrusionDetectionSystem:
+        """Attach a passive IDS tap to the DMZ switch (recommended even
+        with ACLs, §5)."""
+        if ids is None:
+            ids = IntrusionDetectionSystem(name=f"{self.switch.name}-ids",
+                                           mode=IdsMode.PASSIVE)
+        self.switch.attach(ids)
+        self.ids = ids
+        return ids
+
+    # -- conveniences ----------------------------------------------------------------------
+    def science_policy(self) -> dict:
+        """Routing-policy kwargs that pin traffic to the DMZ fabric."""
+        return {"forbid_node_kinds": ("firewall",)}
+
+    def dtn_names(self) -> List[str]:
+        return [h.name for h in self.dtns]
+
+    def audit(self):
+        """Run the design audit on the containing topology."""
+        from .audit import audit_design
+        return audit_design(self.topology, dtns=self.dtn_names(),
+                            wan_node=self.wan_name)

@@ -1,0 +1,175 @@
+"""Path-hygiene linting: §5's hardware guidance as executable checks.
+
+The audit (:mod:`repro.core.audit`) grades *architecture* — are the four
+patterns present.  This module grades *engineering hygiene* along a
+specific path, encoding §5's "Network Components" advice:
+
+* **MTU consistency** — a jumbo-frame host sending into a 1500-byte
+  segment wastes the 6x Mathis advantage (and in real life risks PMTUD
+  black holes); perfSONAR hosts must match the data path's MTU or their
+  tests lie.
+* **NIC/uplink matching** — §3.2: a DTN NIC faster than the WAN uplink
+  "can overwhelm the slower wide area link causing packet loss".
+* **Buffer provisioning** — §5: the bottleneck device needs enough queue
+  for the path's bandwidth-delay product; shallow buffers turn bursts
+  into loss.
+* **Residual loss** — any non-zero random loss on a science path is a
+  finding (that is the whole point of the paper).
+
+Each check yields a :class:`HygieneFinding` with a severity and the
+numbers behind it, so the linter's output reads like a network
+engineer's punch list.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..netsim.node import Host
+from ..netsim.topology import Path, Topology
+from ..units import DataRate
+
+__all__ = ["HygieneLevel", "HygieneFinding", "lint_path"]
+
+
+class HygieneLevel(enum.Enum):
+    """Severity of a hygiene finding."""
+
+    INFO = "info"
+    WARNING = "warning"
+    CRITICAL = "critical"
+
+
+@dataclass(frozen=True)
+class HygieneFinding:
+    """One engineering-hygiene issue on a path."""
+
+    level: HygieneLevel
+    check: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.level.value}] {self.check}: {self.message}"
+
+
+def _check_mtu(topology: Topology, path: Path) -> List[HygieneFinding]:
+    findings: List[HygieneFinding] = []
+    mtus = [(link.name or f"{a.name}--{b.name}", link.mtu.bytes)
+            for (a, b), link in zip(zip(path.nodes, path.nodes[1:]),
+                                    path.links)]
+    smallest = min(m for _, m in mtus)
+    largest = max(m for _, m in mtus)
+    if largest > smallest:
+        small_names = [n for n, m in mtus if m == smallest]
+        findings.append(HygieneFinding(
+            HygieneLevel.WARNING, "mtu-consistency",
+            f"mixed MTUs along the path: {smallest:.0f}B on "
+            f"{', '.join(small_names)} vs {largest:.0f}B elsewhere — the "
+            "whole path runs at the smaller segment size "
+            "(and loses the jumbo-frame Mathis advantage)",
+        ))
+    for endpoint in (path.src, path.dst):
+        profile = endpoint.meta.get("host_profile")
+        if profile is not None and profile.mtu.bytes > smallest:
+            findings.append(HygieneFinding(
+                HygieneLevel.WARNING, "mtu-consistency",
+                f"host {endpoint.name!r} is configured for "
+                f"{profile.mtu.bytes:.0f}B frames but the path only "
+                f"carries {smallest:.0f}B",
+            ))
+    return findings
+
+
+def _check_nic_match(topology: Topology, path: Path) -> List[HygieneFinding]:
+    findings: List[HygieneFinding] = []
+    link_rates = [link.rate.bps for link in path.links]
+    min_link = min(link_rates)
+    for endpoint in (path.src, path.dst):
+        if isinstance(endpoint, Host) and endpoint.nic_rate is not None:
+            if endpoint.nic_rate.bps > 4 * min_link:
+                findings.append(HygieneFinding(
+                    HygieneLevel.WARNING, "nic-uplink-match",
+                    f"host {endpoint.name!r} NIC "
+                    f"({endpoint.nic_rate.human()}) is far faster than the "
+                    f"path bottleneck ({DataRate(min_link).human()}) — "
+                    "§3.2: its line-rate bursts can overwhelm the slower "
+                    "segment unless deep buffers absorb them",
+                ))
+    return findings
+
+
+def _check_buffers(topology: Topology, path: Path) -> List[HygieneFinding]:
+    profile = topology.profile(path)
+    if profile.bottleneck_buffer is None:
+        return []  # modeled as well-provisioned
+    bdp = profile.bdp()
+    buffer = profile.bottleneck_buffer
+    if buffer.bits < bdp.bits:
+        level = (HygieneLevel.CRITICAL
+                 if buffer.bits < bdp.bits / 10 else HygieneLevel.WARNING)
+        return [HygieneFinding(
+            level, "buffer-provisioning",
+            f"bottleneck {profile.bottleneck_name!r} has "
+            f"{buffer.human()} of queue for a {bdp.human()} BDP path — "
+            "§5: inadequate burst capacity causes TCP loss",
+        )]
+    return []
+
+
+def _check_loss(topology: Topology, path: Path) -> List[HygieneFinding]:
+    profile = topology.profile(path)
+    if profile.random_loss <= 0:
+        return []
+    worst = max(zip(profile.segment_loss, profile.element_names))
+    return [HygieneFinding(
+        HygieneLevel.CRITICAL, "residual-loss",
+        f"path loses {profile.random_loss:.5%} of packets "
+        f"(worst element: {worst[1]!r} at {worst[0]:.5%}) — TCP "
+        "throughput is Mathis-bound until this is fixed",
+    )]
+
+
+def _check_middleboxes(topology: Topology, path: Path) -> List[HygieneFinding]:
+    findings = []
+    if path.traverses_kind("firewall"):
+        findings.append(HygieneFinding(
+            HygieneLevel.CRITICAL, "firewall-in-path",
+            "a stateful firewall sits in this path; per-flow throughput "
+            "is capped at one inspection processor and bursts hit its "
+            "input buffer (§5)",
+        ))
+    profile = topology.profile(path)
+    if not profile.flow.window_scaling:
+        findings.append(HygieneFinding(
+            HygieneLevel.CRITICAL, "window-scaling-stripped",
+            "something on this path strips RFC 1323 window scaling — the "
+            "receive window is clamped to 64 KB (the §6.2 pathology)",
+        ))
+    return findings
+
+
+def lint_path(
+    topology: Topology,
+    src: str,
+    dst: str,
+    *,
+    policy: Optional[dict] = None,
+) -> List[HygieneFinding]:
+    """Run all hygiene checks on the path ``src -> dst``.
+
+    Returns findings sorted most-severe first (CRITICAL, WARNING, INFO);
+    an empty list means the path is clean by every §5 criterion.
+    """
+    path = topology.path(src, dst, **(policy or {}))
+    findings: List[HygieneFinding] = []
+    findings += _check_loss(topology, path)
+    findings += _check_middleboxes(topology, path)
+    findings += _check_buffers(topology, path)
+    findings += _check_mtu(topology, path)
+    findings += _check_nic_match(topology, path)
+    order = {HygieneLevel.CRITICAL: 0, HygieneLevel.WARNING: 1,
+             HygieneLevel.INFO: 2}
+    findings.sort(key=lambda f: order[f.level])
+    return findings

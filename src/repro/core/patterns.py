@@ -1,0 +1,268 @@
+"""The four Science DMZ sub-patterns (§3).
+
+A design pattern here is metadata plus an evaluation function: given a
+topology and the roles of its nodes (which hosts are DTNs, which node
+faces the WAN), the pattern reports whether it is correctly applied.  The
+evaluators return plain finding tuples; :mod:`repro.core.audit` wraps them
+in severity-graded reports.
+
+The four sub-patterns, quoting §3's areas of concern:
+
+1. **Location** — "proper location (in network terms) of devices and
+   connections": the science path is short, near the perimeter, and
+   separated from general-purpose infrastructure.
+2. **Dedicated systems** — the DTN: purpose-built, data-transfer-only
+   hosts.
+3. **Performance monitoring** — perfSONAR on the DMZ, testing regularly.
+4. **Appropriate security** — policy enforced with line-rate mechanisms
+   (ACLs, IDS) instead of stateful firewall appliances in the data path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from ..dtn.host import HostSystemProfile
+from ..errors import ConfigurationError, RoutingError
+from ..netsim.topology import Topology
+
+__all__ = [
+    "PatternResult",
+    "DesignPattern",
+    "LOCATION_PATTERN",
+    "DEDICATED_SYSTEMS_PATTERN",
+    "MONITORING_PATTERN",
+    "SECURITY_PATTERN",
+    "ALL_PATTERNS",
+]
+
+#: (ok, message) pairs produced by pattern evaluators.
+PatternResult = Tuple[bool, str]
+
+#: Maximum hops a DTN should sit from the WAN-facing node for the
+#: location pattern ("as close to the network perimeter as possible",
+#: §3.1): DTN -> DMZ switch -> border -> WAN is 3; a perimeter research
+#: network (RCNet) adds one aggregation layer, still acceptable.
+MAX_SCIENCE_PATH_HOPS = 4
+
+
+@dataclass(frozen=True)
+class DesignPattern:
+    """One sub-pattern: metadata + an evaluator."""
+
+    name: str
+    section: str
+    intent: str
+    evaluate: Callable[[Topology, dict], List[PatternResult]]
+
+    def check(self, topology: Topology, context: dict) -> List[PatternResult]:
+        """Run the evaluator; context keys are documented per pattern."""
+        return self.evaluate(topology, context)
+
+
+def _require(context: dict, key: str) -> object:
+    if key not in context:
+        raise ConfigurationError(
+            f"pattern evaluation requires context key {key!r}"
+        )
+    return context[key]
+
+
+# ---------------------------------------------------------------------------
+# 1. Location pattern (§3.1)
+# ---------------------------------------------------------------------------
+
+def _evaluate_location(topology: Topology, context: dict) -> List[PatternResult]:
+    """Context: 'dtns' (host names), 'wan_node' (name)."""
+    dtns: Sequence[str] = _require(context, "dtns")
+    wan: str = str(_require(context, "wan_node"))
+    results: List[PatternResult] = []
+    if not dtns:
+        return [(False, "no DTNs designated — nothing to locate")]
+    for dtn in dtns:
+        try:
+            path = topology.path(dtn, wan)
+        except RoutingError:
+            results.append((False, f"{dtn}: no route to the WAN at all"))
+            continue
+        if path.traverses_kind("firewall"):
+            results.append((
+                False,
+                f"{dtn}: science path to WAN traverses a firewall "
+                f"({' -> '.join(path.node_names())})",
+            ))
+        elif path.hop_count > MAX_SCIENCE_PATH_HOPS:
+            results.append((
+                False,
+                f"{dtn}: {path.hop_count} hops to the WAN "
+                f"(> {MAX_SCIENCE_PATH_HOPS}); DMZ should sit at the perimeter",
+            ))
+        else:
+            results.append((
+                True,
+                f"{dtn}: clean {path.hop_count}-hop perimeter path to WAN",
+            ))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# 2. Dedicated systems pattern (§3.2)
+# ---------------------------------------------------------------------------
+
+def _evaluate_dedicated(topology: Topology, context: dict) -> List[PatternResult]:
+    """Context: 'dtns' (host names)."""
+    dtns: Sequence[str] = _require(context, "dtns")
+    results: List[PatternResult] = []
+    if not dtns:
+        return [(False, "no DTNs designated — dedicated-systems pattern absent")]
+    for dtn in dtns:
+        node = topology.node(dtn)
+        profile = node.meta.get("host_profile")
+        if not isinstance(profile, HostSystemProfile):
+            results.append((False, f"{dtn}: no host system profile attached"))
+            continue
+        if not profile.dedicated:
+            results.append((False, f"{dtn}: host is not dedicated to data transfer"))
+        elif profile.runs_general_purpose_apps():
+            results.append((
+                False,
+                f"{dtn}: general-purpose applications installed "
+                "(§3.2 forbids user-agent software on DTNs)",
+            ))
+        else:
+            results.append((True, f"{dtn}: dedicated DTN, data-transfer apps only"))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# 3. Performance monitoring pattern (§3.3)
+# ---------------------------------------------------------------------------
+
+def _evaluate_monitoring(topology: Topology, context: dict) -> List[PatternResult]:
+    """Context: 'dtns', 'wan_node'. perfSONAR hosts carry tag 'perfsonar'."""
+    dtns: Sequence[str] = _require(context, "dtns")
+    wan: str = str(_require(context, "wan_node"))
+    ps_hosts = topology.nodes(tag="perfsonar")
+    if not ps_hosts:
+        return [(False, "no perfSONAR host in the topology")]
+    results: List[PatternResult] = [
+        (True, f"perfSONAR hosts present: "
+               f"{', '.join(sorted(n.name for n in ps_hosts))}")
+    ]
+    # The perfSONAR host must share the science path so its tests measure
+    # what the data experiences.
+    for dtn in dtns:
+        try:
+            science = topology.path(dtn, wan,
+                                    forbid_node_kinds=("firewall",))
+        except RoutingError:
+            continue
+        science_nodes = set(science.node_names())
+        # Coverage criterion: some perfSONAR host reaches the WAN without a
+        # firewall, sharing at least one node with the science path (other
+        # than the WAN itself) — its tests then exercise the science fabric.
+        covered = False
+        for ps in ps_hosts:
+            try:
+                ps_path = topology.path(ps.name, wan,
+                                        forbid_node_kinds=("firewall",))
+            except RoutingError:
+                continue
+            shared = set(ps_path.node_names()) & science_nodes - {wan}
+            if shared:
+                covered = True
+                break
+        if covered:
+            results.append((True, f"{dtn}: science path is covered by "
+                                  "perfSONAR testing"))
+        else:
+            results.append((False, f"{dtn}: no perfSONAR host shares the "
+                                   "science path — soft failures will hide"))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# 4. Appropriate security pattern (§3.4)
+# ---------------------------------------------------------------------------
+
+def _evaluate_security(topology: Topology, context: dict) -> List[PatternResult]:
+    """Context: 'dtns', 'wan_node'."""
+    from ..devices.acl import AclEngine  # local import to avoid cycles
+
+    dtns: Sequence[str] = _require(context, "dtns")
+    wan: str = str(_require(context, "wan_node"))
+    results: List[PatternResult] = []
+    for dtn in dtns:
+        try:
+            path = topology.path(dtn, wan)
+        except RoutingError:
+            continue
+        if path.traverses_kind("firewall"):
+            results.append((
+                False,
+                f"{dtn}: stateful firewall in the science data path "
+                "(§5: ACLs on the DMZ switch/router instead)",
+            ))
+            continue
+        # Some node on the path must enforce an ACL protecting the DTN.
+        acl_nodes = [
+            node.name
+            for node in path.nodes
+            if any(isinstance(el, AclEngine) for el in node.elements)
+        ]
+        if acl_nodes:
+            results.append((
+                True,
+                f"{dtn}: ACL enforcement at {', '.join(acl_nodes)}; "
+                "no firewall in path",
+            ))
+        else:
+            results.append((
+                False,
+                f"{dtn}: no ACL enforcement anywhere on the science path — "
+                "security policy is absent, not 'appropriate'",
+            ))
+    return results or [(False, "no science paths to evaluate")]
+
+
+LOCATION_PATTERN = DesignPattern(
+    name="location",
+    section="3.1",
+    intent=("Deploy the Science DMZ at or near the network perimeter; "
+            "separate science traffic from general-purpose infrastructure "
+            "and keep the device count in the data path small."),
+    evaluate=_evaluate_location,
+)
+
+DEDICATED_SYSTEMS_PATTERN = DesignPattern(
+    name="dedicated-systems",
+    section="3.2",
+    intent=("Use purpose-built, dedicated Data Transfer Nodes running only "
+            "data-transfer applications."),
+    evaluate=_evaluate_dedicated,
+)
+
+MONITORING_PATTERN = DesignPattern(
+    name="performance-monitoring",
+    section="3.3",
+    intent=("Deploy perfSONAR on the Science DMZ for regular active testing "
+            "so soft failures are detected and localized quickly."),
+    evaluate=_evaluate_monitoring,
+)
+
+SECURITY_PATTERN = DesignPattern(
+    name="appropriate-security",
+    section="3.4",
+    intent=("Enforce security policy with mechanisms that scale to the data "
+            "rate — router/switch ACLs and IDS — rather than stateful "
+            "firewall appliances in the data path."),
+    evaluate=_evaluate_security,
+)
+
+ALL_PATTERNS: Tuple[DesignPattern, ...] = (
+    LOCATION_PATTERN,
+    DEDICATED_SYSTEMS_PATTERN,
+    MONITORING_PATTERN,
+    SECURITY_PATTERN,
+)

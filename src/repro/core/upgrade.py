@@ -1,0 +1,168 @@
+"""Upgrade planner: apply the Science DMZ patterns to a failing campus.
+
+The NSF CC-NIE program (paper §2) funded exactly this operation at ~20
+campuses: take a general-purpose network whose science hosts sit behind
+the firewall, and deploy the design pattern.  This module mechanizes it:
+
+* :func:`plan_upgrade` audits a topology and produces the ordered list
+  of :class:`UpgradeAction` needed to make it pass;
+* :func:`apply_upgrade` executes the plan — builds the DMZ enclave at
+  the border, provisions a tuned DTN for each science service (the
+  paper's migration: data service moves to the DMZ; the original host
+  keeps its enterprise role), deploys perfSONAR, installs ACLs — and
+  returns before/after audits.
+
+The result is deliberately *additive*: nothing behind the firewall is
+touched, matching §2's observation that general-purpose networks are
+"difficult or impossible to change" and must be left to their mission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..dtn.storage import RaidArray, StorageSystem
+from ..errors import ConfigurationError
+from ..netsim.topology import Topology
+from ..units import DataRate, Gbps
+from .audit import AuditReport, audit_design
+from .dmz import ScienceDMZ
+
+__all__ = ["UpgradeAction", "UpgradePlan", "UpgradeResult",
+           "plan_upgrade", "apply_upgrade"]
+
+
+@dataclass(frozen=True)
+class UpgradeAction:
+    """One step of the upgrade."""
+
+    kind: str        # 'create-dmz' | 'provision-dtn' | 'deploy-perfsonar'
+    #                | 'install-acl'
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.kind}] {self.detail}"
+
+
+@dataclass
+class UpgradePlan:
+    """The ordered actions plus the audit that motivated them."""
+
+    topology_name: str
+    before: AuditReport
+    actions: List[UpgradeAction] = field(default_factory=list)
+
+    @property
+    def needed(self) -> bool:
+        return bool(self.actions)
+
+    def render_text(self) -> str:
+        lines = [f"upgrade plan for {self.topology_name!r} "
+                 f"({len(self.actions)} actions):"]
+        lines += [f"  {i + 1}. {a}" for i, a in enumerate(self.actions)]
+        return "\n".join(lines)
+
+
+@dataclass
+class UpgradeResult:
+    """Outcome of an executed upgrade."""
+
+    plan: UpgradePlan
+    dmz: ScienceDMZ
+    after: AuditReport
+    dtn_map: Dict[str, str]   # science host -> its new DTN
+
+    @property
+    def successful(self) -> bool:
+        return self.after.passed
+
+    def render_text(self) -> str:
+        verdict = "PASSES" if self.successful else "still FAILS"
+        mapped = ", ".join(f"{h}->{d}" for h, d in self.dtn_map.items())
+        return (self.plan.render_text()
+                + f"\nexecuted: audit now {verdict}; DTNs: {mapped}")
+
+
+def plan_upgrade(
+    topology: Topology,
+    *,
+    science_hosts: Sequence[str],
+    border: str,
+    wan: str,
+) -> UpgradePlan:
+    """Audit and derive the actions needed for a passing Science DMZ."""
+    if not science_hosts:
+        raise ConfigurationError("upgrade needs at least one science host")
+    for host in science_hosts:
+        if not topology.has_node(host):
+            raise ConfigurationError(f"science host {host!r} not in topology")
+    before = audit_design(topology, dtns=list(science_hosts), wan_node=wan)
+    plan = UpgradePlan(topology_name=topology.name, before=before)
+    if before.passed:
+        return plan
+
+    failing = {f.pattern for f in before.failures()}
+    if {"location", "appropriate-security"} & failing:
+        plan.actions.append(UpgradeAction(
+            "create-dmz",
+            f"attach a Science DMZ switch to border router {border!r} "
+            "(perimeter location, separate science fabric)"))
+    for host in science_hosts:
+        plan.actions.append(UpgradeAction(
+            "provision-dtn",
+            f"deploy a tuned, dedicated DTN for {host!r}'s data service "
+            "on the DMZ (the host keeps its enterprise role)"))
+    if "performance-monitoring" in failing:
+        plan.actions.append(UpgradeAction(
+            "deploy-perfsonar",
+            "add a perfSONAR host to the DMZ for regular OWAMP/BWCTL "
+            "testing"))
+    plan.actions.append(UpgradeAction(
+        "install-acl",
+        "enforce per-service security with ACLs on the DMZ switch "
+        "(no firewall in the science path)"))
+    return plan
+
+
+def apply_upgrade(
+    topology: Topology,
+    *,
+    science_hosts: Sequence[str],
+    border: str,
+    wan: str,
+    uplink_rate: DataRate = Gbps(10),
+    allowed_peers: Sequence[str] = ("*",),
+    storage_factory=None,
+) -> UpgradeResult:
+    """Execute :func:`plan_upgrade`'s actions on the topology in place.
+
+    ``storage_factory(host_name) -> StorageSystem`` customizes each new
+    DTN's storage; the default provisions a RAID array per DTN.
+    """
+    plan = plan_upgrade(topology, science_hosts=science_hosts,
+                        border=border, wan=wan)
+    if not plan.needed:
+        raise ConfigurationError(
+            f"topology {topology.name!r} already passes the audit; "
+            "nothing to upgrade"
+        )
+    if storage_factory is None:
+        def storage_factory(host_name: str) -> StorageSystem:
+            return RaidArray(name=f"{host_name}-dtn-raid")
+
+    dmz = ScienceDMZ(topology, border=border, wan=wan,
+                     uplink_rate=uplink_rate)
+    dtn_map: Dict[str, str] = {}
+    for host in science_hosts:
+        dtn_name = f"{host}-dtn"
+        dmz.add_dtn(dtn_name, nic_rate=uplink_rate,
+                    storage=storage_factory(host))
+        dtn_map[host] = dtn_name
+    dmz.add_perfsonar(f"{topology.name}-perfsonar")
+    dmz.install_acl(allowed_peers=allowed_peers)
+    dmz.attach_ids()
+
+    after = audit_design(topology, dtns=list(dtn_map.values()),
+                         wan_node=wan)
+    return UpgradeResult(plan=plan, dmz=dmz, after=after, dtn_map=dtn_map)

@@ -1,0 +1,107 @@
+"""A reference national research backbone (ESnet-like).
+
+The paper's context is ESnet: a national WAN connecting DOE labs with a
+clean, jumbo-capable 100G backbone.  This module builds a realistic-
+topology stand-in — eight sites with geographically plausible RTTs —
+so multi-site experiments (mesh dashboards, inter-facility transfers,
+DYNES-style overlays) have a common substrate.
+
+The site list and span latencies approximate the 2013-era ESnet5
+footprint (the actual fiber routes are longer than geodesics; the
+figures below reflect typical measured RTTs between the labs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..dtn.host import attach_profile, tuned_dtn
+from ..dtn.storage import ParallelFilesystem
+from ..errors import ConfigurationError
+from ..netsim.link import JUMBO_MTU, Link
+from ..netsim.node import Host, Router
+from ..netsim.topology import Topology
+from ..units import DataRate, Gbps, ms
+
+__all__ = ["BackboneSite", "national_backbone", "SITES"]
+
+
+@dataclass(frozen=True)
+class BackboneSite:
+    """One site on the reference backbone."""
+
+    name: str
+    hub: str           # backbone hub router the site homes to
+    description: str
+
+
+#: The eight reference sites (DOE-lab flavored, names genericized).
+SITES: Tuple[BackboneSite, ...] = (
+    BackboneSite("lbl", "hub-west", "Bay Area compute/light-source site"),
+    BackboneSite("slac", "hub-west", "Bay Area accelerator site"),
+    BackboneSite("pnnl", "hub-northwest", "Pacific Northwest site"),
+    BackboneSite("anl", "hub-midwest", "Chicago-area leadership computing"),
+    BackboneSite("fnal", "hub-midwest", "Chicago-area HEP Tier-1"),
+    BackboneSite("ornl", "hub-south", "Tennessee leadership computing"),
+    BackboneSite("bnl", "hub-east", "New York HEP Tier-1"),
+    BackboneSite("jlab", "hub-east", "Virginia accelerator site"),
+)
+
+#: Backbone spans: (hub_a, hub_b, one-way ms).  Roughly fiber-route
+#: latencies; the hub ring is deliberately redundant.
+_SPANS: Tuple[Tuple[str, str, float], ...] = (
+    ("hub-west", "hub-northwest", 9.0),
+    ("hub-west", "hub-midwest", 25.0),
+    ("hub-northwest", "hub-midwest", 22.0),
+    ("hub-midwest", "hub-south", 8.0),
+    ("hub-midwest", "hub-east", 11.0),
+    ("hub-south", "hub-east", 8.0),
+)
+
+
+def national_backbone(
+    *,
+    backbone_rate: DataRate = Gbps(100),
+    site_rate: DataRate = Gbps(10),
+    with_dtns: bool = True,
+) -> Topology:
+    """Build the reference backbone.
+
+    Each site gets a perfSONAR-tagged host (``<site>``); with
+    ``with_dtns`` it is a tuned DTN backed by a parallel filesystem, so
+    any pair of sites can run transfers and mesh tests immediately.
+
+    >>> topo = national_backbone()
+    >>> round(topo.profile_between('lbl', 'bnl').base_rtt.ms)
+    76
+    """
+    if backbone_rate.bps < site_rate.bps:
+        raise ConfigurationError(
+            "backbone must be at least as fast as site access"
+        )
+    topo = Topology("national-backbone")
+    hubs = {hub for _, hub, _ in ((s.name, s.hub, s.description)
+                                  for s in SITES)}
+    for hub in sorted(hubs):
+        topo.add_node(Router(name=hub, tags={"backbone"}))
+    for a, b, one_way_ms in _SPANS:
+        topo.connect(a, b, Link(rate=backbone_rate, delay=ms(one_way_ms),
+                                mtu=JUMBO_MTU, name=f"{a}--{b}",
+                                tags={"backbone"}))
+    for site in SITES:
+        host = topo.add_node(Host(name=site.name, nic_rate=site_rate,
+                                  tags={"perfsonar", "dtn"}))
+        topo.connect(site.name, site.hub, Link(
+            rate=site_rate, delay=ms(1.0), mtu=JUMBO_MTU,
+            name=f"{site.name}-access",
+        ))
+        if with_dtns:
+            attach_profile(host, tuned_dtn(
+                site.name, ParallelFilesystem(name=f"{site.name}-pfs")))
+    return topo
+
+
+def site_names() -> List[str]:
+    """Names of all reference sites (the mesh-host list)."""
+    return [s.name for s in SITES]

@@ -1,0 +1,50 @@
+"""Middlebox and failure models.
+
+Every pathology the paper attributes to network gear lives here:
+
+* :mod:`repro.devices.firewall` — stateful firewall appliances: per-flow
+  processor limits, shallow input buffers that drop TCP bursts, and the
+  sequence-checking feature that strips RFC 1323 window scaling (§5, §6.2).
+* :mod:`repro.devices.acl` — router/switch access-control lists, the
+  Science DMZ's line-rate security mechanism (§3.4, §5).
+* :mod:`repro.devices.ids` — intrusion-detection system models (§3.4, §7.3).
+* :mod:`repro.devices.faults` — the soft-failure library: failing line
+  cards, dirty optics, management-CPU forwarding, duplex mismatch (§2, §3.3).
+* :mod:`repro.devices.switchfab` — LAN switch fabrics: shallow vs deep
+  buffers, cut-through vs store-and-forward, and the CU-Boulder mode-flip
+  bug (§5, §6.1).
+"""
+
+from .firewall import Firewall, FirewallRule, FirewallPolicy
+from .acl import AclAction, AclRule, AccessControlList, AclEngine
+from .ids import IntrusionDetectionSystem, IdsMode, IdsAlert
+from .faults import (
+    FailingLineCard,
+    DirtyOptics,
+    ManagementCpuForwarding,
+    DuplexMismatch,
+    FaultInjector,
+    InjectedFault,
+)
+from .switchfab import SwitchFabric, SwitchingMode
+
+__all__ = [
+    "Firewall",
+    "FirewallRule",
+    "FirewallPolicy",
+    "AclAction",
+    "AclRule",
+    "AccessControlList",
+    "AclEngine",
+    "IntrusionDetectionSystem",
+    "IdsMode",
+    "IdsAlert",
+    "FailingLineCard",
+    "DirtyOptics",
+    "ManagementCpuForwarding",
+    "DuplexMismatch",
+    "FaultInjector",
+    "InjectedFault",
+    "SwitchFabric",
+    "SwitchingMode",
+]

@@ -1,0 +1,223 @@
+"""Soft-failure library and fault injection.
+
+"Soft failures ... do not cause a complete failure ... but cause poor
+performance", often invisible to device error counters and undetected for
+months (§3.3).  The paper's motivating example (§2) is an ESnet 10 Gbps
+line card dropping 1 in 22,000 packets: only 450 Kbps of loss at the
+device, catastrophic end-to-end TCP throughput — found not by SNMP error
+counters but by OWAMP active probing.
+
+Each fault here is a :class:`~repro.netsim.node.PathElement` that can be
+attached to a node (or the equivalent span loss set on a
+:class:`~repro.netsim.link.Link`).  Faults carry a ``visible_to_counters``
+flag: the perfSONAR detection experiments use it to show that passive
+counter polling misses what active measurement finds.
+
+:class:`FaultInjector` schedules faults on/off against a
+:class:`~repro.netsim.engine.Simulator` and keeps the ground-truth record
+that detection experiments score against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+from ..netsim.engine import Simulator
+from ..netsim.node import Node
+from ..units import DataRate, DataSize, Mbps, TimeDelta, bytes_, ms
+
+__all__ = [
+    "FailingLineCard",
+    "DirtyOptics",
+    "ManagementCpuForwarding",
+    "DuplexMismatch",
+    "InjectedFault",
+    "FaultInjector",
+]
+
+#: The paper's §2 loss rate: 1 packet in 22,000 (0.0046%).
+ESNET_LINE_CARD_LOSS = 1.0 / 22_000.0
+
+
+@dataclass
+class FailingLineCard:
+    """A router line card silently dropping a fixed fraction of packets.
+
+    Matches the §2 ESnet incident: default loss 1/22000, *not* reported by
+    the device's internal error monitoring.
+    """
+
+    loss_rate: float = ESNET_LINE_CARD_LOSS
+    visible_to_counters: bool = False
+    description: str = "failing line card"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ConfigurationError("loss_rate must be in [0,1]")
+
+    def element_latency(self) -> TimeDelta:
+        return TimeDelta(0.0)
+
+    def element_capacity(self) -> Optional[DataRate]:
+        return None
+
+    def element_loss_probability(self) -> float:
+        return self.loss_rate
+
+    def transform_flow(self, ctx):
+        return ctx
+
+
+@dataclass
+class DirtyOptics:
+    """Dirty/degraded fiber optics: a bit-error rate, so the per-packet
+    loss probability grows with packet size (jumbo frames suffer more).
+    """
+
+    bit_error_rate: float = 1e-12
+    packet_size: DataSize = field(default_factory=lambda: bytes_(9000))
+    visible_to_counters: bool = True  # FCS errors do show in counters
+    description: str = "dirty optics"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.bit_error_rate <= 1.0:
+            raise ConfigurationError("bit_error_rate must be in [0,1]")
+
+    def element_latency(self) -> TimeDelta:
+        return TimeDelta(0.0)
+
+    def element_capacity(self) -> Optional[DataRate]:
+        return None
+
+    def element_loss_probability(self) -> float:
+        return 1.0 - (1.0 - self.bit_error_rate) ** self.packet_size.bits
+
+    def transform_flow(self, ctx):
+        return ctx
+
+
+@dataclass
+class ManagementCpuForwarding:
+    """Router forwarding via the management CPU instead of hardware (§3.3).
+
+    The slow path caps throughput at the CPU's forwarding rate and adds
+    per-packet latency; counters look clean because packets are not
+    errored, just slow.
+    """
+
+    cpu_rate: DataRate = field(default_factory=lambda: Mbps(300))
+    added_latency: TimeDelta = field(default_factory=lambda: ms(2))
+    visible_to_counters: bool = False
+    description: str = "management-CPU (slow-path) forwarding"
+
+    def __post_init__(self) -> None:
+        if self.cpu_rate.bps <= 0:
+            raise ConfigurationError("cpu_rate must be positive")
+
+    def element_latency(self) -> TimeDelta:
+        return self.added_latency
+
+    def element_capacity(self) -> Optional[DataRate]:
+        return self.cpu_rate
+
+    def element_loss_probability(self) -> float:
+        return 0.0
+
+    def transform_flow(self, ctx):
+        return ctx
+
+
+@dataclass
+class DuplexMismatch:
+    """Ethernet duplex mismatch: heavy loss once utilization rises.
+
+    Classic campus soft failure — a hard-coded full-duplex port facing an
+    auto-negotiated half-duplex peer loses a few percent of packets under
+    bidirectional load.
+    """
+
+    loss_rate: float = 0.02
+    capacity: DataRate = field(default_factory=lambda: Mbps(100))
+    visible_to_counters: bool = True  # late collisions / CRC errors
+    description: str = "duplex mismatch"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ConfigurationError("loss_rate must be in [0,1]")
+
+    def element_latency(self) -> TimeDelta:
+        return TimeDelta(0.0)
+
+    def element_capacity(self) -> Optional[DataRate]:
+        return self.capacity
+
+    def element_loss_probability(self) -> float:
+        return self.loss_rate
+
+    def transform_flow(self, ctx):
+        return ctx
+
+
+@dataclass
+class InjectedFault:
+    """Ground-truth record of one injected fault."""
+
+    node_name: str
+    fault: object
+    injected_at: float
+    cleared_at: Optional[float] = None
+
+    @property
+    def active(self) -> bool:
+        return self.cleared_at is None
+
+
+class FaultInjector:
+    """Schedule soft failures onto topology nodes and keep ground truth.
+
+    The monitoring-detection experiments compare perfSONAR alert times
+    against this record to measure time-to-detection.
+    """
+
+    def __init__(self, simulator: Simulator) -> None:
+        self._sim = simulator
+        self.history: List[InjectedFault] = []
+
+    def inject_now(self, node: Node, fault) -> InjectedFault:
+        """Attach ``fault`` to ``node`` immediately."""
+        node.attach(fault)
+        record = InjectedFault(node_name=node.name, fault=fault,
+                               injected_at=self._sim.now)
+        self.history.append(record)
+        return record
+
+    def inject_at(self, when: TimeDelta, node: Node, fault) -> None:
+        """Attach ``fault`` to ``node`` at absolute sim time ``when``."""
+        def _do() -> None:
+            self.inject_now(node, fault)
+        self._sim.schedule_at(when.s, _do)
+
+    def clear(self, record: InjectedFault, node: Node) -> None:
+        """Remove a fault (repair) and close its ground-truth record."""
+        if not record.active:
+            raise ConfigurationError("fault was already cleared")
+        node.detach(record.fault)
+        record.cleared_at = self._sim.now
+
+    def clear_at(self, when: TimeDelta, record: InjectedFault,
+                 node: Node) -> None:
+        def _do() -> None:
+            self.clear(record, node)
+        self._sim.schedule_at(when.s, _do)
+
+    def active_faults(self) -> List[InjectedFault]:
+        return [f for f in self.history if f.active]
+
+    def invisible_faults(self) -> List[InjectedFault]:
+        """Active faults that device counters would NOT reveal."""
+        return [
+            f for f in self.active_faults()
+            if not getattr(f.fault, "visible_to_counters", True)
+        ]

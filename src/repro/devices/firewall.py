@@ -1,0 +1,231 @@
+"""Stateful firewall appliance model.
+
+The paper's §5 dissects why firewalls wreck science flows even when the
+spec sheet says "10 Gbps":
+
+1. **Per-flow processor limit.** Firewalls aggregate many low-speed
+   inspection processors to reach an aggregate throughput equal to their
+   interface speed.  A single high-speed flow is pinned to one processor,
+   so its ceiling is the *processor* rate, not the interface rate.
+2. **Shallow input buffers.** TCP flows are bursts at the sender's line
+   rate with pauses in between.  When bursts arrive faster than the
+   processor drains them, the input buffer must absorb the difference;
+   business-traffic-sized buffers overflow and the tail of every burst is
+   dropped.
+3. **Protocol meddling.** "Security" features that rewrite TCP headers —
+   the Penn State case's *TCP flow sequence checking* — can strip the
+   RFC 1323 window-scaling option, silently clamping every connection's
+   receive window to 64 KB (§6.2).
+
+All three are modelled here.  The firewall is a topology
+:class:`~repro.netsim.node.Node` whose transit behaviour implements the
+:class:`~repro.netsim.node.PathElement` protocol, so simply routing a path
+through it degrades the resulting
+:class:`~repro.netsim.topology.PathProfile` — and routing around it (the
+Science DMZ location pattern) removes the degradation.  Rule evaluation
+(:class:`FirewallPolicy`) exists so the security-pattern audit can compare
+"what the firewall enforces" with "what ACLs would enforce" (§5 argues the
+rule set is IP/port filtering either way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import ConfigurationError, SecurityPolicyError
+from ..netsim.buffers import DropTailQueue
+from ..netsim.node import FlowContext, Node
+from ..units import (
+    DataRate,
+    DataSize,
+    Gbps,
+    KB,
+    MB,
+    TimeDelta,
+    bytes_,
+    seconds,
+    us,
+)
+
+__all__ = ["FirewallRule", "FirewallPolicy", "Firewall"]
+
+
+@dataclass(frozen=True)
+class FirewallRule:
+    """One allow/deny rule: match on endpoints and destination port.
+
+    ``'*'`` wildcards any field.  Matching is first-match-wins in the
+    containing policy, mirroring real firewall rule tables.
+    """
+
+    action: str  # 'allow' | 'deny'
+    src: str = "*"
+    dst: str = "*"
+    port: object = "*"  # int or '*'
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        if self.action not in ("allow", "deny"):
+            raise ConfigurationError(
+                f"rule action must be 'allow' or 'deny', got {self.action!r}"
+            )
+        if self.port != "*" and not isinstance(self.port, int):
+            raise ConfigurationError("rule port must be an int or '*'")
+
+    def matches(self, src: str, dst: str, port: int) -> bool:
+        return (
+            (self.src == "*" or self.src == src)
+            and (self.dst == "*" or self.dst == dst)
+            and (self.port == "*" or self.port == port)
+        )
+
+
+@dataclass
+class FirewallPolicy:
+    """An ordered rule table with a default action."""
+
+    rules: List[FirewallRule] = field(default_factory=list)
+    default_action: str = "deny"
+
+    def __post_init__(self) -> None:
+        if self.default_action not in ("allow", "deny"):
+            raise ConfigurationError("default_action must be 'allow' or 'deny'")
+
+    def permits(self, src: str, dst: str, port: int) -> bool:
+        for rule in self.rules:
+            if rule.matches(src, dst, port):
+                return rule.action == "allow"
+        return self.default_action == "allow"
+
+    def add(self, rule: FirewallRule) -> "FirewallPolicy":
+        self.rules.append(rule)
+        return self
+
+    def allow(self, src: str = "*", dst: str = "*", port: object = "*",
+              comment: str = "") -> "FirewallPolicy":
+        return self.add(FirewallRule("allow", src, dst, port, comment))
+
+    def deny(self, src: str = "*", dst: str = "*", port: object = "*",
+             comment: str = "") -> "FirewallPolicy":
+        return self.add(FirewallRule("deny", src, dst, port, comment))
+
+
+@dataclass(eq=False)
+class Firewall(Node):
+    """A perimeter firewall appliance (a topology node).
+
+    Parameters
+    ----------
+    processors:
+        Number of internal inspection processors.
+    processor_rate:
+        Per-processor throughput.  Aggregate capacity is
+        ``processors * processor_rate`` (matching the interface speed on a
+        well-specced box), but any single flow is limited to one processor.
+    input_buffer:
+        Input buffer absorbing line-rate bursts while a processor drains
+        them.  Business-profile firewalls ship with shallow buffers.
+    sequence_checking:
+        When True, the firewall rewrites TCP headers and strips the
+        window-scaling option — the Penn State pathology (§6.2).
+    expected_burst / expected_line_rate:
+        The burst profile used to *estimate* transit loss for the fluid
+        model: science DTN senders emit roughly window-sized bursts at NIC
+        line rate.  The packet-level bench
+        (``benchmarks/bench_firewall_burst.py``) cross-validates this
+        closed-form estimate against :mod:`repro.netsim.packetsim`.
+    """
+
+    kind: str = "firewall"
+    processors: int = 16
+    processor_rate: DataRate = field(default_factory=lambda: Gbps(0.65))
+    input_buffer: DataSize = field(default_factory=lambda: KB(512))
+    inspection_latency: TimeDelta = field(default_factory=lambda: us(300))
+    sequence_checking: bool = False
+    policy: FirewallPolicy = field(default_factory=FirewallPolicy)
+    expected_burst: DataSize = field(default_factory=lambda: KB(256))
+    expected_line_rate: DataRate = field(default_factory=lambda: Gbps(10))
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.processors < 1:
+            raise ConfigurationError("firewall needs at least one processor")
+        if self.processor_rate.bps <= 0:
+            raise ConfigurationError("processor_rate must be positive")
+
+    # -- capacity view --------------------------------------------------------
+    @property
+    def aggregate_capacity(self) -> DataRate:
+        """Marketing number: all processors together."""
+        return DataRate(self.processor_rate.bps * self.processors)
+
+    @property
+    def per_flow_capacity(self) -> DataRate:
+        """What one flow actually gets: a single processor."""
+        return self.processor_rate
+
+    # -- PathElement protocol --------------------------------------------------
+    def element_capacity(self) -> Optional[DataRate]:
+        return self.per_flow_capacity
+
+    def element_latency(self) -> TimeDelta:
+        return self.inspection_latency
+
+    def element_loss_probability(self) -> float:
+        """Estimated per-packet burst-overflow loss for a science flow.
+
+        Uses the closed-form drop-tail burst analysis: a burst of
+        ``expected_burst`` arriving at ``expected_line_rate`` into the
+        input buffer draining at one processor's rate.  Returns the lost
+        fraction of the burst, which for the fluid model doubles as the
+        per-packet loss probability.
+        """
+        queue = DropTailQueue(
+            capacity=self.input_buffer, service_rate=self.processor_rate
+        )
+        return queue.burst_loss_fraction(
+            self.expected_burst, self.expected_line_rate
+        )
+
+    def element_buffer(self) -> DataSize:
+        """The shallow input buffer is the queue available at this
+        bottleneck — the TCP model's sawtooth is clamped by it."""
+        return self.input_buffer
+
+    def transform_flow(self, ctx: FlowContext) -> FlowContext:
+        if self.sequence_checking:
+            return ctx.with_(window_scaling=False)
+        return ctx
+
+    # -- policy ------------------------------------------------------------------
+    def permits(self, src: str, dst: str, port: int) -> bool:
+        return self.policy.permits(src, dst, port)
+
+    def check(self, src: str, dst: str, port: int) -> None:
+        """Raise :class:`SecurityPolicyError` if the policy denies traffic."""
+        if not self.permits(src, dst, port):
+            raise SecurityPolicyError(
+                f"firewall {self.name!r} denies {src} -> {dst}:{port}"
+            )
+
+    # -- analysis helpers -----------------------------------------------------------
+    def burst_loss_for(
+        self, burst: DataSize, line_rate: DataRate
+    ) -> float:
+        """Burst-loss fraction for an arbitrary sender profile."""
+        queue = DropTailQueue(
+            capacity=self.input_buffer, service_rate=self.processor_rate
+        )
+        return queue.burst_loss_fraction(burst, line_rate)
+
+    def describe(self) -> str:
+        seq = "on" if self.sequence_checking else "off"
+        return (
+            f"firewall {self.name}: {self.processors} x "
+            f"{self.processor_rate.human()} processors "
+            f"(aggregate {self.aggregate_capacity.human()}), "
+            f"{self.input_buffer.human()} input buffer, "
+            f"sequence checking {seq}, "
+            f"{len(self.policy.rules)} rules"
+        )

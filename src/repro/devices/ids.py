@@ -1,0 +1,131 @@
+"""Intrusion detection system models.
+
+§3.4 and §5 recommend IDS alongside (not instead of) ACLs; §7.3 sketches
+the SDN future where connection-setup traffic is steered through the IDS
+and verified flows then bypass both IDS and firewall.
+
+Two deployment modes are modelled:
+
+* **passive** — a tap/span-port deployment: zero effect on the data path;
+  the IDS may *miss* traffic beyond its inspection capacity but never
+  slows it down.  This is Science DMZ practice.
+* **inline** — the IDS sits in the forwarding path: traffic beyond its
+  inspection capacity is either dropped (fail-closed) or passes
+  uninspected (fail-open), and every packet pays the inspection latency.
+
+Signatures are simple (src, dst, port) predicates with labels; the tests
+and the SDN bypass bench drive them with synthetic connection events.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..units import DataRate, Gbps, TimeDelta, us
+
+__all__ = ["IdsMode", "IdsAlert", "IntrusionDetectionSystem"]
+
+
+class IdsMode(enum.Enum):
+    """Deployment mode: passive tap or inline inspection."""
+
+    PASSIVE = "passive"
+    INLINE = "inline"
+
+
+@dataclass(frozen=True)
+class IdsAlert:
+    """One alert raised by the IDS."""
+
+    time: float
+    signature: str
+    src: str
+    dst: str
+    port: int
+
+
+#: A signature: (label, predicate(src, dst, port) -> bool)
+Signature = Tuple[str, Callable[[str, str, int], bool]]
+
+
+@dataclass
+class IntrusionDetectionSystem:
+    """An IDS attachable to a node as a transit element.
+
+    Parameters
+    ----------
+    mode:
+        Passive tap (Science DMZ practice) or inline.
+    inspection_capacity:
+        Aggregate rate the IDS can actually inspect.
+    fail_open:
+        Inline only: traffic beyond capacity passes uninspected when True,
+        is dropped when False.
+    offered_load:
+        Set by experiments to the current aggregate load so the element
+        can report its inline loss / passive blind fraction.
+    """
+
+    name: str = "ids"
+    mode: IdsMode = IdsMode.PASSIVE
+    inspection_capacity: DataRate = field(default_factory=lambda: Gbps(1))
+    inspection_latency: TimeDelta = field(default_factory=lambda: us(50))
+    fail_open: bool = True
+    offered_load: DataRate = field(default_factory=lambda: DataRate(0.0))
+    signatures: List[Signature] = field(default_factory=list)
+    alerts: List[IdsAlert] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.inspection_capacity.bps <= 0:
+            raise ConfigurationError("inspection_capacity must be positive")
+
+    # -- signatures / alerting ------------------------------------------------------
+    def add_signature(self, label: str,
+                      predicate: Callable[[str, str, int], bool]) -> None:
+        if not label:
+            raise ConfigurationError("signature needs a label")
+        self.signatures.append((label, predicate))
+
+    def observe(self, src: str, dst: str, port: int, *,
+                time: float = 0.0) -> List[IdsAlert]:
+        """Inspect one connection event; returns (and records) any alerts."""
+        raised = []
+        for label, predicate in self.signatures:
+            if predicate(src, dst, port):
+                alert = IdsAlert(time=time, signature=label,
+                                 src=src, dst=dst, port=port)
+                self.alerts.append(alert)
+                raised.append(alert)
+        return raised
+
+    @property
+    def blind_fraction(self) -> float:
+        """Fraction of offered traffic the IDS cannot inspect."""
+        if self.offered_load.bps <= self.inspection_capacity.bps:
+            return 0.0
+        return 1.0 - self.inspection_capacity.bps / self.offered_load.bps
+
+    # -- PathElement protocol --------------------------------------------------------
+    def element_latency(self) -> TimeDelta:
+        if self.mode is IdsMode.PASSIVE:
+            return TimeDelta(0.0)
+        return self.inspection_latency
+
+    def element_capacity(self) -> Optional[DataRate]:
+        if self.mode is IdsMode.PASSIVE:
+            return None
+        if self.fail_open:
+            return None  # excess passes uninspected at line rate
+        return self.inspection_capacity
+
+    def element_loss_probability(self) -> float:
+        if self.mode is IdsMode.PASSIVE or self.fail_open:
+            return 0.0
+        # Fail-closed inline: overload manifests as drops.
+        return self.blind_fraction
+
+    def transform_flow(self, ctx):
+        return ctx

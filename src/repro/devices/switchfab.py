@@ -1,0 +1,202 @@
+"""LAN switch fabric model: buffering, fan-in, and the CU-Boulder flip bug.
+
+§5 explains fan-in: bursts from several ingress ports aimed at one egress
+port must be buffered or dropped, and "since high-speed packet memory is
+expensive, cheap switches often do not have enough buffer space to handle
+anything except LAN traffic".
+
+§6.1 adds a wrinkle from the University of Colorado deployment: under high
+fan-in load the vendor's switch silently flipped from cut-through to
+store-and-forward mode, "and the cut-through switch was unable to provide
+loss-free service in store-and-forward mode" — a firmware/architecture bug
+later fixed by the vendor.
+
+:class:`SwitchFabric` is a transit element whose loss probability is
+computed from the *currently configured offered load* (set by the
+experiment via :meth:`set_offered_load`): a binomial model of coincident
+source bursts swept through the shared egress buffer.  The packet-level
+cross-check lives in :mod:`repro.netsim.packetsim` and the Colorado bench
+compares both.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..netsim.buffers import DropTailQueue
+from ..netsim.packetsim import BurstySource
+from ..units import DataRate, DataSize, Gbps, KB, TimeDelta, us
+
+__all__ = ["SwitchingMode", "SwitchFabric"]
+
+
+class SwitchingMode(enum.Enum):
+    """Forwarding mode of a switch fabric."""
+
+    CUT_THROUGH = "cut-through"
+    STORE_AND_FORWARD = "store-and-forward"
+
+
+@dataclass
+class SwitchFabric:
+    """The buffer/fabric behaviour of a LAN switch egress port.
+
+    Parameters
+    ----------
+    egress_rate:
+        Line rate of the (shared) egress port — e.g. the 10G uplink the
+        physics cluster's 1G hosts all feed (§6.1's "fan-out ... multiple
+        1Gbps connections feeding a single 10Gbps connection").
+    port_buffer:
+        Packet memory available to that egress port.  Cheap switches:
+        ~hundreds of KB.  Science-DMZ-grade: tens-hundreds of MB.
+    mode:
+        Nominal switching mode.
+    flip_bug:
+        When True, high offered load silently flips cut-through to
+        store-and-forward *with a buffer penalty* (the usable buffer
+        shrinks, reproducing the vendor bug).  ``apply_vendor_fix()``
+        clears it.
+    flip_threshold:
+        Offered-load fraction of egress rate beyond which the flip occurs.
+    flip_buffer_penalty:
+        Fraction of the buffer usable after the flip.
+    flip_service_penalty:
+        Fraction of the egress line rate the fabric can sustain after the
+        flip — §6.1: "the cut-through switch was unable to provide
+        loss-free service in store-and-forward mode".
+    """
+
+    name: str = "fabric"
+    egress_rate: DataRate = field(default_factory=lambda: Gbps(10))
+    port_buffer: DataSize = field(default_factory=lambda: KB(384))
+    mode: SwitchingMode = SwitchingMode.CUT_THROUGH
+    flip_bug: bool = False
+    flip_threshold: float = 0.4
+    flip_buffer_penalty: float = 0.2
+    flip_service_penalty: float = 0.45
+    latency: TimeDelta = field(default_factory=lambda: us(5))
+    _sources: List[BurstySource] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.egress_rate.bps <= 0:
+            raise ConfigurationError("egress_rate must be positive")
+        if not 0.0 < self.flip_threshold <= 1.0:
+            raise ConfigurationError("flip_threshold must be in (0,1]")
+        if not 0.0 < self.flip_buffer_penalty <= 1.0:
+            raise ConfigurationError("flip_buffer_penalty must be in (0,1]")
+
+    # -- experiment interface ----------------------------------------------------
+    def set_offered_load(self, sources: Sequence[BurstySource]) -> None:
+        """Configure the concurrent ingress sources feeding this egress."""
+        self._sources = list(sources)
+
+    def clear_offered_load(self) -> None:
+        self._sources = []
+
+    def apply_vendor_fix(self) -> None:
+        """The §6.1 resolution: the vendor fix removes the flip bug."""
+        self.flip_bug = False
+
+    @property
+    def offered_mean_rate(self) -> DataRate:
+        return DataRate(sum(s.mean_rate.bps for s in self._sources))
+
+    @property
+    def effective_mode(self) -> SwitchingMode:
+        """Mode after accounting for the flip bug under load."""
+        if (
+            self.flip_bug
+            and self.mode is SwitchingMode.CUT_THROUGH
+            and self.offered_mean_rate.bps
+                > self.flip_threshold * self.egress_rate.bps
+        ):
+            return SwitchingMode.STORE_AND_FORWARD
+        return self.mode
+
+    @property
+    def flipped(self) -> bool:
+        """True when the flip bug has engaged under the current load."""
+        return self.flip_bug and self.effective_mode is not self.mode
+
+    @property
+    def effective_buffer(self) -> DataSize:
+        """Usable buffer; shrinks when the flip bug has engaged."""
+        if self.flipped:
+            return DataSize(self.port_buffer.bits * self.flip_buffer_penalty)
+        return self.port_buffer
+
+    @property
+    def effective_service_rate(self) -> DataRate:
+        """Sustainable forwarding rate; degrades when the bug has engaged."""
+        if self.flipped:
+            return DataRate(self.egress_rate.bps * self.flip_service_penalty)
+        return self.egress_rate
+
+    # -- loss model ---------------------------------------------------------------
+    def fan_in_loss(self) -> float:
+        """Expected per-packet loss from coincident ingress bursts.
+
+        Each source bursts with probability equal to its duty cycle.  For
+        every subset size k, arrivals sum to k x line_rate; the shared
+        egress queue (drained at ``egress_rate``) loses the closed-form
+        burst fraction.  The expectation over the binomial distribution of
+        concurrent bursts, weighted by the packets each scenario offers,
+        is the per-packet loss probability the fluid model uses.
+        """
+        if not self._sources:
+            return 0.0
+        n = len(self._sources)
+        # Homogeneous approximation: use the mean source profile.
+        duty = sum(s.duty_cycle for s in self._sources) / n
+        line = DataRate(sum(s.line_rate.bps for s in self._sources) / n)
+        burst = DataSize(sum(s.burst_size.bits for s in self._sources) / n)
+        queue = DropTailQueue(capacity=self.effective_buffer,
+                              service_rate=self.effective_service_rate)
+        total_weight = 0.0
+        total_loss = 0.0
+        for k in range(1, n + 1):
+            p_k = math.comb(n, k) * duty**k * (1.0 - duty) ** (n - k)
+            if p_k < 1e-12:
+                continue
+            combined_burst = DataSize(burst.bits * k)
+            combined_rate = DataRate(line.bps * k)
+            frac = queue.burst_loss_fraction(combined_burst, combined_rate)
+            weight = p_k * k  # k bursts' worth of packets in scenario k
+            total_weight += weight
+            total_loss += weight * frac
+        return total_loss / total_weight if total_weight > 0 else 0.0
+
+    # -- PathElement protocol ---------------------------------------------------------
+    def element_latency(self) -> TimeDelta:
+        if self.effective_mode is SwitchingMode.STORE_AND_FORWARD:
+            # Store-and-forward pays one full-frame serialization per hop.
+            frame_bits = 9000 * 8
+            return TimeDelta(self.latency.s + frame_bits / self.egress_rate.bps)
+        return self.latency
+
+    def element_capacity(self) -> Optional[DataRate]:
+        return self.effective_service_rate
+
+    def element_buffer(self) -> DataSize:
+        return self.effective_buffer
+
+    def element_loss_probability(self) -> float:
+        return self.fan_in_loss()
+
+    def transform_flow(self, ctx):
+        return ctx
+
+    def describe(self) -> str:
+        return (
+            f"switch fabric {self.name}: egress {self.egress_rate.human()}, "
+            f"buffer {self.port_buffer.human()} "
+            f"(effective {self.effective_buffer.human()}), "
+            f"mode {self.effective_mode.value}"
+            f"{' [flip bug]' if self.flip_bug else ''}, "
+            f"{len(self._sources)} offered sources"
+        )

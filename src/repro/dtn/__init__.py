@@ -1,0 +1,56 @@
+"""Data Transfer Node (DTN) models.
+
+§3.2: "Systems used for wide area science data transfers perform far
+better if they are purpose-built for and dedicated to this function."
+This package models the pieces that make that true:
+
+* :mod:`repro.dtn.storage` — storage subsystems (single disk, RAID, SAN,
+  parallel filesystems) with stream-dependent read/write rates and the
+  double-copy penalty the supercomputer design avoids (§4.2).
+* :mod:`repro.dtn.host` — host system profiles: TCP buffer limits, MTU,
+  congestion control, the dedicated-vs-general-purpose distinction; a
+  profile attaches to a topology host and shapes every flow through it.
+* :mod:`repro.dtn.tools` — transfer tool models: ftp, scp, HPN-scp,
+  GridFTP, Globus Online, FDT, XRootD (§3.2's tool list).
+* :mod:`repro.dtn.transfer` — the end-to-end transfer planner/executor
+  combining dataset, tool, hosts, and path into elapsed time.
+* :mod:`repro.dtn.tuning` — the ESnet DTN tuning guide as executable
+  checks.
+"""
+
+from .storage import (
+    StorageSystem,
+    SingleDisk,
+    RaidArray,
+    StorageAreaNetwork,
+    ParallelFilesystem,
+)
+from .host import HostSystemProfile, untuned_host, tuned_dtn, attach_profile
+from .tools import TransferTool, TOOL_REGISTRY, tool_by_name
+from .transfer import Dataset, TransferPlan, TransferReport
+from .tuning import TuningFinding, audit_host, REQUIRED_CHECKS
+from .mover import JobState, TransferJob, TransferService
+
+__all__ = [
+    "JobState",
+    "TransferJob",
+    "TransferService",
+    "StorageSystem",
+    "SingleDisk",
+    "RaidArray",
+    "StorageAreaNetwork",
+    "ParallelFilesystem",
+    "HostSystemProfile",
+    "untuned_host",
+    "tuned_dtn",
+    "attach_profile",
+    "TransferTool",
+    "TOOL_REGISTRY",
+    "tool_by_name",
+    "Dataset",
+    "TransferPlan",
+    "TransferReport",
+    "TuningFinding",
+    "audit_host",
+    "REQUIRED_CHECKS",
+]

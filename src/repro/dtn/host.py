@@ -1,0 +1,164 @@
+"""Host system profiles: the tuned-DTN vs general-purpose distinction.
+
+A :class:`HostSystemProfile` captures the kernel/NIC/storage configuration
+of an end host and attaches to a topology :class:`~repro.netsim.node.Host`
+as a transit element, so every flow terminating at (or passing through)
+the host inherits its TCP buffer ceiling and the host's application mix.
+
+The paper's §3.2 distinction is encoded in two constructors:
+
+* :func:`untuned_host` — a general-purpose machine: stock TCP buffers
+  (small relative to WAN BDPs), standard 1500-byte MTU, Reno-era
+  congestion control, competing application load.
+* :func:`tuned_dtn` — the ESnet reference DTN: large buffers, jumbo
+  frames, H-TCP/CUBIC, no general-purpose applications installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..netsim.node import FlowContext, Host
+from ..units import DataRate, DataSize, MB, TimeDelta, bytes_, seconds
+from .storage import StorageSystem
+
+__all__ = ["HostSystemProfile", "untuned_host", "tuned_dtn", "attach_profile"]
+
+#: General-purpose applications found on non-dedicated hosts (§3.2 lists
+#: what must NOT be on a DTN).
+GENERAL_PURPOSE_APPS = (
+    "email-client", "web-browser", "document-editor", "media-player",
+)
+
+#: The limited application set of a proper DTN.
+DTN_APPS = ("gridftp", "globus", "fdt", "xrootd", "hpn-ssh")
+
+
+@dataclass
+class HostSystemProfile:
+    """Kernel/NIC/storage configuration of one end host.
+
+    Attributes
+    ----------
+    tcp_buffer_max:
+        Socket buffer autotuning ceiling — bounds the receive window.
+    mtu:
+        Host interface MTU (9000 for jumbo-frame DTNs).
+    congestion_algorithm:
+        Kernel congestion-control module name ('reno', 'htcp', 'cubic').
+    dedicated:
+        True for purpose-built DTNs; False for general-purpose machines.
+    installed_apps:
+        What runs on the box; audited by the dedicated-systems pattern.
+    app_cpu_ceiling:
+        Rate ceiling from host CPU contention (general-purpose load,
+        underpowered cores); None = NIC-limited only.
+    storage:
+        Storage backend, consulted by the transfer planner.
+    """
+
+    name: str = "host-profile"
+    tcp_buffer_max: DataSize = field(default_factory=lambda: MB(4))
+    mtu: DataSize = field(default_factory=lambda: bytes_(1500))
+    congestion_algorithm: str = "reno"
+    dedicated: bool = False
+    installed_apps: tuple = GENERAL_PURPOSE_APPS
+    app_cpu_ceiling: Optional[DataRate] = None
+    storage: Optional[StorageSystem] = None
+
+    def __post_init__(self) -> None:
+        if self.tcp_buffer_max.bits <= 0:
+            raise ConfigurationError("tcp_buffer_max must be positive")
+        if self.mtu.bytes < 576:
+            raise ConfigurationError("MTU must be at least 576 bytes")
+
+    # -- PathElement protocol ------------------------------------------------------
+    def element_latency(self) -> TimeDelta:
+        return seconds(0)
+
+    def element_capacity(self) -> Optional[DataRate]:
+        return self.app_cpu_ceiling
+
+    def element_loss_probability(self) -> float:
+        return 0.0
+
+    def transform_flow(self, ctx: FlowContext) -> FlowContext:
+        """Set the receive-window ceiling from this host's buffers and
+        clamp the MSS to this host's MTU.
+
+        The window is *set*, not min-ed: the receive window is a property
+        of the receiving host's socket buffers, and path elements are
+        folded in path order, so the destination host (the last element)
+        decides — which is exactly TCP's semantics.  A tuned DTN therefore
+        raises the ceiling above the conservative default, and an untuned
+        host lowers it.
+        """
+        mss_cap = self.mtu.bits - 40 * 8
+        mss = min(ctx.mss.bits, mss_cap)
+        return ctx.with_(
+            max_receive_window=self.tcp_buffer_max,
+            mss=DataSize(max(mss, 64 * 8)),
+        )
+
+    # -- convenience ------------------------------------------------------------------
+    def with_(self, **changes) -> "HostSystemProfile":
+        return replace(self, **changes)
+
+    def runs_general_purpose_apps(self) -> bool:
+        return any(app in GENERAL_PURPOSE_APPS for app in self.installed_apps)
+
+    def describe(self) -> str:
+        kind = "dedicated DTN" if self.dedicated else "general-purpose host"
+        return (
+            f"{self.name}: {kind}, buffers {self.tcp_buffer_max.human()}, "
+            f"MTU {self.mtu.bytes:.0f}B, cc={self.congestion_algorithm}, "
+            f"apps={','.join(self.installed_apps)}"
+        )
+
+
+def untuned_host(name: str = "untuned",
+                 storage: Optional[StorageSystem] = None) -> HostSystemProfile:
+    """A stock general-purpose machine (the campus desktop/server)."""
+    return HostSystemProfile(
+        name=name,
+        tcp_buffer_max=MB(4),
+        mtu=bytes_(1500),
+        congestion_algorithm="reno",
+        dedicated=False,
+        installed_apps=GENERAL_PURPOSE_APPS,
+        app_cpu_ceiling=None,
+        storage=storage,
+    )
+
+
+def tuned_dtn(name: str = "dtn",
+              storage: Optional[StorageSystem] = None,
+              *,
+              buffer_max: DataSize = MB(256)) -> HostSystemProfile:
+    """An ESnet-reference-style DTN: big buffers, jumbo frames, H-TCP,
+    nothing installed but data movers (§3.2)."""
+    return HostSystemProfile(
+        name=name,
+        tcp_buffer_max=buffer_max,
+        mtu=bytes_(9000),
+        congestion_algorithm="htcp",
+        dedicated=True,
+        installed_apps=DTN_APPS,
+        app_cpu_ceiling=None,
+        storage=storage,
+    )
+
+
+def attach_profile(host: Host, profile: HostSystemProfile) -> Host:
+    """Attach a system profile to a topology host (stored in meta and as a
+    transit element so flows inherit the tuning)."""
+    if not isinstance(host, Host):
+        raise ConfigurationError("attach_profile requires a Host node")
+    existing = host.meta.get("host_profile")
+    if existing is not None:
+        host.detach(existing)
+    host.meta["host_profile"] = profile
+    host.attach(profile)
+    return host

@@ -1,0 +1,173 @@
+"""Storage subsystem models.
+
+"The DTN also has access to storage resources, whether it is a local
+high-speed disk subsystem, a connection to a local storage infrastructure,
+such as a storage area network (SAN), or the direct mount of a high-speed
+parallel file system such as Lustre or GPFS" (§3.2).
+
+A transfer's end-to-end rate is the minimum of network throughput, source
+read rate and sink write rate, so these models expose stream-dependent
+read/write rates.  :class:`ParallelFilesystem` also carries the §4.2
+observation about double copies: when DTNs mount the parallel filesystem
+directly, "data sets are immediately available on the supercomputer
+resources without the need for double-copying the data".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..units import DataRate, GBps, MBps
+
+__all__ = [
+    "StorageSystem",
+    "SingleDisk",
+    "RaidArray",
+    "StorageAreaNetwork",
+    "ParallelFilesystem",
+]
+
+
+class StorageSystem(ABC):
+    """Base class: a storage back-end with stream-dependent rates."""
+
+    name: str = "storage"
+    #: Mounted directly on compute resources (no staging copy needed)?
+    shared_with_compute: bool = False
+
+    @abstractmethod
+    def read_rate(self, streams: int = 1) -> DataRate:
+        """Sustained aggregate read rate with ``streams`` concurrent readers."""
+
+    @abstractmethod
+    def write_rate(self, streams: int = 1) -> DataRate:
+        """Sustained aggregate write rate with ``streams`` concurrent writers."""
+
+    @staticmethod
+    def _check_streams(streams: int) -> int:
+        if streams < 1:
+            raise ConfigurationError("streams must be >= 1")
+        return streams
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{type(self).__name__}({self.name!r}, "
+                f"read={self.read_rate().human()}, "
+                f"write={self.write_rate().human()})")
+
+
+@dataclass(repr=False)
+class SingleDisk(StorageSystem):
+    """One spinning disk or SSD.
+
+    Sequential rate degrades with concurrent streams on spinning media
+    (seek thrash); SSDs set ``seek_penalty=0``.
+    """
+
+    name: str = "disk"
+    sequential_rate: DataRate = field(default_factory=lambda: MBps(150))
+    seek_penalty: float = 0.15  # fractional rate loss per extra stream
+    shared_with_compute: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sequential_rate.bps <= 0:
+            raise ConfigurationError("sequential_rate must be positive")
+        if not 0.0 <= self.seek_penalty < 1.0:
+            raise ConfigurationError("seek_penalty must be in [0,1)")
+
+    def _rate(self, streams: int) -> DataRate:
+        streams = self._check_streams(streams)
+        factor = max(0.1, 1.0 - self.seek_penalty * (streams - 1))
+        return DataRate(self.sequential_rate.bps * factor)
+
+    def read_rate(self, streams: int = 1) -> DataRate:
+        return self._rate(streams)
+
+    def write_rate(self, streams: int = 1) -> DataRate:
+        return self._rate(streams)
+
+
+@dataclass(repr=False)
+class RaidArray(StorageSystem):
+    """A local RAID array: near-linear scaling to the controller limit."""
+
+    name: str = "raid"
+    disks: int = 8
+    per_disk_rate: DataRate = field(default_factory=lambda: MBps(150))
+    controller_limit: DataRate = field(default_factory=lambda: GBps(1.2))
+    write_efficiency: float = 0.8  # parity overhead
+    shared_with_compute: bool = False
+
+    def __post_init__(self) -> None:
+        if self.disks < 1:
+            raise ConfigurationError("RAID needs at least one disk")
+        if not 0.0 < self.write_efficiency <= 1.0:
+            raise ConfigurationError("write_efficiency must be in (0,1]")
+
+    def read_rate(self, streams: int = 1) -> DataRate:
+        self._check_streams(streams)
+        raw = self.per_disk_rate.bps * self.disks
+        return DataRate(min(raw, self.controller_limit.bps))
+
+    def write_rate(self, streams: int = 1) -> DataRate:
+        self._check_streams(streams)
+        raw = self.per_disk_rate.bps * self.disks * self.write_efficiency
+        return DataRate(min(raw, self.controller_limit.bps))
+
+
+@dataclass(repr=False)
+class StorageAreaNetwork(StorageSystem):
+    """A SAN connection: rate bounded by the fabric link (FC/iSCSI)."""
+
+    name: str = "san"
+    fabric_rate: DataRate = field(default_factory=lambda: GBps(1.6))
+    array_rate: DataRate = field(default_factory=lambda: GBps(4))
+    shared_with_compute: bool = False
+
+    def read_rate(self, streams: int = 1) -> DataRate:
+        self._check_streams(streams)
+        return DataRate(min(self.fabric_rate.bps, self.array_rate.bps))
+
+    def write_rate(self, streams: int = 1) -> DataRate:
+        return self.read_rate(streams)
+
+
+@dataclass(repr=False)
+class ParallelFilesystem(StorageSystem):
+    """Lustre/GPFS-style parallel filesystem.
+
+    Aggregate bandwidth scales with object storage targets; a single
+    client is bounded by its own network/client stack
+    (``per_client_limit``), and parallel streams on one client approach
+    that limit.  ``shared_with_compute=True`` is the §4.2 design point:
+    data written by the DTN is immediately visible to the supercomputer.
+    """
+
+    name: str = "parallel-fs"
+    ost_count: int = 32
+    per_ost_rate: DataRate = field(default_factory=lambda: MBps(500))
+    per_client_limit: DataRate = field(default_factory=lambda: GBps(2.5))
+    shared_with_compute: bool = True
+
+    def __post_init__(self) -> None:
+        if self.ost_count < 1:
+            raise ConfigurationError("need at least one OST")
+
+    @property
+    def aggregate_rate(self) -> DataRate:
+        return DataRate(self.ost_count * self.per_ost_rate.bps)
+
+    def _client_rate(self, streams: int) -> DataRate:
+        streams = self._check_streams(streams)
+        # One stream reaches ~40% of the client limit (single-threaded
+        # posix I/O); more streams approach the limit harmonically.
+        frac = min(1.0, 0.4 + 0.2 * (streams - 1))
+        rate = self.per_client_limit.bps * frac
+        return DataRate(min(rate, self.aggregate_rate.bps))
+
+    def read_rate(self, streams: int = 1) -> DataRate:
+        return self._client_rate(streams)
+
+    def write_rate(self, streams: int = 1) -> DataRate:
+        return self._client_rate(streams)

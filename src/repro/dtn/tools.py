@@ -1,0 +1,140 @@
+"""Transfer tool models.
+
+§3.2 lists the software that belongs on a DTN — GridFTP and its
+service-oriented front end Globus Online, discipline tools like XRootD,
+and "versions of default toolsets such as SSH/SCP with high-performance
+patches applied" — and §6.3 shows what the wrong tool costs (a legacy FTP
+server trickling at 1-2 MB/s).
+
+Each :class:`TransferTool` captures the properties that decide real
+transfer performance:
+
+* ``streams`` — parallel TCP connections (GridFTP's headline feature);
+* ``internal_window_cap`` — application-level buffer limits that clamp
+  the window below the kernel's (stock OpenSSH's ~1 MB channel buffer is
+  the canonical example; HPN-SSH removes it);
+* ``cipher_rate_cap`` — per-stream CPU ceiling from encryption;
+* ``per_file_overhead`` — control-channel round trips per file (FTP/SCP
+  pay it; pipelined GridFTP mostly doesn't);
+* ``checksum_overhead`` — integrity verification cost (Globus);
+* ``restart_on_failure`` — whether a failed file retries automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+from ..units import DataRate, DataSize, KB, MB, MBps, TimeDelta, seconds
+
+__all__ = ["TransferTool", "TOOL_REGISTRY", "tool_by_name", "register_tool"]
+
+
+@dataclass(frozen=True)
+class TransferTool:
+    """A data-movement application profile."""
+
+    name: str
+    streams: int = 1
+    internal_window_cap: Optional[DataSize] = None
+    cipher_rate_cap: Optional[DataRate] = None
+    per_file_overhead: TimeDelta = field(default_factory=lambda: seconds(0.5))
+    checksum_overhead: float = 0.0
+    restart_on_failure: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.streams < 1:
+            raise ConfigurationError("tool needs at least one stream")
+        if not 0.0 <= self.checksum_overhead < 1.0:
+            raise ConfigurationError("checksum_overhead must be in [0,1)")
+
+    def with_streams(self, streams: int) -> "TransferTool":
+        """Same tool configured for a different parallelism level."""
+        return replace(self, streams=streams)
+
+    def effective_window(self, kernel_window: DataSize) -> DataSize:
+        """Receive window after the tool's internal buffer cap."""
+        if self.internal_window_cap is None:
+            return kernel_window
+        return DataSize(min(kernel_window.bits, self.internal_window_cap.bits))
+
+    def per_stream_rate_cap(self) -> Optional[DataRate]:
+        return self.cipher_rate_cap
+
+
+def _builtin_tools() -> Dict[str, TransferTool]:
+    return {
+        "ftp": TransferTool(
+            name="ftp",
+            streams=1,
+            # Legacy FTP daemons ship fixed socket buffers; no autotuning.
+            internal_window_cap=KB(64),
+            per_file_overhead=seconds(1.0),
+            description="legacy single-stream FTP, fixed 64 KB buffers (§6.3)",
+        ),
+        "scp": TransferTool(
+            name="scp",
+            streams=1,
+            # Stock OpenSSH: ~1 MB channel window + single-core cipher.
+            internal_window_cap=MB(1),
+            cipher_rate_cap=MBps(60),
+            per_file_overhead=seconds(0.8),
+            description="stock OpenSSH scp: static channel buffer + cipher CPU cap",
+        ),
+        "hpn-scp": TransferTool(
+            name="hpn-scp",
+            streams=1,
+            internal_window_cap=None,  # HPN patches remove the static buffer
+            cipher_rate_cap=MBps(400),  # multithreaded AES / NONE cipher option
+            per_file_overhead=seconds(0.8),
+            description="SSH/SCP with HPN patches (§3.2 footnote 9)",
+        ),
+        "gridftp": TransferTool(
+            name="gridftp",
+            streams=4,
+            per_file_overhead=seconds(0.05),  # pipelined control channel
+            description="Globus striped/parallel GridFTP (§3.2)",
+        ),
+        "globus": TransferTool(
+            name="globus",
+            streams=4,
+            per_file_overhead=seconds(0.05),
+            checksum_overhead=0.05,
+            restart_on_failure=True,
+            description="Globus Online: GridFTP + integrity + auto-retry (§6.3)",
+        ),
+        "fdt": TransferTool(
+            name="fdt",
+            streams=4,
+            per_file_overhead=seconds(0.02),  # streams files back-to-back
+            description="Fast Data Transfer (java NIO streaming, §3.2)",
+        ),
+        "xrootd": TransferTool(
+            name="xrootd",
+            streams=2,
+            per_file_overhead=seconds(0.1),
+            description="XRootD data service (HEP discipline tool, §3.2)",
+        ),
+    }
+
+
+TOOL_REGISTRY: Dict[str, TransferTool] = _builtin_tools()
+
+
+def register_tool(tool: TransferTool) -> TransferTool:
+    """Add a custom tool to the registry (overwrites same-name entries)."""
+    TOOL_REGISTRY[tool.name] = tool
+    return tool
+
+
+def tool_by_name(name: str) -> TransferTool:
+    """Look up a registered transfer tool by name."""
+    try:
+        return TOOL_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(TOOL_REGISTRY))
+        raise ConfigurationError(
+            f"unknown transfer tool {name!r}; known tools: {known}"
+        ) from None

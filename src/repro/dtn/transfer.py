@@ -1,0 +1,333 @@
+"""End-to-end transfer planning and execution.
+
+Combines the four factors that decide how long a science data transfer
+takes — the path (network), the hosts (kernel tuning), the tool
+(streams/windows/cipher), and the storage at both ends — into one
+executable plan.  The case-study benches (§6.3 NOAA, §6.4 NERSC/OLCF) are
+built directly on this.
+
+Model: the per-stream TCP behaviour is simulated with the fluid
+:class:`~repro.tcp.connection.TcpConnection` (so loss, RTT and window
+clamps act exactly as in the single-flow experiments); parallel streams
+aggregate additively up to the path capacity (valid when loss, not
+fairness, is the binding constraint — the regime of every case study);
+storage read/write rates and tool overheads then bound the result.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError, TransferError
+from ..netsim.topology import PathProfile, Topology
+from ..tcp.congestion import algorithm_by_name
+from ..tcp.connection import TcpConnection, TransferResult
+from ..units import DataRate, DataSize, TimeDelta, bits, seconds
+from .host import HostSystemProfile
+from .tools import TransferTool, tool_by_name
+
+__all__ = ["Dataset", "TransferPlan", "TransferReport"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A collection of files to move."""
+
+    name: str
+    total_size: DataSize
+    file_count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.total_size.bits <= 0:
+            raise ConfigurationError("dataset must have positive size")
+        if self.file_count < 1:
+            raise ConfigurationError("dataset needs at least one file")
+
+    @property
+    def mean_file_size(self) -> DataSize:
+        return DataSize(self.total_size.bits / self.file_count)
+
+    def describe(self) -> str:
+        return (f"{self.name}: {self.total_size.human()} in "
+                f"{self.file_count} files "
+                f"(mean {self.mean_file_size.human()})")
+
+
+#: Residual per-packet corruption probability that survives the TCP
+#: checksum (the classic Stone & Partridge observation: roughly one bad
+#: segment per 1e7-1e8 escapes detection).  This is why Globus-style
+#: end-to-end checksumming and auto-retry exist.
+CORRUPTION_PER_PACKET = 1e-8
+
+
+@dataclass
+class TransferReport:
+    """Outcome of a planned transfer, with the limiting-factor breakdown."""
+
+    dataset: Dataset
+    tool: TransferTool
+    duration: TimeDelta
+    network_rate: DataRate        # aggregate TCP rate achievable on the path
+    storage_read_rate: DataRate
+    storage_write_rate: DataRate
+    effective_rate: DataRate      # what the transfer actually sustained
+    overhead_time: TimeDelta      # control-channel / per-file costs
+    limiting_factor: str          # 'network' | 'source-storage' | ...
+    per_stream_result: TransferResult = None
+    #: Expected number of files that were corrupted in flight, detected by
+    #: the tool's checksums, and automatically re-sent (0 for tools
+    #: without integrity verification).
+    expected_retried_files: float = 0.0
+    #: Expected number of files delivered *silently corrupted* — the fate
+    #: of integrity failures when the tool neither checksums nor retries.
+    expected_corrupt_files: float = 0.0
+
+    @property
+    def mean_throughput(self) -> DataRate:
+        if self.duration.s <= 0:
+            return DataRate(0)
+        return DataRate(self.dataset.total_size.bits / self.duration.s)
+
+    def summary(self) -> str:
+        return (
+            f"{self.dataset.name} via {self.tool.name} x{self.tool.streams}: "
+            f"{self.dataset.total_size.human()} in {self.duration.human()} "
+            f"= {self.mean_throughput.human()} "
+            f"({self.mean_throughput.MBps:.1f} MB/s), "
+            f"limited by {self.limiting_factor}"
+        )
+
+
+class TransferPlan:
+    """A concrete plan: dataset + tool + endpoints over a topology.
+
+    Parameters
+    ----------
+    topology:
+        Network containing both endpoints.
+    src, dst:
+        Host node names.  If the hosts carry
+        :class:`~repro.dtn.host.HostSystemProfile` objects (via
+        :func:`~repro.dtn.host.attach_profile`), their buffers, MTU,
+        congestion control and storage participate automatically.
+    dataset:
+        What to move.
+    tool:
+        Transfer tool name or instance.
+    policy:
+        Routing-policy kwargs (science vs enterprise path).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        src: str,
+        dst: str,
+        dataset: Dataset,
+        tool,
+        *,
+        policy: Optional[dict] = None,
+    ) -> None:
+        self.topology = topology
+        self.src = src
+        self.dst = dst
+        self.dataset = dataset
+        self.tool = tool_by_name(tool) if isinstance(tool, str) else tool
+        if not isinstance(self.tool, TransferTool):
+            raise ConfigurationError("tool must be a name or TransferTool")
+        self.policy = dict(policy or {})
+
+    # -- profile assembly -------------------------------------------------------
+    def _host_profile(self, node_name: str) -> Optional[HostSystemProfile]:
+        node = self.topology.node(node_name)
+        profile = node.meta.get("host_profile")
+        return profile if isinstance(profile, HostSystemProfile) else None
+
+    def path_profile(self) -> PathProfile:
+        """The network profile with tool-level constraints folded in."""
+        profile = self.topology.profile_between(self.src, self.dst,
+                                                **self.policy)
+        ctx = profile.flow
+        # Tool's internal buffer caps the window below the kernel's.
+        window = self.tool.effective_window(ctx.max_receive_window)
+        changes = {"max_receive_window": window}
+        cap = self.tool.per_stream_rate_cap()
+        if cap is not None:
+            prior = ctx.sender_rate_limit
+            changes["sender_rate_limit"] = (
+                cap if prior is None else DataRate(min(cap.bps, prior.bps))
+            )
+        return replace(profile, flow=ctx.with_(**changes))
+
+    def _congestion_algorithm(self):
+        profile = self._host_profile(self.src)
+        name = profile.congestion_algorithm if profile else "reno"
+        return algorithm_by_name(name)
+
+    # -- execution -----------------------------------------------------------------
+    def execute(self, rng: Optional[np.random.Generator] = None,
+                *, max_rounds: int = 200_000) -> TransferReport:
+        """Run the transfer; returns the report with limiting factors."""
+        profile = self.path_profile()
+        if profile.random_loss > 0 and rng is None:
+            raise TransferError(
+                "path has random loss; execute() requires an rng"
+            )
+        streams = self.tool.streams
+        per_stream_size = DataSize(self.dataset.total_size.bits / streams)
+
+        # Simulate one representative stream moving its share.
+        conn = TcpConnection(profile, algorithm=self._congestion_algorithm(),
+                             rng=rng)
+        stream_result = conn.transfer(per_stream_size, max_rounds=max_rounds)
+        stream_rate = stream_result.mean_throughput
+
+        # Aggregate: additive up to path capacity.
+        network_rate = DataRate(
+            min(stream_rate.bps * streams, profile.capacity.bps)
+        )
+
+        # Storage at both ends.
+        src_prof = self._host_profile(self.src)
+        dst_prof = self._host_profile(self.dst)
+        read_rate = (src_prof.storage.read_rate(streams)
+                     if src_prof and src_prof.storage else DataRate(float("inf")))
+        write_rate = (dst_prof.storage.write_rate(streams)
+                      if dst_prof and dst_prof.storage else DataRate(float("inf")))
+
+        rates = {
+            "network": network_rate.bps,
+            "source-storage": read_rate.bps,
+            "destination-storage": write_rate.bps,
+        }
+        limiting_factor = min(rates, key=rates.get)
+        effective = rates[limiting_factor]
+        if effective <= 0 or math.isnan(effective):
+            raise TransferError("transfer cannot make progress (zero rate)")
+
+        # Integrity verification inflates the bytes moved/processed.
+        payload_bits = self.dataset.total_size.bits * (
+            1.0 + self.tool.checksum_overhead
+        )
+        transfer_time = payload_bits / effective
+        # Per-file control-channel costs, amortized across streams.
+        overhead = (self.dataset.file_count * self.tool.per_file_overhead.s
+                    / streams)
+
+        # Residual corruption: TCP's checksum lets roughly one bad segment
+        # per 1e8 through.  Checksumming tools detect and re-send those
+        # files (costing time); non-checksumming tools deliver them
+        # silently corrupted (costing science).
+        packets_per_file = max(
+            1.0, self.dataset.mean_file_size.bits / profile.flow.mss.bits)
+        p_corrupt = 1.0 - (1.0 - CORRUPTION_PER_PACKET) ** packets_per_file
+        retried = corrupt = 0.0
+        verifies = (self.tool.checksum_overhead > 0
+                    or self.tool.restart_on_failure)
+        if verifies and p_corrupt > 0:
+            retried = self.dataset.file_count * p_corrupt / (1.0 - p_corrupt)
+            transfer_time *= 1.0 + p_corrupt / (1.0 - p_corrupt)
+        else:
+            corrupt = self.dataset.file_count * p_corrupt
+        duration = seconds(transfer_time + overhead)
+
+        return TransferReport(
+            dataset=self.dataset,
+            tool=self.tool,
+            duration=duration,
+            network_rate=network_rate,
+            storage_read_rate=(DataRate(read_rate.bps)
+                               if math.isfinite(read_rate.bps)
+                               else DataRate(0)),
+            storage_write_rate=(DataRate(write_rate.bps)
+                                if math.isfinite(write_rate.bps)
+                                else DataRate(0)),
+            effective_rate=DataRate(effective),
+            overhead_time=seconds(overhead),
+            limiting_factor=limiting_factor,
+            per_stream_result=stream_result,
+            expected_retried_files=retried,
+            expected_corrupt_files=corrupt,
+        )
+
+    def execute_multiflow(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        max_ticks: int = 2_000_000,
+    ) -> TransferReport:
+        """Execute using the full multi-flow simulator instead of the
+        additive-stream composition.
+
+        Runs the tool's parallel streams as genuinely competing TCP flows
+        through :class:`repro.tcp.simulate.MultiFlowSimulation` (so
+        intra-transfer fairness and shared-bottleneck queueing are
+        simulated, not assumed), then applies the same storage/overhead
+        accounting.  Slower but assumption-free; the analytic mode is
+        cross-validated against it in the test suite.
+        """
+        from ..netsim.flow import FlowSpec
+        from ..tcp.simulate import MultiFlowSimulation
+
+        profile = self.path_profile()
+        if profile.random_loss > 0 and rng is None:
+            raise TransferError(
+                "path has random loss; execute_multiflow() requires an rng"
+            )
+        spec = FlowSpec(
+            src=self.src, dst=self.dst, size=self.dataset.total_size,
+            parallel_streams=self.tool.streams,
+            rate_limit=(None if self.tool.per_stream_rate_cap() is None else
+                        DataRate(self.tool.per_stream_rate_cap().bps
+                                 * self.tool.streams)),
+            policy=self.policy, label="transfer",
+        )
+        algo = self._congestion_algorithm()
+        sim = MultiFlowSimulation(self.topology, [spec], rng=rng,
+                                  algorithm=algo)
+        progress = sim.run(max_ticks=max_ticks)["transfer"]
+        if not progress.done:
+            raise TransferError("multiflow transfer did not complete")
+        network_time = progress.finish_time.s
+        network_rate = DataRate(self.dataset.total_size.bits / network_time)
+
+        src_prof = self._host_profile(self.src)
+        dst_prof = self._host_profile(self.dst)
+        streams = self.tool.streams
+        read_rate = (src_prof.storage.read_rate(streams)
+                     if src_prof and src_prof.storage else DataRate(float("inf")))
+        write_rate = (dst_prof.storage.write_rate(streams)
+                      if dst_prof and dst_prof.storage else DataRate(float("inf")))
+        rates = {
+            "network": network_rate.bps,
+            "source-storage": read_rate.bps,
+            "destination-storage": write_rate.bps,
+        }
+        limiting_factor = min(rates, key=rates.get)
+        effective = rates[limiting_factor]
+        payload_bits = self.dataset.total_size.bits * (
+            1.0 + self.tool.checksum_overhead)
+        transfer_time = payload_bits / effective
+        overhead = (self.dataset.file_count * self.tool.per_file_overhead.s
+                    / streams)
+        duration = seconds(transfer_time + overhead)
+        return TransferReport(
+            dataset=self.dataset,
+            tool=self.tool,
+            duration=duration,
+            network_rate=network_rate,
+            storage_read_rate=(DataRate(read_rate.bps)
+                               if math.isfinite(read_rate.bps)
+                               else DataRate(0)),
+            storage_write_rate=(DataRate(write_rate.bps)
+                                if math.isfinite(write_rate.bps)
+                                else DataRate(0)),
+            effective_rate=DataRate(effective),
+            overhead_time=seconds(overhead),
+            limiting_factor=limiting_factor,
+            per_stream_result=None,
+        )

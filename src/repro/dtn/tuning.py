@@ -1,0 +1,139 @@
+"""The DTN tuning guide as executable checks.
+
+§3.2: "Because the design and tuning of a DTN can be time-consuming for
+small research groups, ESnet has a DTN Tuning guide and a Reference DTN
+Implementation guide."  This module encodes the checks that matter for the
+experiments as functions over a :class:`~repro.dtn.host.HostSystemProfile`
+and an intended WAN target (rate x RTT), so a design audit can say *why* a
+host will underperform before any packet is simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..errors import ConfigurationError
+from ..units import DataRate, DataSize, Gbps, TimeDelta, ms
+from .host import HostSystemProfile
+
+__all__ = ["TuningFinding", "TuningCheck", "REQUIRED_CHECKS", "audit_host"]
+
+
+@dataclass(frozen=True)
+class TuningFinding:
+    """One result from the tuning audit."""
+
+    check: str
+    passed: bool
+    detail: str
+    recommendation: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        mark = "PASS" if self.passed else "FAIL"
+        rec = f" -> {self.recommendation}" if not self.passed else ""
+        return f"[{mark}] {self.check}: {self.detail}{rec}"
+
+
+@dataclass(frozen=True)
+class TuningCheck:
+    """A named check with its evaluation function."""
+
+    name: str
+    evaluate: Callable[[HostSystemProfile, DataRate, TimeDelta], TuningFinding]
+
+
+def _check_buffers(profile: HostSystemProfile, rate: DataRate,
+                   rtt: TimeDelta) -> TuningFinding:
+    bdp = rate.bdp(rtt)
+    needed = DataSize(bdp.bits * 2)  # 2x BDP headroom per the guide
+    ok = profile.tcp_buffer_max.bits >= needed.bits
+    return TuningFinding(
+        check="tcp-buffers",
+        passed=ok,
+        detail=(f"buffer ceiling {profile.tcp_buffer_max.human()} vs "
+                f"2xBDP {needed.human()} for {rate.human()} at {rtt.human()}"),
+        recommendation=(f"raise net.ipv4.tcp_rmem/tcp_wmem max to at least "
+                        f"{needed.human()}"),
+    )
+
+
+def _check_mtu(profile: HostSystemProfile, rate: DataRate,
+               rtt: TimeDelta) -> TuningFinding:
+    ok = profile.mtu.bytes >= 9000
+    return TuningFinding(
+        check="jumbo-frames",
+        passed=ok,
+        detail=f"MTU {profile.mtu.bytes:.0f} B",
+        recommendation="enable 9000-byte jumbo frames end-to-end",
+    )
+
+
+def _check_congestion(profile: HostSystemProfile, rate: DataRate,
+                      rtt: TimeDelta) -> TuningFinding:
+    ok = profile.congestion_algorithm in ("htcp", "cubic")
+    return TuningFinding(
+        check="congestion-control",
+        passed=ok,
+        detail=f"kernel uses {profile.congestion_algorithm}",
+        recommendation="use htcp or cubic for high-BDP paths",
+    )
+
+
+def _check_dedicated(profile: HostSystemProfile, rate: DataRate,
+                     rtt: TimeDelta) -> TuningFinding:
+    ok = profile.dedicated and not profile.runs_general_purpose_apps()
+    return TuningFinding(
+        check="dedicated-system",
+        passed=ok,
+        detail=("dedicated, data-transfer apps only" if ok else
+                f"general-purpose apps installed: "
+                f"{', '.join(a for a in profile.installed_apps)}"),
+        recommendation=("dedicate the host to data transfer; remove "
+                        "user-agent applications (§3.2)"),
+    )
+
+
+def _check_storage(profile: HostSystemProfile, rate: DataRate,
+                   rtt: TimeDelta) -> TuningFinding:
+    if profile.storage is None:
+        return TuningFinding(
+            check="storage-rate",
+            passed=False,
+            detail="no storage subsystem attached",
+            recommendation="attach storage able to keep up with the WAN rate",
+        )
+    read = profile.storage.read_rate(4)
+    ok = read.bps >= rate.bps
+    return TuningFinding(
+        check="storage-rate",
+        passed=ok,
+        detail=(f"storage read {read.human()} vs WAN target {rate.human()}"),
+        recommendation="provision storage bandwidth to match the network",
+    )
+
+
+REQUIRED_CHECKS: List[TuningCheck] = [
+    TuningCheck("tcp-buffers", _check_buffers),
+    TuningCheck("jumbo-frames", _check_mtu),
+    TuningCheck("congestion-control", _check_congestion),
+    TuningCheck("dedicated-system", _check_dedicated),
+    TuningCheck("storage-rate", _check_storage),
+]
+
+
+def audit_host(
+    profile: HostSystemProfile,
+    *,
+    target_rate: DataRate = Gbps(10),
+    target_rtt: TimeDelta = ms(50),
+    checks: Optional[List[TuningCheck]] = None,
+) -> List[TuningFinding]:
+    """Run the tuning-guide checks against an intended WAN working point.
+
+    Returns all findings (pass and fail) in guide order.
+    """
+    if target_rate.bps <= 0 or target_rtt.s <= 0:
+        raise ConfigurationError("target rate and RTT must be positive")
+    selected = checks if checks is not None else REQUIRED_CHECKS
+    return [c.evaluate(profile, target_rate, target_rtt) for c in selected]

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the Science DMZ reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so callers
+can catch library failures without catching unrelated bugs.  Subsystems define
+narrower classes here rather than locally so cross-module code (the audit
+engine, the benchmark harness) can reason about failure categories without
+importing every subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class UnitError(ReproError, ValueError):
+    """A quantity was constructed or combined with incompatible units."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A component was configured with invalid or inconsistent parameters."""
+
+
+class TopologyError(ReproError):
+    """The network topology is malformed for the requested operation."""
+
+
+class RoutingError(TopologyError):
+    """No usable route exists between the requested endpoints."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class CapacityError(ReproError):
+    """A reservation or admission request exceeds available capacity."""
+
+
+class SecurityPolicyError(ReproError):
+    """Traffic was rejected by a security policy (ACL, firewall rule, IDS)."""
+
+
+class TransferError(ReproError):
+    """A data transfer failed (tool error, storage error, path down)."""
+
+
+class MeasurementError(ReproError):
+    """A perfSONAR measurement could not be scheduled or executed."""
+
+
+class AuditError(ReproError):
+    """Raised when a strict design audit fails."""

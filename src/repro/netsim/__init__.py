@@ -1,0 +1,50 @@
+"""Network simulation substrate.
+
+This package provides the deterministic simulation machinery every other
+subsystem builds on:
+
+* :mod:`repro.netsim.engine` — discrete-event loop with named, seedable
+  random streams.
+* :mod:`repro.netsim.node` / :mod:`repro.netsim.link` — the vertices and
+  edges of a topology, plus the :class:`~repro.netsim.node.PathElement`
+  protocol that middleboxes (firewalls, faulty line cards, IDS taps)
+  implement to affect traffic in transit.
+* :mod:`repro.netsim.topology` — the topology graph, tag-based policy
+  routing (how the "location" pattern is expressed), and end-to-end
+  :class:`~repro.netsim.topology.PathProfile` computation.
+* :mod:`repro.netsim.buffers` — finite queue models used by switches,
+  routers and firewalls.
+* :mod:`repro.netsim.packetsim` — packet-level queueing simulation for the
+  device studies where per-packet burst behaviour matters (fan-in, firewall
+  input buffers).
+* :mod:`repro.netsim.flow` — flow descriptors tying endpoints, paths and
+  transport parameters together.
+"""
+
+from .engine import Simulator, Event
+from .link import Link
+from .node import Node, Host, Router, Switch, PathElement, FlowContext
+from .topology import Topology, Path, PathProfile
+from .buffers import DropTailQueue, BufferStats
+from .flow import FlowSpec
+from .serialize import topology_to_dict, topology_from_dict
+
+__all__ = [
+    "topology_to_dict",
+    "topology_from_dict",
+    "Simulator",
+    "Event",
+    "Link",
+    "Node",
+    "Host",
+    "Router",
+    "Switch",
+    "PathElement",
+    "FlowContext",
+    "Topology",
+    "Path",
+    "PathProfile",
+    "DropTailQueue",
+    "BufferStats",
+    "FlowSpec",
+]

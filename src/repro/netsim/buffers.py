@@ -1,0 +1,168 @@
+"""Finite queue models.
+
+The paper's two central device pathologies — firewall input-buffer overflow
+(§5) and switch fan-in (§5, §6.1) — are both "burst arrives faster than it
+can drain and the buffer is too small" problems.  :class:`DropTailQueue` is
+the shared primitive: a byte-counted FIFO with a service rate, supporting
+both event-driven use (from :mod:`repro.netsim.packetsim`) and closed-form
+burst analysis (:meth:`DropTailQueue.burst_loss_fraction`), which the fluid
+TCP model uses to estimate loss without running packet events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..units import DataRate, DataSize, TimeDelta, bits, seconds
+
+__all__ = ["BufferStats", "DropTailQueue"]
+
+
+@dataclass
+class BufferStats:
+    """Counters accumulated by a queue over its lifetime."""
+
+    enqueued_packets: int = 0
+    enqueued_bits: float = 0.0
+    dropped_packets: int = 0
+    dropped_bits: float = 0.0
+    max_occupancy_bits: float = 0.0
+
+    @property
+    def offered_packets(self) -> int:
+        return self.enqueued_packets + self.dropped_packets
+
+    @property
+    def drop_fraction(self) -> float:
+        """Fraction of offered packets dropped (0 if nothing offered)."""
+        total = self.offered_packets
+        return self.dropped_packets / total if total else 0.0
+
+    def reset(self) -> None:
+        self.enqueued_packets = 0
+        self.enqueued_bits = 0.0
+        self.dropped_packets = 0
+        self.dropped_bits = 0.0
+        self.max_occupancy_bits = 0.0
+
+
+@dataclass
+class DropTailQueue:
+    """A byte-counted drop-tail FIFO drained at a fixed service rate.
+
+    Parameters
+    ----------
+    capacity:
+        Buffer depth.  Inexpensive LAN switches have shallow buffers
+        (tens-hundreds of KB per port); Science DMZ-grade routers have
+        deep buffers (tens-hundreds of MB).
+    service_rate:
+        Drain rate — the egress line rate (or the firewall's internal
+        processor rate, which may be *slower* than its interfaces).
+    """
+
+    capacity: DataSize
+    service_rate: DataRate
+    occupancy_bits: float = 0.0
+    last_drain_time: float = 0.0
+    stats: BufferStats = field(default_factory=BufferStats)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.capacity, DataSize):
+            raise ConfigurationError("DropTailQueue.capacity must be a DataSize")
+        if not isinstance(self.service_rate, DataRate) or self.service_rate.bps <= 0:
+            raise ConfigurationError(
+                "DropTailQueue.service_rate must be a positive DataRate"
+            )
+
+    # -- event-driven interface -------------------------------------------------
+    def drain_to(self, now: float) -> None:
+        """Advance the drain clock to simulation time ``now``."""
+        if now < self.last_drain_time:
+            raise ConfigurationError(
+                f"queue drain time went backwards ({now} < {self.last_drain_time})"
+            )
+        elapsed = now - self.last_drain_time
+        self.occupancy_bits = max(
+            0.0, self.occupancy_bits - elapsed * self.service_rate.bps
+        )
+        self.last_drain_time = now
+
+    def offer(self, size: DataSize, now: float) -> bool:
+        """Offer a packet at time ``now``.  Returns True if enqueued."""
+        self.drain_to(now)
+        if self.occupancy_bits + size.bits > self.capacity.bits:
+            self.stats.dropped_packets += 1
+            self.stats.dropped_bits += size.bits
+            return False
+        self.occupancy_bits += size.bits
+        self.stats.enqueued_packets += 1
+        self.stats.enqueued_bits += size.bits
+        self.stats.max_occupancy_bits = max(
+            self.stats.max_occupancy_bits, self.occupancy_bits
+        )
+        return True
+
+    def queueing_delay(self) -> TimeDelta:
+        """Time for the current backlog to drain."""
+        return seconds(self.occupancy_bits / self.service_rate.bps)
+
+    @property
+    def occupancy(self) -> DataSize:
+        return bits(self.occupancy_bits)
+
+    def reset(self) -> None:
+        self.occupancy_bits = 0.0
+        self.last_drain_time = 0.0
+        self.stats.reset()
+
+    # -- closed-form burst analysis ----------------------------------------------
+    def burst_loss_fraction(
+        self,
+        burst_size: DataSize,
+        arrival_rate: DataRate,
+        *,
+        initial_occupancy: Optional[DataSize] = None,
+    ) -> float:
+        """Fraction of a burst lost when it arrives faster than the drain rate.
+
+        Models the §5 scenario: a TCP sender emits ``burst_size`` at
+        ``arrival_rate`` (its NIC line rate) into a queue draining at
+        ``service_rate``.  While the burst arrives, the queue grows at
+        ``arrival_rate - service_rate``; once it hits capacity every
+        excess bit is dropped.
+
+        Returns the lost fraction in [0, 1).  Zero if the burst fits or the
+        arrival rate does not exceed the drain rate.
+        """
+        if arrival_rate.bps <= 0:
+            raise ConfigurationError("arrival_rate must be positive")
+        start = (initial_occupancy.bits if initial_occupancy is not None else 0.0)
+        if start > self.capacity.bits:
+            raise ConfigurationError("initial occupancy exceeds queue capacity")
+        growth = arrival_rate.bps - self.service_rate.bps
+        if growth <= 0:
+            return 0.0  # queue drains at least as fast as the burst arrives
+        headroom = self.capacity.bits - start
+        # Time until the buffer fills, measured in burst-arrival time.
+        t_fill = headroom / growth
+        t_burst = burst_size.bits / arrival_rate.bps
+        if t_fill >= t_burst:
+            return 0.0
+        # After t_fill, arrivals exceed service and the excess is dropped.
+        lost_bits = (t_burst - t_fill) * growth
+        return min(1.0, lost_bits / burst_size.bits)
+
+    def sustainable_burst(self, arrival_rate: DataRate) -> DataSize:
+        """Largest burst at ``arrival_rate`` absorbed without loss (empty queue)."""
+        growth = arrival_rate.bps - self.service_rate.bps
+        if growth <= 0:
+            return bits(float("inf"))
+        t_fill = self.capacity.bits / growth
+        return bits(t_fill * arrival_rate.bps)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"DropTailQueue(capacity={self.capacity.human()}, "
+                f"service={self.service_rate.human()})")

@@ -1,0 +1,121 @@
+"""Network links.
+
+A :class:`Link` is an edge in the topology and implements the
+:class:`~repro.netsim.node.PathElement` protocol: it contributes propagation
+delay, a capacity ceiling, and a per-packet random-loss probability derived
+from either an explicit loss rate (e.g. a failing component on the span) or
+a bit-error rate (dirty optics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..units import DataRate, DataSize, TimeDelta, bytes_, seconds
+
+__all__ = ["Link", "ETHERNET_MTU", "JUMBO_MTU"]
+
+#: Standard Ethernet MTU (bytes of L3 payload).
+ETHERNET_MTU = bytes_(1500)
+#: Jumbo-frame MTU used throughout the paper's measurements ("9KByte MTU").
+JUMBO_MTU = bytes_(9000)
+
+
+@dataclass
+class Link:
+    """A bidirectional point-to-point link.
+
+    Parameters
+    ----------
+    rate:
+        Line rate (applies to each direction independently).
+    delay:
+        One-way propagation delay.
+    mtu:
+        Maximum transmission unit.  The smallest MTU along a path bounds the
+        TCP maximum segment size.
+    loss_probability:
+        Independent per-packet loss probability on this span (use for
+        modelling failing components in the path); combined with
+        ``bit_error_rate`` if both are set.
+    bit_error_rate:
+        Per-bit error probability (dirty optics).  Converted to per-packet
+        loss using the MTU-sized packet assumption.
+    tags:
+        Policy labels used by routing constraints (e.g. ``{'science'}``).
+    """
+
+    rate: DataRate
+    delay: TimeDelta
+    mtu: DataSize = ETHERNET_MTU
+    loss_probability: float = 0.0
+    bit_error_rate: float = 0.0
+    tags: frozenset = frozenset()
+    name: Optional[str] = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.rate, DataRate):
+            raise ConfigurationError("Link.rate must be a DataRate")
+        if self.rate.bps <= 0:
+            raise ConfigurationError("Link.rate must be positive")
+        if not isinstance(self.delay, TimeDelta):
+            raise ConfigurationError("Link.delay must be a TimeDelta")
+        if not isinstance(self.mtu, DataSize) or self.mtu.bytes < 64:
+            raise ConfigurationError("Link.mtu must be a DataSize >= 64 bytes")
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise ConfigurationError(
+                f"Link.loss_probability must be in [0,1], got {self.loss_probability}"
+            )
+        if not 0.0 <= self.bit_error_rate <= 1.0:
+            raise ConfigurationError(
+                f"Link.bit_error_rate must be in [0,1], got {self.bit_error_rate}"
+            )
+        self.tags = frozenset(self.tags)
+
+    # -- PathElement protocol -------------------------------------------------
+    def element_latency(self) -> TimeDelta:
+        return self.delay
+
+    def element_capacity(self) -> Optional[DataRate]:
+        return self.rate
+
+    def element_loss_probability(self) -> float:
+        """Combined random loss: explicit span loss plus BER-induced loss."""
+        p_ber = 1.0 - (1.0 - self.bit_error_rate) ** self.mtu.bits
+        return 1.0 - (1.0 - self.loss_probability) * (1.0 - p_ber)
+
+    def transform_flow(self, ctx):
+        return ctx
+
+    # -- helpers ---------------------------------------------------------------
+    def serialization_delay(self, size: DataSize) -> TimeDelta:
+        """Time to clock ``size`` onto the wire at this link's rate."""
+        return seconds(size.bits / self.rate.bps)
+
+    def has_tag(self, tag: str) -> bool:
+        return tag in self.tags
+
+    def degrade(self, *, loss_probability: Optional[float] = None,
+                bit_error_rate: Optional[float] = None) -> None:
+        """Inject a soft failure on this span (in place)."""
+        if loss_probability is not None:
+            if not 0.0 <= loss_probability <= 1.0:
+                raise ConfigurationError("loss_probability must be in [0,1]")
+            self.loss_probability = loss_probability
+        if bit_error_rate is not None:
+            if not 0.0 <= bit_error_rate <= 1.0:
+                raise ConfigurationError("bit_error_rate must be in [0,1]")
+            self.bit_error_rate = bit_error_rate
+
+    def repair(self) -> None:
+        """Clear injected span failures."""
+        self.loss_probability = 0.0
+        self.bit_error_rate = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return (f"Link({self.rate.human()}, {self.delay.human()}"
+                f", mtu={self.mtu.bytes:.0f}B{label})")

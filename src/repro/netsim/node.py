@@ -1,0 +1,238 @@
+"""Nodes of the simulated network and the transit-behaviour protocol.
+
+A :class:`Node` is a named vertex in a :class:`~repro.netsim.topology.Topology`.
+What a node *does to traffic passing through it* is expressed by the
+:class:`PathElement` protocol.  Links implement the same protocol, so an
+end-to-end path profile is computed by folding a uniform sequence of
+elements (host NIC, switch, firewall, link, router, ...), each contributing
+latency, a capacity constraint, a random per-packet loss probability, and an
+optional transformation of the flow's TCP parameters.
+
+The flow-transformation hook is how middlebox pathologies are modelled: the
+Penn State firewall (paper §6.2) is a node whose element rewrites the flow
+context to disable TCP window scaling, clamping the receive window at 64 KB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Protocol, runtime_checkable
+
+from ..errors import ConfigurationError
+from ..units import DataRate, DataSize, KB, TimeDelta, seconds
+
+__all__ = [
+    "FlowContext",
+    "PathElement",
+    "Node",
+    "Host",
+    "Router",
+    "Switch",
+]
+
+
+#: Default (pre-RFC1323) maximum TCP receive window: 64 KB.
+DEFAULT_UNSCALED_WINDOW = KB(64)
+
+
+@dataclass(frozen=True)
+class FlowContext:
+    """Transport-level parameters of a flow as seen along its path.
+
+    Middleboxes may return a modified copy from
+    :meth:`PathElement.transform_flow`; the final context after folding the
+    whole path is what the TCP simulation uses.
+
+    Attributes
+    ----------
+    mss:
+        Maximum segment size (payload bytes per packet), bounded by the
+        path MTU minus header overhead.
+    window_scaling:
+        Whether RFC 1323 window scaling survives end-to-end.  If any element
+        strips it (e.g. a firewall doing TCP sequence checking), the
+        receive window is clamped to 64 KB regardless of socket buffers.
+    max_receive_window:
+        The advertised receive-window ceiling from the receiving host's
+        socket buffer configuration.
+    sender_rate_limit:
+        Rate cap imposed by the sending application/host (None = NIC rate).
+    """
+
+    mss: DataSize
+    window_scaling: bool = True
+    max_receive_window: DataSize = KB(16 * 1024)  # 16 MB autotuning ceiling
+    sender_rate_limit: Optional[DataRate] = None
+
+    def effective_receive_window(self) -> DataSize:
+        """Receive window after applying the window-scaling clamp."""
+        if self.window_scaling:
+            return self.max_receive_window
+        return min(self.max_receive_window, DEFAULT_UNSCALED_WINDOW)
+
+    def with_(self, **changes) -> "FlowContext":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@runtime_checkable
+class PathElement(Protocol):
+    """Anything on a path that affects traffic in transit.
+
+    Implementations must be cheap, side-effect free and deterministic:
+    the topology folds them every time a path profile is computed.
+    """
+
+    def element_latency(self) -> TimeDelta:
+        """One-way delay contributed by this element."""
+        ...
+
+    def element_capacity(self) -> Optional[DataRate]:
+        """Throughput ceiling imposed by this element (None = unconstrained)."""
+        ...
+
+    def element_loss_probability(self) -> float:
+        """Independent per-packet random-loss probability in [0, 1]."""
+        ...
+
+    def transform_flow(self, ctx: FlowContext) -> FlowContext:
+        """Rewrite transport parameters for flows traversing this element."""
+        ...
+
+    # Optional extension (looked up with getattr, absent = None):
+    #
+    # def element_buffer(self) -> Optional[DataSize]:
+    #     """Queue depth available where this element constrains capacity.
+    #     Shallow-buffered devices (cheap switches, firewall input stages)
+    #     advertise it so the TCP model can bound the bottleneck queue."""
+
+
+class NeutralElement:
+    """Mixin providing the do-nothing PathElement behaviour."""
+
+    def element_latency(self) -> TimeDelta:
+        return seconds(0)
+
+    def element_capacity(self) -> Optional[DataRate]:
+        return None
+
+    def element_loss_probability(self) -> float:
+        return 0.0
+
+    def transform_flow(self, ctx: FlowContext) -> FlowContext:
+        return ctx
+
+
+@dataclass
+class Node(NeutralElement):
+    """A vertex in the topology.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within a topology.
+    kind:
+        Free-form role label ('host', 'router', 'switch', 'firewall', ...);
+        the audit engine keys off this.
+    tags:
+        Policy labels (e.g. ``{'science-dmz'}``, ``{'enterprise'}``) used by
+        routing constraints and the design audit.
+    elements:
+        Additional transit behaviours attached to this node (fault
+        injectors, ACL engines, inspection taps).  They are folded into the
+        path profile after the node's own element behaviour.
+    """
+
+    name: str
+    kind: str = "node"
+    tags: frozenset = frozenset()
+    elements: List[PathElement] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigurationError("Node requires a non-empty string name")
+        self.tags = frozenset(self.tags)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.kind))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Node)
+            and other.name == self.name
+            and other.kind == self.kind
+        )
+
+    def attach(self, element: PathElement) -> "Node":
+        """Attach a transit behaviour (returns self for chaining)."""
+        if not isinstance(element, PathElement):
+            raise ConfigurationError(
+                f"{element!r} does not implement the PathElement protocol"
+            )
+        self.elements.append(element)
+        return self
+
+    def detach(self, element: PathElement) -> "Node":
+        """Remove a previously attached behaviour."""
+        try:
+            self.elements.remove(element)
+        except ValueError:
+            raise ConfigurationError(
+                f"{element!r} is not attached to node {self.name!r}"
+            ) from None
+        return self
+
+    def transit_elements(self) -> Iterable[PathElement]:
+        """All behaviours applied to traffic transiting this node, in order."""
+        yield self
+        yield from self.elements
+
+    def has_tag(self, tag: str) -> bool:
+        return tag in self.tags
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r}, kind={self.kind!r})"
+
+
+@dataclass(eq=False)
+class Host(Node):
+    """An end host (server, workstation, DTN).
+
+    ``nic_rate`` bounds what the host can send/receive; the richer host
+    model (kernel tuning, storage) lives in :mod:`repro.dtn.host` and is
+    attached via :attr:`Node.meta` under the key ``'host_profile'``.
+    """
+
+    kind: str = "host"
+    nic_rate: Optional[DataRate] = None
+
+    def element_capacity(self) -> Optional[DataRate]:
+        return self.nic_rate
+
+
+@dataclass(eq=False)
+class Router(Node):
+    """A router: forwards at line rate, may carry ACLs/fault elements."""
+
+    kind: str = "router"
+    forwarding_latency: TimeDelta = seconds(50e-6)
+
+    def element_latency(self) -> TimeDelta:
+        return self.forwarding_latency
+
+
+@dataclass(eq=False)
+class Switch(Node):
+    """A simple switch vertex.
+
+    The buffer/fabric behaviour that matters for fan-in studies is
+    modelled by :class:`repro.devices.switchfab.SwitchFabric`, attached as
+    an element; the base vertex only adds forwarding latency.
+    """
+
+    kind: str = "switch"
+    forwarding_latency: TimeDelta = seconds(10e-6)
+
+    def element_latency(self) -> TimeDelta:
+        return self.forwarding_latency

@@ -1,0 +1,78 @@
+"""Reusable routing policies.
+
+Policy routing is how the Science DMZ *location pattern* is expressed in
+this library: the same topology serves both science and enterprise traffic,
+and the difference between "data trickles through the firewall" and "data
+flies through the DMZ" is purely which policy selects the path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "RoutingPolicy",
+    "SCIENCE_POLICY",
+    "ENTERPRISE_POLICY",
+    "ANY_PATH",
+]
+
+
+@dataclass(frozen=True)
+class RoutingPolicy:
+    """A bundle of path-selection constraints.
+
+    Converts to the keyword arguments accepted by
+    :meth:`repro.netsim.topology.Topology.path` via :meth:`kwargs`.
+    """
+
+    name: str
+    require_link_tags: Tuple[str, ...] = ()
+    forbid_link_tags: Tuple[str, ...] = ()
+    forbid_node_tags: Tuple[str, ...] = ()
+    forbid_node_kinds: Tuple[str, ...] = ()
+
+    def kwargs(self) -> dict:
+        return {
+            "require_link_tags": self.require_link_tags,
+            "forbid_link_tags": self.forbid_link_tags,
+            "forbid_node_tags": self.forbid_node_tags,
+            "forbid_node_kinds": self.forbid_node_kinds,
+        }
+
+    def merged(self, other: "RoutingPolicy", name: str = "") -> "RoutingPolicy":
+        """Union of two policies' constraints."""
+        return RoutingPolicy(
+            name=name or f"{self.name}+{other.name}",
+            require_link_tags=tuple(
+                dict.fromkeys(self.require_link_tags + other.require_link_tags)
+            ),
+            forbid_link_tags=tuple(
+                dict.fromkeys(self.forbid_link_tags + other.forbid_link_tags)
+            ),
+            forbid_node_tags=tuple(
+                dict.fromkeys(self.forbid_node_tags + other.forbid_node_tags)
+            ),
+            forbid_node_kinds=tuple(
+                dict.fromkeys(self.forbid_node_kinds + other.forbid_node_kinds)
+            ),
+        )
+
+
+#: Science data must never traverse a firewall appliance; it rides links
+#: that are part of the science fabric when they exist.
+SCIENCE_POLICY = RoutingPolicy(
+    name="science",
+    forbid_node_kinds=("firewall",),
+)
+
+#: Enterprise/business traffic must stay behind the perimeter firewall —
+#: it is forbidden from using the unprotected science fabric.
+ENTERPRISE_POLICY = RoutingPolicy(
+    name="enterprise",
+    forbid_link_tags=("science",),
+)
+
+#: No constraints: whatever the shortest path is.
+ANY_PATH = RoutingPolicy(name="any")

@@ -1,0 +1,209 @@
+"""Topology serialization: JSON-compatible round-trip.
+
+Downstream users describe their campus once and version it; the CLI and
+tests rebuild it.  The format covers the built-in node kinds (host,
+router, switch, firewall), link attributes, host system profiles and
+storage — enough to express every design in :mod:`repro.core.designs`.
+
+Attached *stateful* elements (fault injectors, ACL engines with live
+rule tables, switch fabrics) are deliberately not serialized: they are
+experiment configuration, not topology.  The audit-relevant bits that
+ARE topology (firewall settings, host profiles, tags) round-trip
+faithfully; ``to_dict -> from_dict`` then ``to_dict`` again is stable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ConfigurationError, TopologyError
+from ..units import DataRate, DataSize, TimeDelta
+from .link import Link
+from .node import Host, Node, Router, Switch
+from .topology import Topology
+
+__all__ = ["topology_to_dict", "topology_from_dict"]
+
+FORMAT_VERSION = 1
+
+
+def _rate(value: Optional[DataRate]) -> Optional[float]:
+    return None if value is None else value.bps
+
+
+def _node_to_dict(node: Node) -> dict:
+    data: dict = {
+        "name": node.name,
+        "kind": node.kind,
+        "tags": sorted(node.tags),
+    }
+    if isinstance(node, Host):
+        data["nic_rate_bps"] = _rate(node.nic_rate)
+        profile = node.meta.get("host_profile")
+        if profile is not None:
+            data["host_profile"] = _profile_to_dict(profile)
+    if node.kind == "firewall":
+        data["firewall"] = {
+            "processors": node.processors,
+            "processor_rate_bps": node.processor_rate.bps,
+            "input_buffer_bits": node.input_buffer.bits,
+            "sequence_checking": node.sequence_checking,
+            "inspection_latency_s": node.inspection_latency.s,
+        }
+    return data
+
+
+def _profile_to_dict(profile) -> dict:
+    from ..dtn.host import HostSystemProfile
+    if not isinstance(profile, HostSystemProfile):
+        raise ConfigurationError(
+            f"cannot serialize host profile of type {type(profile).__name__}"
+        )
+    data = {
+        "name": profile.name,
+        "tcp_buffer_max_bits": profile.tcp_buffer_max.bits,
+        "mtu_bits": profile.mtu.bits,
+        "congestion_algorithm": profile.congestion_algorithm,
+        "dedicated": profile.dedicated,
+        "installed_apps": list(profile.installed_apps),
+    }
+    if profile.storage is not None:
+        data["storage"] = {
+            "type": type(profile.storage).__name__,
+            "name": profile.storage.name,
+        }
+    return data
+
+
+def _link_to_dict(a: str, b: str, link: Link) -> dict:
+    return {
+        "a": a,
+        "b": b,
+        "rate_bps": link.rate.bps,
+        "delay_s": link.delay.s,
+        "mtu_bits": link.mtu.bits,
+        "loss_probability": link.loss_probability,
+        "bit_error_rate": link.bit_error_rate,
+        "tags": sorted(link.tags),
+        "name": link.name,
+    }
+
+
+def topology_to_dict(topology: Topology) -> dict:
+    """Serialize a topology to a JSON-compatible dict."""
+    nodes = [_node_to_dict(n) for n in
+             sorted(topology.nodes(), key=lambda n: n.name)]
+    links = []
+    seen = set()
+    for node in sorted(topology.nodes(), key=lambda n: n.name):
+        for other in sorted(topology.nodes(), key=lambda n: n.name):
+            key = tuple(sorted((node.name, other.name)))
+            if node.name == other.name or key in seen:
+                continue
+            try:
+                link = topology.link_between(node.name, other.name)
+            except TopologyError:
+                continue
+            seen.add(key)
+            links.append(_link_to_dict(key[0], key[1], link))
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": topology.name,
+        "nodes": nodes,
+        "links": links,
+    }
+
+
+_STORAGE_FACTORIES = {
+    "SingleDisk": lambda name: _mk_storage("SingleDisk", name),
+    "RaidArray": lambda name: _mk_storage("RaidArray", name),
+    "StorageAreaNetwork": lambda name: _mk_storage("StorageAreaNetwork", name),
+    "ParallelFilesystem": lambda name: _mk_storage("ParallelFilesystem", name),
+}
+
+
+def _mk_storage(kind: str, name: str):
+    from ..dtn import storage as storage_mod
+    cls = getattr(storage_mod, kind)
+    return cls(name=name)
+
+
+def _profile_from_dict(data: dict):
+    from ..dtn.host import HostSystemProfile
+    storage = None
+    if "storage" in data:
+        s = data["storage"]
+        factory = _STORAGE_FACTORIES.get(s["type"])
+        if factory is None:
+            raise ConfigurationError(
+                f"unknown storage type {s['type']!r} in serialized profile"
+            )
+        storage = factory(s["name"])
+    return HostSystemProfile(
+        name=data["name"],
+        tcp_buffer_max=DataSize(data["tcp_buffer_max_bits"]),
+        mtu=DataSize(data["mtu_bits"]),
+        congestion_algorithm=data["congestion_algorithm"],
+        dedicated=data["dedicated"],
+        installed_apps=tuple(data["installed_apps"]),
+        storage=storage,
+    )
+
+
+def _node_from_dict(data: dict) -> Node:
+    kind = data["kind"]
+    tags = frozenset(data.get("tags", ()))
+    name = data["name"]
+    if kind == "host":
+        nic = data.get("nic_rate_bps")
+        host = Host(name=name, tags=tags,
+                    nic_rate=None if nic is None else DataRate(nic))
+        if "host_profile" in data:
+            from ..dtn.host import attach_profile
+            attach_profile(host, _profile_from_dict(data["host_profile"]))
+        return host
+    if kind == "router":
+        return Router(name=name, tags=tags)
+    if kind == "switch":
+        return Switch(name=name, tags=tags)
+    if kind == "firewall":
+        from ..devices.firewall import Firewall
+        fw_data = data.get("firewall", {})
+        fw = Firewall(
+            name=name,
+            tags=tags,
+            processors=fw_data.get("processors", 16),
+            processor_rate=DataRate(fw_data.get("processor_rate_bps", 650e6)),
+            input_buffer=DataSize(fw_data.get("input_buffer_bits",
+                                              512 * 1024 * 8)),
+            sequence_checking=fw_data.get("sequence_checking", False),
+            inspection_latency=TimeDelta(
+                fw_data.get("inspection_latency_s", 300e-6)),
+        )
+        fw.policy.allow()
+        return fw
+    raise ConfigurationError(f"cannot deserialize node kind {kind!r}")
+
+
+def topology_from_dict(data: dict) -> Topology:
+    """Rebuild a topology from :func:`topology_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported topology format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    topo = Topology(data["name"])
+    for node_data in data["nodes"]:
+        topo.add_node(_node_from_dict(node_data))
+    for link_data in data["links"]:
+        topo.connect(link_data["a"], link_data["b"], Link(
+            rate=DataRate(link_data["rate_bps"]),
+            delay=TimeDelta(link_data["delay_s"]),
+            mtu=DataSize(link_data["mtu_bits"]),
+            loss_probability=link_data.get("loss_probability", 0.0),
+            bit_error_rate=link_data.get("bit_error_rate", 0.0),
+            tags=frozenset(link_data.get("tags", ())),
+            name=link_data.get("name"),
+        ))
+    return topo

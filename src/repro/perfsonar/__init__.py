@@ -1,0 +1,55 @@
+"""perfSONAR-style active measurement substrate.
+
+§3.3: "Performance monitoring is critical to the discovery and elimination
+of so-called 'soft failures'".  This package reproduces the toolkit's
+behaviour against the simulated network:
+
+* :mod:`repro.perfsonar.owamp` — one-way active latency/loss probing
+  (what actually caught the §2 failing line card).
+* :mod:`repro.perfsonar.bwctl` — scheduled throughput tests, run as real
+  simulated TCP flows.
+* :mod:`repro.perfsonar.archive` — the measurement archive: time-series
+  storage with windowed statistics.
+* :mod:`repro.perfsonar.mesh` — full-mesh regular testing among
+  registered perfSONAR hosts.
+* :mod:`repro.perfsonar.dashboard` — the Figure 2 grid: per-pair
+  bidirectional throughput cells, colour-banded.
+* :mod:`repro.perfsonar.alerts` — threshold alerting and soft-failure
+  localization.
+"""
+
+from .archive import Measurement, MeasurementArchive, Metric
+from .owamp import OwampProbe, OwampResult
+from .bwctl import BwctlTest, BwctlResult
+from .mesh import MeshSchedule, MeshConfig
+from .dashboard import Dashboard, DashboardCell, RateBand
+from .alerts import Alert, AlertRule, ThresholdAlerter, localize_loss
+from .snmp import (
+    ErrorCounterReading,
+    InterfaceCounters,
+    SnmpPoller,
+    read_error_counters,
+)
+
+__all__ = [
+    "ErrorCounterReading",
+    "InterfaceCounters",
+    "SnmpPoller",
+    "read_error_counters",
+    "Measurement",
+    "MeasurementArchive",
+    "Metric",
+    "OwampProbe",
+    "OwampResult",
+    "BwctlTest",
+    "BwctlResult",
+    "MeshSchedule",
+    "MeshConfig",
+    "Dashboard",
+    "DashboardCell",
+    "RateBand",
+    "Alert",
+    "AlertRule",
+    "ThresholdAlerter",
+    "localize_loss",
+]

@@ -1,0 +1,155 @@
+"""Measurement archive: the store behind the dashboard and the alerter.
+
+perfSONAR publishes measurements "in a standard format ... so it is
+publicly accessible" (§3.3).  Our archive is an in-memory time-series
+store keyed by (src, dst, metric) with windowed queries and summary
+statistics — enough to drive dashboards, alerting, and the detection-time
+experiments.
+"""
+
+from __future__ import annotations
+
+import enum
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import MeasurementError
+
+__all__ = ["Metric", "Measurement", "SeriesStats", "MeasurementArchive"]
+
+
+class Metric(enum.Enum):
+    """Measurement types stored in the archive."""
+
+    THROUGHPUT_BPS = "throughput"
+    LOSS_RATE = "loss_rate"
+    ONE_WAY_LATENCY_S = "owd"
+    RTT_S = "rtt"
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One archived data point."""
+
+    time: float
+    src: str
+    dst: str
+    metric: Metric
+    value: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.metric, Metric):
+            raise MeasurementError("Measurement.metric must be a Metric")
+        if self.value < 0:
+            raise MeasurementError(
+                f"measurement value must be non-negative, got {self.value}"
+            )
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Summary of a windowed series."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    latest: float
+    std: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "SeriesStats":
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size == 0:
+            raise MeasurementError("cannot summarize an empty series")
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+            latest=float(arr[-1]),
+            std=float(arr.std()),
+        )
+
+
+class MeasurementArchive:
+    """Time-series store keyed by (src, dst, metric).
+
+    Appends must be in non-decreasing time order per key (the scheduler
+    guarantees this); queries are binary-searched.
+    """
+
+    def __init__(self) -> None:
+        self._series: Dict[Tuple[str, str, Metric],
+                           Tuple[List[float], List[float]]] = {}
+
+    # -- writes ---------------------------------------------------------------
+    def record(self, m: Measurement) -> None:
+        key = (m.src, m.dst, m.metric)
+        times, values = self._series.setdefault(key, ([], []))
+        if times and m.time < times[-1]:
+            raise MeasurementError(
+                f"out-of-order append for {key}: {m.time} < {times[-1]}"
+            )
+        times.append(m.time)
+        values.append(m.value)
+
+    def record_value(self, time: float, src: str, dst: str,
+                     metric: Metric, value: float) -> None:
+        self.record(Measurement(time, src, dst, metric, value))
+
+    # -- reads ------------------------------------------------------------------
+    def keys(self) -> List[Tuple[str, str, Metric]]:
+        return list(self._series.keys())
+
+    def pairs(self, metric: Metric) -> List[Tuple[str, str]]:
+        return sorted({(s, d) for (s, d, m) in self._series if m is metric})
+
+    def series(
+        self,
+        src: str,
+        dst: str,
+        metric: Metric,
+        *,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, values) arrays for one key, optionally windowed."""
+        key = (src, dst, metric)
+        if key not in self._series:
+            return np.array([]), np.array([])
+        times, values = self._series[key]
+        lo = bisect_left(times, since) if since is not None else 0
+        hi = bisect_right(times, until) if until is not None else len(times)
+        return (np.asarray(times[lo:hi], dtype=np.float64),
+                np.asarray(values[lo:hi], dtype=np.float64))
+
+    def latest(self, src: str, dst: str, metric: Metric) -> Optional[Measurement]:
+        key = (src, dst, metric)
+        if key not in self._series or not self._series[key][0]:
+            return None
+        times, values = self._series[key]
+        return Measurement(times[-1], src, dst, metric, values[-1])
+
+    def stats(
+        self,
+        src: str,
+        dst: str,
+        metric: Metric,
+        *,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> Optional[SeriesStats]:
+        _, values = self.series(src, dst, metric, since=since, until=until)
+        if values.size == 0:
+            return None
+        return SeriesStats.from_values(values)
+
+    def count(self) -> int:
+        return sum(len(t) for t, _ in self._series.values())
+
+    def clear(self) -> None:
+        self._series.clear()

@@ -1,0 +1,98 @@
+"""BWCTL: scheduled end-to-end throughput tests.
+
+A BWCTL test runs a real memory-to-memory TCP flow between two perfSONAR
+hosts and reports the achieved rate.  Here the "real TCP flow" is a
+:class:`repro.tcp.connection.TcpConnection` over the current path profile
+— so a test run after a fault is injected measures degraded throughput for
+exactly the reason the real network would show it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import MeasurementError
+from ..netsim.topology import Topology
+from ..tcp.congestion import CongestionControl, algorithm_by_name
+from ..tcp.connection import TcpConnection
+from ..units import DataRate, TimeDelta, seconds
+
+__all__ = ["BwctlResult", "BwctlTest"]
+
+
+@dataclass(frozen=True)
+class BwctlResult:
+    """Result of one BWCTL throughput test."""
+
+    src: str
+    dst: str
+    throughput: DataRate
+    duration: TimeDelta
+    loss_events: int
+    algorithm: str
+
+    def summary(self) -> str:
+        return (
+            f"bwctl {self.src} -> {self.dst}: {self.throughput.human()} "
+            f"over {self.duration.human()} [{self.algorithm}, "
+            f"{self.loss_events} loss events]"
+        )
+
+
+class BwctlTest:
+    """A throughput tester between two hosts.
+
+    Parameters
+    ----------
+    topology:
+        Network under test.
+    src, dst:
+        Host names (the perfSONAR hosts).
+    duration:
+        Test length (BWCTL runs short tests; 10-30 s is typical).
+    algorithm:
+        Congestion control used by the test host's kernel.
+    policy:
+        Routing-policy kwargs, matching the science data path.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        src: str,
+        dst: str,
+        *,
+        duration: TimeDelta = seconds(10),
+        algorithm: object = "htcp",
+        policy: Optional[dict] = None,
+    ) -> None:
+        if duration.s <= 0:
+            raise MeasurementError("test duration must be positive")
+        self.topology = topology
+        self.src = src
+        self.dst = dst
+        self.duration = duration
+        if isinstance(algorithm, str):
+            algorithm = algorithm_by_name(algorithm)
+        if not isinstance(algorithm, CongestionControl):
+            raise MeasurementError("algorithm must be a name or CongestionControl")
+        self.algorithm = algorithm
+        self.policy = dict(policy or {})
+
+    def run(self, rng: np.random.Generator) -> BwctlResult:
+        """Execute one test against the current network state."""
+        profile = self.topology.profile_between(self.src, self.dst,
+                                                **self.policy)
+        conn = TcpConnection(profile, algorithm=self.algorithm, rng=rng)
+        result = conn.measure(self.duration)
+        return BwctlResult(
+            src=self.src,
+            dst=self.dst,
+            throughput=result.mean_throughput,
+            duration=result.duration,
+            loss_events=result.loss_events,
+            algorithm=self.algorithm.name,
+        )

@@ -1,0 +1,185 @@
+"""The perfSONAR mesh dashboard (paper Figure 2).
+
+Figure 2 shows a grid of sites where "the color scales denote the 'degree'
+of throughput for the data path.  Each square is halved to show the traffic
+rate in each direction between test hosts."  We reproduce that as a
+structured grid of :class:`DashboardCell` values plus text and CSV
+renderers — each cell carries both directions' latest measured throughput
+and its colour band.
+"""
+
+from __future__ import annotations
+
+import enum
+import io
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import MeasurementError
+from ..units import DataRate, Gbps
+from .archive import MeasurementArchive, Metric
+
+__all__ = ["RateBand", "DashboardCell", "Dashboard"]
+
+
+class RateBand(enum.Enum):
+    """Colour bands of the dashboard, worst to best."""
+
+    NO_DATA = "no-data"
+    BAD = "bad"          # < 10% of expected
+    DEGRADED = "degraded"  # 10-80% of expected
+    GOOD = "good"        # >= 80% of expected
+
+    @property
+    def glyph(self) -> str:
+        return {
+            RateBand.NO_DATA: "?",
+            RateBand.BAD: "X",
+            RateBand.DEGRADED: "~",
+            RateBand.GOOD: "#",
+        }[self]
+
+
+@dataclass(frozen=True)
+class DashboardCell:
+    """One site-pair square, halved by direction (forward = row->col)."""
+
+    row: str
+    col: str
+    forward_bps: Optional[float]
+    reverse_bps: Optional[float]
+    forward_band: RateBand
+    reverse_band: RateBand
+
+    @property
+    def glyphs(self) -> str:
+        """Two characters: forward then reverse half of the square."""
+        return self.forward_band.glyph + self.reverse_band.glyph
+
+
+class Dashboard:
+    """Render the latest mesh throughput as a Figure 2-style grid.
+
+    Parameters
+    ----------
+    archive:
+        Measurement source.
+    hosts:
+        Row/column ordering.
+    expected_rate:
+        The provisioned rate tests should approach; bands are fractions of
+        this.
+    good_fraction / bad_fraction:
+        Band boundaries (defaults: good >= 80%, bad < 10%).
+    """
+
+    def __init__(
+        self,
+        archive: MeasurementArchive,
+        hosts: Sequence[str],
+        *,
+        expected_rate: DataRate = Gbps(10),
+        good_fraction: float = 0.8,
+        bad_fraction: float = 0.1,
+    ) -> None:
+        hosts = list(hosts)
+        if len(hosts) < 2:
+            raise MeasurementError("dashboard needs at least two hosts")
+        if not 0.0 < bad_fraction < good_fraction <= 1.0:
+            raise MeasurementError(
+                "band fractions must satisfy 0 < bad < good <= 1"
+            )
+        self.archive = archive
+        self.hosts = hosts
+        self.expected_rate = expected_rate
+        self.good_fraction = good_fraction
+        self.bad_fraction = bad_fraction
+
+    # -- banding ---------------------------------------------------------------
+    def band(self, bps: Optional[float]) -> RateBand:
+        if bps is None:
+            return RateBand.NO_DATA
+        frac = bps / self.expected_rate.bps
+        if frac >= self.good_fraction:
+            return RateBand.GOOD
+        if frac < self.bad_fraction:
+            return RateBand.BAD
+        return RateBand.DEGRADED
+
+    # -- grid -----------------------------------------------------------------------
+    def cell(self, row: str, col: str) -> DashboardCell:
+        fwd = self.archive.latest(row, col, Metric.THROUGHPUT_BPS)
+        rev = self.archive.latest(col, row, Metric.THROUGHPUT_BPS)
+        fwd_bps = fwd.value if fwd else None
+        rev_bps = rev.value if rev else None
+        return DashboardCell(
+            row=row,
+            col=col,
+            forward_bps=fwd_bps,
+            reverse_bps=rev_bps,
+            forward_band=self.band(fwd_bps),
+            reverse_band=self.band(rev_bps),
+        )
+
+    def grid(self) -> List[List[Optional[DashboardCell]]]:
+        """Matrix of cells; the diagonal is None."""
+        out: List[List[Optional[DashboardCell]]] = []
+        for row in self.hosts:
+            cells: List[Optional[DashboardCell]] = []
+            for col in self.hosts:
+                cells.append(None if row == col else self.cell(row, col))
+            out.append(cells)
+        return out
+
+    def problem_pairs(self) -> List[Tuple[str, str, RateBand]]:
+        """Directed pairs currently below the good band."""
+        problems = []
+        for row in self.hosts:
+            for col in self.hosts:
+                if row == col:
+                    continue
+                cell = self.cell(row, col)
+                if cell.forward_band in (RateBand.BAD, RateBand.DEGRADED):
+                    problems.append((row, col, cell.forward_band))
+        return problems
+
+    # -- renderers -------------------------------------------------------------------
+    def render_text(self) -> str:
+        """ASCII dashboard: '#' good, '~' degraded, 'X' bad, '?' no data.
+
+        Each cell shows two glyphs — forward (row->col) then reverse —
+        mirroring Figure 2's halved squares.
+        """
+        width = max(len(h) for h in self.hosts)
+        buf = io.StringIO()
+        header = " " * (width + 1) + " ".join(
+            f"{h[:6]:>6}" for h in self.hosts
+        )
+        buf.write(header + "\n")
+        for row, cells in zip(self.hosts, self.grid()):
+            parts = [f"{row:>{width}} "]
+            for cell in cells:
+                parts.append(f"{'  --  ' if cell is None else cell.glyphs:>6}")
+            buf.write(" ".join(parts).rstrip() + "\n")
+        buf.write(
+            f"legend: {RateBand.GOOD.glyph}=good "
+            f">={self.good_fraction:.0%} of {self.expected_rate.human()}, "
+            f"{RateBand.DEGRADED.glyph}=degraded, "
+            f"{RateBand.BAD.glyph}=bad <{self.bad_fraction:.0%}, "
+            f"{RateBand.NO_DATA.glyph}=no data; "
+            "cell = forward,reverse\n"
+        )
+        return buf.getvalue()
+
+    def render_csv(self) -> str:
+        """Machine-readable dump: src,dst,throughput_bps,band per direction."""
+        buf = io.StringIO()
+        buf.write("src,dst,throughput_bps,band\n")
+        for row in self.hosts:
+            for col in self.hosts:
+                if row == col:
+                    continue
+                cell = self.cell(row, col)
+                value = "" if cell.forward_bps is None else f"{cell.forward_bps:.0f}"
+                buf.write(f"{row},{col},{value},{cell.forward_band.value}\n")
+        return buf.getvalue()

@@ -1,0 +1,197 @@
+"""Full-mesh regular testing among perfSONAR hosts.
+
+"By deploying a perfSONAR host as part of the Science DMZ architecture,
+regular active network testing can be used to alert network administrators
+when packet loss rates increase, or throughput rates decrease" (§3.3).
+Figure 2 is the dashboard view of exactly such a mesh on ESnet.
+
+:class:`MeshSchedule` registers every ordered pair of the given hosts for
+periodic OWAMP sessions and (less frequent) BWCTL throughput tests against
+a shared :class:`~repro.netsim.engine.Simulator`, recording everything in
+a :class:`~repro.perfsonar.archive.MeasurementArchive`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import MeasurementError
+from ..netsim.engine import Simulator
+from ..netsim.topology import Topology
+from ..units import TimeDelta, minutes, seconds
+from .archive import MeasurementArchive, Metric
+from .bwctl import BwctlTest
+from .owamp import OwampProbe
+
+__all__ = ["MeshConfig", "MeshSchedule"]
+
+
+@dataclass(frozen=True)
+class MeshConfig:
+    """Cadence and parameters of the regular test mesh."""
+
+    owamp_interval: TimeDelta = minutes(1)
+    bwctl_interval: TimeDelta = minutes(30)
+    bwctl_duration: TimeDelta = seconds(10)
+    owamp_packets: int = 600
+    algorithm: str = "htcp"
+
+    def __post_init__(self) -> None:
+        if self.owamp_interval.s <= 0 or self.bwctl_interval.s <= 0:
+            raise MeasurementError("mesh intervals must be positive")
+
+
+class MeshSchedule:
+    """Periodic full-mesh measurement over a topology.
+
+    Parameters
+    ----------
+    topology:
+        The network under test.
+    hosts:
+        perfSONAR host node names (>= 2).
+    simulator:
+        Shared event engine; tests self-reschedule on it.
+    archive:
+        Destination for all measurements.
+    config:
+        Cadence configuration.
+    policy:
+        Routing-policy kwargs so tests follow the science path.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        hosts: Sequence[str],
+        simulator: Simulator,
+        archive: MeasurementArchive,
+        *,
+        config: MeshConfig = MeshConfig(),
+        policy: Optional[dict] = None,
+    ) -> None:
+        hosts = list(hosts)
+        if len(hosts) < 2:
+            raise MeasurementError("a mesh needs at least two hosts")
+        if len(set(hosts)) != len(hosts):
+            raise MeasurementError("mesh host names must be unique")
+        for h in hosts:
+            if not topology.has_node(h):
+                raise MeasurementError(f"mesh host {h!r} not in topology")
+        self.topology = topology
+        self.hosts = hosts
+        self.sim = simulator
+        self.archive = archive
+        self.config = config
+        self.policy = dict(policy or {})
+
+        #: (time, pair) records of tests that found no route at all —
+        #: hard failures, as opposed to the soft failures in the archive.
+        self.unreachable_events: List[Tuple[float, Tuple[str, str]]] = []
+        self._owamp: Dict[Tuple[str, str], OwampProbe] = {}
+        self._bwctl: Dict[Tuple[str, str], BwctlTest] = {}
+        for src in hosts:
+            for dst in hosts:
+                if src == dst:
+                    continue
+                self._owamp[(src, dst)] = OwampProbe(
+                    topology, src, dst, policy=self.policy,
+                    packets_per_session=config.owamp_packets,
+                )
+                self._bwctl[(src, dst)] = BwctlTest(
+                    topology, src, dst, duration=config.bwctl_duration,
+                    algorithm=config.algorithm, policy=self.policy,
+                )
+        self._started = False
+
+    # -- scheduling --------------------------------------------------------------
+    def start(self) -> None:
+        """Register the periodic test events on the simulator."""
+        if self._started:
+            raise MeasurementError("mesh already started")
+        self._started = True
+        # Stagger pair start times so tests do not all fire at once —
+        # matching real BWCTL's mutual-exclusion scheduling.
+        pairs = sorted(self._owamp.keys())
+        for i, pair in enumerate(pairs):
+            owamp_offset = (i / max(len(pairs), 1)) * self.config.owamp_interval.s
+            self.sim.schedule_periodic(
+                self.config.owamp_interval.s,
+                self._owamp_runner(pair),
+                start=owamp_offset,
+            )
+            bwctl_offset = (i / max(len(pairs), 1)) * self.config.bwctl_interval.s
+            self.sim.schedule_periodic(
+                self.config.bwctl_interval.s,
+                self._bwctl_runner(pair),
+                start=bwctl_offset,
+            )
+
+    def _owamp_runner(self, pair: Tuple[str, str]):
+        from ..errors import RoutingError
+        probe = self._owamp[pair]
+        rng = self.sim.rng(f"owamp:{pair[0]}->{pair[1]}")
+
+        def run() -> None:
+            now = self.sim.now
+            try:
+                result = probe.run(rng)
+            except RoutingError:
+                # Hard failure: the path is gone.  Real OWAMP reports
+                # 100% loss; record that so the outage is visible in the
+                # archive rather than crashing the scheduler.
+                self.unreachable_events.append((now, pair))
+                self.archive.record_value(now, pair[0], pair[1],
+                                          Metric.LOSS_RATE, 1.0)
+                return
+            self.archive.record_value(now, result.src, result.dst,
+                                      Metric.LOSS_RATE, result.loss_rate)
+            self.archive.record_value(now, result.src, result.dst,
+                                      Metric.ONE_WAY_LATENCY_S,
+                                      result.one_way_latency.s)
+        return run
+
+    def _bwctl_runner(self, pair: Tuple[str, str]):
+        from ..errors import RoutingError
+        test = self._bwctl[pair]
+        rng = self.sim.rng(f"bwctl:{pair[0]}->{pair[1]}")
+
+        def run() -> None:
+            now = self.sim.now
+            try:
+                result = test.run(rng)
+            except RoutingError:
+                self.unreachable_events.append((now, pair))
+                self.archive.record_value(now, pair[0], pair[1],
+                                          Metric.THROUGHPUT_BPS, 0.0)
+                return
+            self.archive.record_value(now, result.src, result.dst,
+                                      Metric.THROUGHPUT_BPS,
+                                      result.throughput.bps)
+        return run
+
+    # -- one-shot conveniences ----------------------------------------------------
+    def run_bwctl_round(self) -> None:
+        """Immediately run one BWCTL test for every pair (no scheduling)."""
+        for pair, test in sorted(self._bwctl.items()):
+            rng = self.sim.rng(f"bwctl:{pair[0]}->{pair[1]}")
+            result = test.run(rng)
+            self.archive.record_value(self.sim.now, result.src, result.dst,
+                                      Metric.THROUGHPUT_BPS,
+                                      result.throughput.bps)
+
+    def run_owamp_round(self) -> None:
+        """Immediately run one OWAMP session for every pair."""
+        for pair, probe in sorted(self._owamp.items()):
+            rng = self.sim.rng(f"owamp:{pair[0]}->{pair[1]}")
+            result = probe.run(rng)
+            self.archive.record_value(self.sim.now, result.src, result.dst,
+                                      Metric.LOSS_RATE, result.loss_rate)
+            self.archive.record_value(self.sim.now, result.src, result.dst,
+                                      Metric.ONE_WAY_LATENCY_S,
+                                      result.one_way_latency.s)
+
+    @property
+    def pair_count(self) -> int:
+        return len(self._owamp)

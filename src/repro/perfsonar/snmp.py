@@ -1,0 +1,163 @@
+"""Passive SNMP-style device counters.
+
+Figure 8's utilization data was "collected passively from SNMP data", and
+the §2 incident's defining feature is that the router's error counters
+showed *nothing* while OWAMP saw the loss.  This module models that
+passive view:
+
+* :class:`InterfaceCounters` — per-link octet counters driven by the
+  traffic an experiment declares (utilization polling);
+* :func:`read_error_counters` — the device's self-reported errors for a
+  node: only faults whose ``visible_to_counters`` flag is True appear,
+  which is exactly why soft failures hide from NMS dashboards;
+* :class:`SnmpPoller` — periodic polling of both into a measurement
+  archive, alongside the active perfSONAR data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import MeasurementError
+from ..netsim.engine import Simulator
+from ..netsim.link import Link
+from ..netsim.node import Node
+from ..netsim.topology import Topology
+from ..units import DataRate, TimeDelta, seconds
+from .archive import MeasurementArchive, Metric
+
+__all__ = ["InterfaceCounters", "ErrorCounterReading",
+           "read_error_counters", "SnmpPoller", "UTILIZATION_METRIC"]
+
+#: Stored in the archive with src=node-ish names; reuse THROUGHPUT units.
+UTILIZATION_METRIC = Metric.THROUGHPUT_BPS
+
+
+@dataclass
+class InterfaceCounters:
+    """Octet counters for one link direction, SNMP ifHCInOctets style."""
+
+    name: str
+    octets: float = 0.0
+    last_poll_octets: float = 0.0
+    last_poll_time: float = 0.0
+
+    def account(self, rate: DataRate, duration: TimeDelta) -> None:
+        """Accumulate traffic (bytes) for a period at the given rate."""
+        if duration.s < 0:
+            raise MeasurementError("cannot account a negative duration")
+        self.octets += rate.bytes_per_second * duration.s
+
+    def poll(self, now: float) -> DataRate:
+        """Return the mean rate since the previous poll (SNMP delta math)."""
+        if now < self.last_poll_time:
+            raise MeasurementError("poll time went backwards")
+        elapsed = now - self.last_poll_time
+        delta = self.octets - self.last_poll_octets
+        self.last_poll_octets = self.octets
+        self.last_poll_time = now
+        if elapsed <= 0:
+            return DataRate(0.0)
+        return DataRate(delta * 8.0 / elapsed)
+
+
+@dataclass(frozen=True)
+class ErrorCounterReading:
+    """One node's self-reported error state."""
+
+    node: str
+    visible_errors: int          # faults the device reports
+    hidden_faults: int           # active faults the counters miss
+    details: tuple
+
+    @property
+    def looks_clean(self) -> bool:
+        return self.visible_errors == 0
+
+
+def read_error_counters(node: Node) -> ErrorCounterReading:
+    """What an NMS would see when polling this device's error counters.
+
+    Walks the node's attached transit elements; an element counts as an
+    *error source* if it reports non-zero loss or has a
+    ``visible_to_counters`` attribute.  Only visible ones appear in the
+    reading — the §2 line card (``visible_to_counters=False``) leaves the
+    counters clean while actively dropping packets.
+    """
+    visible = 0
+    hidden = 0
+    details: List[str] = []
+    for element in node.elements:
+        flagged = getattr(element, "visible_to_counters", None)
+        lossy = element.element_loss_probability() > 0
+        if flagged is None and not lossy:
+            continue
+        description = getattr(element, "description",
+                              type(element).__name__)
+        if flagged:
+            visible += 1
+            details.append(f"errors: {description}")
+        elif lossy or flagged is False:
+            hidden += 1
+    return ErrorCounterReading(node=node.name, visible_errors=visible,
+                               hidden_faults=hidden, details=tuple(details))
+
+
+class SnmpPoller:
+    """Periodic passive polling into a measurement archive.
+
+    Parameters
+    ----------
+    topology:
+        Network under management.
+    simulator:
+        Shared clock/event engine.
+    archive:
+        Destination; utilization is recorded under
+        ``(link name, 'snmp', THROUGHPUT_BPS)`` keys.
+    interval:
+        Poll cadence (SNMP typically polls every 30-300 s).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        simulator: Simulator,
+        archive: MeasurementArchive,
+        *,
+        interval: TimeDelta = seconds(60),
+    ) -> None:
+        if interval.s <= 0:
+            raise MeasurementError("poll interval must be positive")
+        self.topology = topology
+        self.sim = simulator
+        self.archive = archive
+        self.interval = interval
+        self._counters: Dict[str, InterfaceCounters] = {}
+        self._started = False
+
+    def counters_for(self, link: Link, *, label: Optional[str] = None
+                     ) -> InterfaceCounters:
+        """Get (or create) the counter object for a link."""
+        name = label or link.name or f"link-{id(link):x}"
+        if name not in self._counters:
+            self._counters[name] = InterfaceCounters(name=name)
+        return self._counters[name]
+
+    def start(self) -> None:
+        if self._started:
+            raise MeasurementError("poller already started")
+        self._started = True
+
+        def poll() -> None:
+            now = self.sim.now
+            for name, counters in sorted(self._counters.items()):
+                rate = counters.poll(now)
+                self.archive.record_value(now, name, "snmp",
+                                          UTILIZATION_METRIC, rate.bps)
+        self.sim.schedule_periodic(self.interval.s, poll)
+
+    def error_sweep(self) -> List[ErrorCounterReading]:
+        """Poll every node's error counters (the NMS dashboard view)."""
+        return [read_error_counters(node) for node in self.topology.nodes()]

@@ -1,0 +1,190 @@
+"""Declarative experiment scenarios.
+
+The monitoring experiments all share a shape: build a design, start a
+measurement mesh, schedule some faults and repairs on a timeline, run,
+then interrogate the archive.  :class:`Scenario` packages that shape:
+
+>>> from repro.core import simple_science_dmz
+>>> from repro.devices.faults import FailingLineCard
+>>> from repro.units import minutes
+>>> bundle = simple_science_dmz()
+>>> scenario = (Scenario(bundle, seed=7)
+...             .with_mesh(["dmz-perfsonar", "remote-dtn"])
+...             .inject("border", FailingLineCard(), at=minutes(30))
+...             .repair_at(minutes(90)))
+>>> outcome = scenario.run(until=minutes(120))
+>>> bool(outcome.alerts)
+True
+
+The outcome bundles the archive, alert list, fault ground truth, and the
+detection-latency summary the benches report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .core.designs import DesignBundle
+from .devices.faults import FaultInjector, InjectedFault
+from .errors import ConfigurationError
+from .netsim.engine import Simulator
+from .perfsonar.alerts import Alert, AlertRule, ThresholdAlerter
+from .perfsonar.archive import MeasurementArchive
+from .perfsonar.mesh import MeshConfig, MeshSchedule
+from .units import TimeDelta, minutes
+
+__all__ = ["Scenario", "ScenarioOutcome"]
+
+
+@dataclass
+class ScenarioOutcome:
+    """Everything a scenario run produced."""
+
+    archive: MeasurementArchive
+    alerts: List[Alert]
+    faults: List[InjectedFault]
+    duration: TimeDelta
+    detection_delays: Dict[int, Optional[float]] = field(default_factory=dict)
+    # fault index -> seconds from injection to first alert (None = missed)
+
+    def first_alert(self) -> Optional[Alert]:
+        return self.alerts[0] if self.alerts else None
+
+    def detected(self, fault_index: int = 0) -> bool:
+        return self.detection_delays.get(fault_index) is not None
+
+    def summary(self) -> str:
+        lines = [
+            f"scenario ran {self.duration.human()}: "
+            f"{self.archive.count()} measurements, "
+            f"{len(self.alerts)} alerts, {len(self.faults)} faults",
+        ]
+        for idx, delay in sorted(self.detection_delays.items()):
+            fault = self.faults[idx]
+            what = getattr(fault.fault, "description",
+                           type(fault.fault).__name__)
+            if delay is None:
+                lines.append(f"  fault #{idx} ({what}): NOT detected")
+            else:
+                lines.append(
+                    f"  fault #{idx} ({what}) on {fault.node_name}: "
+                    f"detected {delay / 60:.1f} min after onset")
+        return "\n".join(lines)
+
+
+class Scenario:
+    """A timeline of monitoring, faults and repairs over a design bundle.
+
+    Parameters
+    ----------
+    bundle:
+        A built design (from :mod:`repro.core.designs` or your own
+        :class:`~repro.core.designs.DesignBundle`).
+    seed:
+        Root seed for the run's random streams.
+    alert_rule:
+        Thresholds used when evaluating the outcome.
+    """
+
+    def __init__(
+        self,
+        bundle: DesignBundle,
+        *,
+        seed: int = 0,
+        alert_rule: AlertRule = AlertRule(loss_rate_threshold=1e-5),
+    ) -> None:
+        self.bundle = bundle
+        self.sim = Simulator(seed=seed)
+        self.archive = MeasurementArchive()
+        self.injector = FaultInjector(self.sim)
+        self.alert_rule = alert_rule
+        self._mesh: Optional[MeshSchedule] = None
+        self._pending_faults: List[Tuple[TimeDelta, str, object]] = []
+        self._repairs: List[TimeDelta] = []
+        self._ran = False
+
+    # -- builder API -------------------------------------------------------------
+    def with_mesh(
+        self,
+        hosts: Sequence[str],
+        *,
+        config: Optional[MeshConfig] = None,
+    ) -> "Scenario":
+        """Attach a regular perfSONAR mesh over ``hosts``."""
+        if self._mesh is not None:
+            raise ConfigurationError("scenario already has a mesh")
+        self._mesh = MeshSchedule(
+            self.bundle.topology, list(hosts), self.sim, self.archive,
+            config=config or MeshConfig(owamp_interval=minutes(1),
+                                        bwctl_interval=minutes(10),
+                                        owamp_packets=20_000),
+            policy=self.bundle.science_policy,
+        )
+        return self
+
+    def inject(self, node_name: str, fault, *, at: TimeDelta) -> "Scenario":
+        """Schedule a fault on a node at scenario time ``at``."""
+        if not self.bundle.topology.has_node(node_name):
+            raise ConfigurationError(f"no node {node_name!r} in the design")
+        self._pending_faults.append((at, node_name, fault))
+        return self
+
+    def repair_at(self, when: TimeDelta) -> "Scenario":
+        """Schedule a repair of every then-active fault at ``when``."""
+        self._repairs.append(when)
+        return self
+
+    def cut_link(self, a: str, b: str, *, at: TimeDelta) -> "Scenario":
+        """Schedule a *hard* failure: the link between ``a`` and ``b``
+        goes down at ``at`` (a fiber cut, §3.3's contrast to soft
+        failures).  The mesh records the outage as 100% loss."""
+        topo = self.bundle.topology
+        # Validate now so misconfiguration fails at build time.
+        topo.link_between(a, b)
+
+        def cut() -> None:
+            topo.remove_link(a, b)
+        self.sim.schedule_at(at.s, cut)
+        return self
+
+    # -- execution ------------------------------------------------------------------
+    def run(self, *, until: TimeDelta) -> ScenarioOutcome:
+        """Execute the timeline and evaluate the outcome."""
+        if self._ran:
+            raise ConfigurationError("a Scenario can only run once")
+        self._ran = True
+        if self._mesh is None:
+            raise ConfigurationError(
+                "scenario has no measurement mesh; call with_mesh() — "
+                "without measurement there is nothing to observe"
+            )
+        self._mesh.start()
+        topo = self.bundle.topology
+        for at, node_name, fault in sorted(self._pending_faults,
+                                           key=lambda item: item[0].s):
+            self.injector.inject_at(at, topo.node(node_name), fault)
+        for when in self._repairs:
+            def repair_all() -> None:
+                for record in list(self.injector.active_faults()):
+                    self.injector.clear(record, topo.node(record.node_name))
+            self.sim.schedule_at(when.s, repair_all)
+
+        self.sim.run_until(until.s)
+
+        alerter = ThresholdAlerter(self.archive, self.alert_rule)
+        alerts = alerter.scan()
+        delays: Dict[int, Optional[float]] = {}
+        for idx, fault in enumerate(self.injector.history):
+            onset = fault.injected_at
+            horizon = fault.cleared_at if fault.cleared_at is not None \
+                else until.s
+            hits = [a.time for a in alerts if onset <= a.time <= horizon]
+            delays[idx] = (min(hits) - onset) if hits else None
+        return ScenarioOutcome(
+            archive=self.archive,
+            alerts=alerts,
+            faults=list(self.injector.history),
+            duration=until,
+            detection_delays=delays,
+        )

@@ -1,0 +1,50 @@
+"""TCP behaviour models.
+
+Three layers, from analytic to dynamic:
+
+* :mod:`repro.tcp.mathis` — the closed-form Mathis et al. throughput model
+  (the paper's Eq. 1) and bandwidth-delay-product window math (Eq. 2).
+* :mod:`repro.tcp.congestion` — pluggable congestion-control algorithms
+  (Reno, H-TCP, CUBIC, plus an ideal loss-free reference).
+* :mod:`repro.tcp.connection` — a per-RTT fluid window-dynamics simulator
+  for a single connection over a :class:`~repro.netsim.topology.PathProfile`.
+* :mod:`repro.tcp.simulate` — synchronized multi-flow simulation with
+  bottleneck sharing and buffer-overflow loss.
+"""
+
+from .mathis import (
+    mathis_throughput,
+    required_window,
+    window_limited_throughput,
+    loss_rate_for_throughput,
+    packets_per_second,
+)
+from .congestion import (
+    CongestionControl,
+    Reno,
+    HTcp,
+    Cubic,
+    LossFreeIdeal,
+    algorithm_by_name,
+)
+from .connection import TcpConnection, TransferResult, RoundSample
+from .simulate import MultiFlowSimulation, FlowProgress
+
+__all__ = [
+    "mathis_throughput",
+    "required_window",
+    "window_limited_throughput",
+    "loss_rate_for_throughput",
+    "packets_per_second",
+    "CongestionControl",
+    "Reno",
+    "HTcp",
+    "Cubic",
+    "LossFreeIdeal",
+    "algorithm_by_name",
+    "TcpConnection",
+    "TransferResult",
+    "RoundSample",
+    "MultiFlowSimulation",
+    "FlowProgress",
+]

@@ -1,0 +1,383 @@
+"""Fluid per-RTT TCP connection model.
+
+The model advances one round-trip at a time.  Each round the sender offers
+``min(cwnd, receive-window, pacing)`` segments; the path delivers up to its
+bandwidth-delay product plus the bottleneck buffer; overshoot triggers a
+congestion loss event, and independent per-packet random loss (failing line
+cards, dirty optics — the soft failures of §3.3) triggers stochastic loss
+events.  Congestion control reacts per :mod:`repro.tcp.congestion`.
+
+This reproduces the dynamics the paper cares about:
+
+* loss-free, well-buffered paths converge to the bottleneck (or receive
+  window) limit — Figure 1's topmost line;
+* tiny random loss collapses throughput with a 1/sqrt(p) RTT-dependent
+  ceiling — the Mathis regime of Figure 1's lower curves;
+* a 64 KB clamped window caps throughput at window/RTT — the Penn State
+  firewall pathology (Eq. 2, Figure 8);
+* recovery after loss takes many RTTs at high BDP, so the same loss rate
+  hurts far more at 100 ms than at 1 ms — the "local users through the
+  firewall are fine" observation of §3.4.
+
+For very long transfers the model detects loss-free steady state and
+fast-forwards analytically; with random loss it simulates up to
+``max_rounds`` rounds and extrapolates from the trailing mean throughput
+(flagged in the result).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError, SimulationError
+from ..netsim.topology import PathProfile
+from ..units import DataRate, DataSize, TimeDelta, bits, seconds
+from .congestion import CongestionControl, Reno
+
+__all__ = ["RoundSample", "TransferResult", "TcpConnection"]
+
+#: Modern initial window (RFC 6928).
+INITIAL_WINDOW_SEGMENTS = 10.0
+#: Minimum retransmission timeout (RFC 6298 lower bound, Linux uses 200 ms;
+#: we follow the RFC's conservative 1 s to make timeout pain visible).
+MIN_RTO_SECONDS = 1.0
+
+
+@dataclass(frozen=True)
+class RoundSample:
+    """One decimated sample of connection state."""
+
+    time: float  # seconds since transfer start
+    cwnd_segments: float
+    throughput_bps: float
+
+
+@dataclass
+class TransferResult:
+    """Outcome of a single-connection transfer or measurement.
+
+    ``samples`` is decimated (stride doubles once 8192 samples accumulate)
+    so even multi-million-round transfers stay small.
+    """
+
+    bytes_delivered: DataSize
+    duration: TimeDelta
+    rounds: int
+    loss_events: int
+    timeouts: int
+    algorithm: str
+    extrapolated: bool = False
+    samples: List[RoundSample] = field(default_factory=list)
+
+    @property
+    def mean_throughput(self) -> DataRate:
+        if self.duration.s <= 0:
+            return DataRate(0.0)
+        return DataRate(self.bytes_delivered.bits / self.duration.s)
+
+    def sample_arrays(self) -> tuple:
+        """(time_s, cwnd_segments, throughput_bps) as numpy arrays."""
+        t = np.array([s.time for s in self.samples])
+        w = np.array([s.cwnd_segments for s in self.samples])
+        r = np.array([s.throughput_bps for s in self.samples])
+        return t, w, r
+
+    def summary(self) -> str:
+        tail = " (extrapolated)" if self.extrapolated else ""
+        return (
+            f"{self.bytes_delivered.human()} in {self.duration.human()} "
+            f"= {self.mean_throughput.human()} "
+            f"[{self.algorithm}, {self.rounds} rounds, "
+            f"{self.loss_events} losses, {self.timeouts} timeouts]{tail}"
+        )
+
+
+class TcpConnection:
+    """A single TCP connection over a fixed path profile.
+
+    Parameters
+    ----------
+    profile:
+        End-to-end path characteristics from
+        :meth:`repro.netsim.topology.Topology.profile`.
+    algorithm:
+        Congestion-control strategy (default Reno).
+    rng:
+        numpy Generator for stochastic loss draws.  Required whenever the
+        path has non-zero random loss; deterministic runs may omit it.
+    bottleneck_buffer:
+        Queue depth at the bottleneck.  Defaults to one bandwidth-delay
+        product — the provisioning the paper recommends for Science DMZ
+        gear.  Shallow values reproduce cheap-switch behaviour.
+    initial_cwnd:
+        Initial window in segments (RFC 6928 default of 10).
+    """
+
+    def __init__(
+        self,
+        profile: PathProfile,
+        *,
+        algorithm: Optional[CongestionControl] = None,
+        rng: Optional[np.random.Generator] = None,
+        bottleneck_buffer: Optional[DataSize] = None,
+        initial_cwnd: float = INITIAL_WINDOW_SEGMENTS,
+    ) -> None:
+        self.profile = profile
+        self.algorithm = algorithm if algorithm is not None else Reno()
+        self._rng = rng
+        if profile.random_loss > 0 and rng is None:
+            raise ConfigurationError(
+                "path has random loss; TcpConnection requires an rng "
+                "(use Simulator.rng('tcp') or numpy.random.default_rng(seed))"
+            )
+
+        self.mss_bits = profile.flow.mss.bits
+        if self.mss_bits <= 0:
+            raise ConfigurationError("profile MSS must be positive")
+        self.base_rtt = max(profile.base_rtt.s, 1e-6)
+        self.capacity_bps = profile.capacity.bps
+        self.loss_p = float(profile.random_loss)
+
+        rwnd_bits = profile.flow.effective_receive_window().bits
+        self.rwnd_segments = max(1.0, rwnd_bits / self.mss_bits)
+
+        self.bdp_segments = max(
+            1.0, self.capacity_bps * self.base_rtt / self.mss_bits
+        )
+        if bottleneck_buffer is None:
+            bottleneck_buffer = profile.bottleneck_buffer
+        if bottleneck_buffer is None:
+            # Well-provisioned bottleneck: one BDP of queue (the paper's
+            # recommendation for Science DMZ gear).
+            self.buffer_segments = self.bdp_segments
+        else:
+            self.buffer_segments = max(0.0, bottleneck_buffer.bits / self.mss_bits)
+
+        rate_limit = profile.flow.sender_rate_limit
+        self.rate_limit_bps = rate_limit.bps if rate_limit is not None else None
+
+        if initial_cwnd < 1:
+            raise ConfigurationError("initial_cwnd must be >= 1 segment")
+        self.initial_cwnd = float(initial_cwnd)
+
+    # -- public API ---------------------------------------------------------------
+    def transfer(
+        self,
+        size: DataSize,
+        *,
+        max_rounds: int = 2_000_000,
+    ) -> TransferResult:
+        """Move ``size`` bytes; returns the transfer outcome."""
+        if size.bits <= 0:
+            raise ConfigurationError("transfer size must be positive")
+        return self._run(target_bits=size.bits, duration_s=None,
+                         max_rounds=max_rounds)
+
+    def measure(
+        self,
+        duration: TimeDelta,
+        *,
+        max_rounds: int = 2_000_000,
+    ) -> TransferResult:
+        """Run an unbounded flow for ``duration`` (a BWCTL-style test)."""
+        if duration.s <= 0:
+            raise ConfigurationError("measurement duration must be positive")
+        return self._run(target_bits=None, duration_s=duration.s,
+                         max_rounds=max_rounds)
+
+    def steady_state_throughput(self) -> DataRate:
+        """Analytic steady-state estimate (no simulation).
+
+        Loss-free: min(capacity, window/RTT).  With loss: the Mathis bound,
+        additionally clamped by the window and capacity limits.
+        """
+        window_cap = self.rwnd_segments * self.mss_bits / self.base_rtt
+        caps = [self.capacity_bps, window_cap]
+        if self.rate_limit_bps is not None:
+            caps.append(self.rate_limit_bps)
+        ceiling = min(caps)
+        if self.loss_p <= 0:
+            return DataRate(ceiling)
+        mathis = self.mss_bits / self.base_rtt / math.sqrt(self.loss_p)
+        return DataRate(min(ceiling, mathis))
+
+    # -- engine ---------------------------------------------------------------------
+    def _run(
+        self,
+        *,
+        target_bits: Optional[float],
+        duration_s: Optional[float],
+        max_rounds: int,
+    ) -> TransferResult:
+        if max_rounds < 1:
+            raise ConfigurationError("max_rounds must be >= 1")
+
+        cwnd = min(self.initial_cwnd, self.rwnd_segments)
+        ssthresh = float("inf")
+        time_since_loss = 0.0
+        elapsed = 0.0
+        delivered_bits = 0.0
+        loss_events = 0
+        timeouts = 0
+        rounds = 0
+        extrapolated = False
+
+        samples: List[RoundSample] = []
+        stride = 1
+        since_sample = 0
+
+        # Steady-state fast-forward bookkeeping (loss-free paths only).
+        steady_rounds = 0
+        prev_rate = -1.0
+
+        mss = self.mss_bits
+        bdp = self.bdp_segments
+        buf = self.buffer_segments
+        p = self.loss_p
+        rng = self._rng
+        log1mp = math.log1p(-p) if 0 < p < 1 else 0.0
+
+        while True:
+            if target_bits is not None and delivered_bits >= target_bits:
+                break
+            if duration_s is not None and elapsed >= duration_s:
+                break
+            if rounds >= max_rounds:
+                extrapolated = target_bits is not None
+                break
+
+            # --- sender's offered window this round -------------------------------
+            w_target = min(cwnd, self.rwnd_segments)
+            if self.rate_limit_bps is not None:
+                pace = self.rate_limit_bps * self.base_rtt / mss
+                w_target = min(w_target, max(1.0, pace))
+
+            # --- bottleneck: queue growth and overflow -----------------------------
+            congestion_loss = False
+            if w_target > bdp:
+                queue = w_target - bdp
+                if queue > buf:
+                    congestion_loss = True
+                    queue = buf
+            else:
+                queue = 0.0
+            # Round duration: base RTT inflated by standing-queue delay.
+            rtt_eff = self.base_rtt + queue * mss / self.capacity_bps
+            delivered_this_round = min(w_target, bdp + queue)
+
+            # --- random loss -----------------------------------------------------------
+            random_loss = False
+            if p > 0 and delivered_this_round > 0:
+                # P[at least one loss among delivered packets]
+                p_round = 1.0 - math.exp(log1mp * delivered_this_round)
+                if rng.random() < p_round:
+                    random_loss = True
+
+            if target_bits is not None:
+                remaining = target_bits - delivered_bits
+                delivered_bits += min(delivered_this_round * mss, remaining)
+            else:
+                delivered_bits += delivered_this_round * mss
+            elapsed += rtt_eff
+            rounds += 1
+            time_since_loss += rtt_eff
+
+            # --- decimated sampling ------------------------------------------------------
+            since_sample += 1
+            if since_sample >= stride:
+                since_sample = 0
+                samples.append(RoundSample(
+                    time=elapsed,
+                    cwnd_segments=cwnd,
+                    throughput_bps=delivered_this_round * mss / rtt_eff,
+                ))
+                if len(samples) >= 8192:
+                    samples = samples[::2]
+                    stride *= 2
+
+            # --- window evolution ---------------------------------------------------------
+            if congestion_loss or random_loss:
+                loss_events += 1
+                # The window that was actually in flight is what the loss
+                # reduces (RFC 2861: cwnd must not be inflated beyond what
+                # the connection has been sending).
+                inflight = min(cwnd, w_target)
+                if inflight < 4.0 and random_loss:
+                    # Too few duplicate ACKs to fast-retransmit: timeout.
+                    timeouts += 1
+                    rto = max(MIN_RTO_SECONDS, 2.0 * rtt_eff)
+                    elapsed += rto
+                    ssthresh = max(2.0, inflight / 2.0)
+                    cwnd = 1.0
+                else:
+                    cwnd = self.algorithm.on_loss(
+                        inflight, self.base_rtt, rtt_eff
+                    )
+                    ssthresh = cwnd
+                time_since_loss = 0.0
+                steady_rounds = 0
+            else:
+                # Congestion-window validation: when the flow is receive-
+                # window or pacing limited (w_target < cwnd), cwnd is not
+                # grown further — there are no ACKs beyond w_target to
+                # clock it (RFC 2861).
+                if cwnd <= w_target + 1e-9:
+                    if cwnd < ssthresh:
+                        cwnd = min(
+                            cwnd * self.algorithm.slow_start_factor, ssthresh
+                            if ssthresh != float("inf") else cwnd * 2.0,
+                        )
+                        if ssthresh == float("inf"):
+                            cwnd = min(cwnd, 2.0 * (bdp + buf))
+                    else:
+                        cwnd += self.algorithm.increase(
+                            cwnd, time_since_loss, rtt_eff
+                        )
+                    cwnd = min(cwnd, 2.0 * (bdp + buf) + self.rwnd_segments)
+
+            # --- loss-free steady-state fast-forward --------------------------------
+            # Once the delivered *rate* is stable (window-capped, pacing-
+            # capped, or capacity-filling sawtooth) the rest of the transfer
+            # is linear in time; skip ahead analytically.
+            if p == 0 and target_bits is not None:
+                rate = delivered_this_round * mss / rtt_eff
+                if prev_rate > 0 and abs(rate - prev_rate) <= 1e-9 * prev_rate:
+                    steady_rounds += 1
+                else:
+                    steady_rounds = 0
+                prev_rate = rate
+                if steady_rounds >= 3 and rate > 0:
+                    remaining = target_bits - delivered_bits
+                    if remaining > 0:
+                        extra_rounds = remaining / (delivered_this_round * mss)
+                        elapsed += remaining / rate
+                        rounds += int(math.ceil(extra_rounds))
+                        delivered_bits = target_bits
+                    break
+
+        # --- extrapolate an unfinished lossy transfer -------------------------------------
+        if extrapolated and target_bits is not None:
+            if delivered_bits <= 0 or elapsed <= 0:
+                raise SimulationError(
+                    "transfer made no progress within max_rounds; "
+                    "path is effectively unusable"
+                )
+            rate = delivered_bits / elapsed
+            remaining = target_bits - delivered_bits
+            elapsed += remaining / rate
+            delivered_bits = target_bits
+
+        return TransferResult(
+            bytes_delivered=bits(delivered_bits),
+            duration=seconds(elapsed),
+            rounds=rounds,
+            loss_events=loss_events,
+            timeouts=timeouts,
+            algorithm=self.algorithm.name,
+            extrapolated=extrapolated,
+            samples=samples,
+        )

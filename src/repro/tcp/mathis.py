@@ -1,0 +1,178 @@
+"""The Mathis TCP throughput model and window arithmetic.
+
+The paper's Eq. 1 (Mathis, Semke, Mahdavi & Ott, 1997) bounds steady-state
+TCP throughput under periodic loss:
+
+.. math::
+
+   \\text{rate} \\le \\frac{MSS}{RTT} \\cdot \\frac{C}{\\sqrt{p}}
+
+where :math:`p` is the per-packet loss probability and :math:`C` a constant
+of order one (:math:`\\sqrt{3/2}` for Reno with delayed-ACK disabled; the
+paper's figure uses the plain :math:`C = 1` form, which we default to).
+
+Eq. 2 is the bandwidth-delay-product window requirement: to fill a 1 Gbps
+path at 10 ms RTT a sender needs a 1.25 MB window — 20x the unscaled 64 KB
+maximum, which is how the Penn State firewall capped throughput near
+50 Mbps.
+
+All functions accept unit-safe quantities and offer vectorized variants for
+figure generation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import DataRate, DataSize, TimeDelta
+
+__all__ = [
+    "MATHIS_CONSTANT_PAPER",
+    "MATHIS_CONSTANT_RENO",
+    "mathis_throughput",
+    "mathis_throughput_array",
+    "required_window",
+    "window_limited_throughput",
+    "loss_rate_for_throughput",
+    "loss_free_throughput",
+    "packets_per_second",
+    "packets_lost_per_second",
+]
+
+#: The constant used by the paper's Figure 1 (plain Mathis form).
+MATHIS_CONSTANT_PAPER = 1.0
+#: The classical Reno derivation constant sqrt(3/2).
+MATHIS_CONSTANT_RENO = math.sqrt(3.0 / 2.0)
+
+
+def _validate_loss(loss_rate: float) -> float:
+    if not 0.0 < loss_rate <= 1.0:
+        raise ConfigurationError(
+            f"Mathis model needs loss_rate in (0, 1], got {loss_rate}; "
+            "use loss_free_throughput() for the p=0 case"
+        )
+    return float(loss_rate)
+
+
+def mathis_throughput(
+    mss: DataSize,
+    rtt: TimeDelta,
+    loss_rate: float,
+    *,
+    constant: float = MATHIS_CONSTANT_PAPER,
+) -> DataRate:
+    """Eq. 1: maximum TCP throughput under random loss.
+
+    Examples
+    --------
+    >>> from repro.units import bytes_, ms
+    >>> r = mathis_throughput(bytes_(8960), ms(50), 1/22000)
+    >>> 200 < r.mbps < 230
+    True
+    """
+    p = _validate_loss(loss_rate)
+    if rtt.s <= 0:
+        raise ConfigurationError("Mathis model needs a positive RTT")
+    if mss.bits <= 0:
+        raise ConfigurationError("Mathis model needs a positive MSS")
+    return DataRate(constant * mss.bits / rtt.s / math.sqrt(p))
+
+
+def mathis_throughput_array(
+    mss: DataSize,
+    rtt_seconds: np.ndarray,
+    loss_rate: float,
+    *,
+    constant: float = MATHIS_CONSTANT_PAPER,
+) -> np.ndarray:
+    """Vectorized Eq. 1 over an array of RTTs — returns bps.
+
+    RTT entries of zero map to ``inf`` (loss cannot bite at zero latency),
+    matching the intuition of Figure 1's left edge.
+    """
+    p = _validate_loss(loss_rate)
+    rtt_arr = np.asarray(rtt_seconds, dtype=np.float64)
+    if np.any(rtt_arr < 0):
+        raise ConfigurationError("RTTs must be non-negative")
+    with np.errstate(divide="ignore"):
+        return constant * mss.bits / rtt_arr / math.sqrt(p)
+
+
+def required_window(rate: DataRate, rtt: TimeDelta) -> DataSize:
+    """Eq. 2: the window (BDP) needed to sustain ``rate`` at ``rtt``.
+
+    >>> from repro.units import Gbps, ms
+    >>> required_window(Gbps(1), ms(10)).megabytes
+    1.25
+    """
+    if rtt.s < 0:
+        raise ConfigurationError("RTT must be non-negative")
+    return rate.bdp(rtt)
+
+
+def window_limited_throughput(window: DataSize, rtt: TimeDelta) -> DataRate:
+    """Throughput ceiling imposed by a fixed window: ``window / RTT``.
+
+    This is what clamped the Penn State hosts to ~50 Mbps: 64 KB / 10 ms.
+
+    >>> from repro.units import KB, ms
+    >>> round(window_limited_throughput(KB(64), ms(10)).mbps, 1)
+    52.4
+    """
+    if rtt.s <= 0:
+        raise ConfigurationError("RTT must be positive for a window limit")
+    return DataRate(window.bits / rtt.s)
+
+
+def loss_rate_for_throughput(
+    target: DataRate,
+    mss: DataSize,
+    rtt: TimeDelta,
+    *,
+    constant: float = MATHIS_CONSTANT_PAPER,
+) -> float:
+    """Invert Eq. 1: the maximum tolerable loss rate for a target rate.
+
+    Useful for engineering statements like "to run 10 Gbps across the
+    country, loss must stay below X".
+    """
+    if target.bps <= 0:
+        raise ConfigurationError("target rate must be positive")
+    if rtt.s <= 0 or mss.bits <= 0:
+        raise ConfigurationError("need positive RTT and MSS")
+    p = (constant * mss.bits / rtt.s / target.bps) ** 2
+    return min(1.0, p)
+
+
+def loss_free_throughput(path_capacity: DataRate) -> DataRate:
+    """The p=0 limit: TCP fills the pipe (Figure 1's topmost line)."""
+    return path_capacity
+
+
+def packets_per_second(rate: DataRate, frame_size: DataSize) -> float:
+    """Frames per second at ``rate`` with ``frame_size`` frames.
+
+    The paper's §2 example: a 10 Gbps line card at peak efficiency with
+    regular-sized frames forwards 812,744 frames/s.  On the wire each
+    1500-byte Ethernet frame carries 38 bytes of overhead (preamble, FCS,
+    inter-frame gap), giving 10e9 / (1538 * 8) = 812,744.
+
+    >>> from repro.units import Gbps, bytes_
+    >>> round(packets_per_second(Gbps(10), bytes_(1538)))
+    812744
+    """
+    if frame_size.bits <= 0:
+        raise ConfigurationError("frame size must be positive")
+    return rate.bps / frame_size.bits
+
+
+def packets_lost_per_second(
+    rate: DataRate, frame_size: DataSize, loss_rate: float
+) -> float:
+    """Packets lost per second at a given loss rate (the paper's "37/s")."""
+    if not 0.0 <= loss_rate <= 1.0:
+        raise ConfigurationError("loss_rate must be in [0, 1]")
+    return packets_per_second(rate, frame_size) * loss_rate

@@ -1,0 +1,417 @@
+"""Synchronized multi-flow TCP simulation over a shared topology.
+
+Single connections are handled by :class:`repro.tcp.connection.TcpConnection`;
+this module simulates *competing* flows — the supercomputer-center and
+big-data-site experiments need many DTN streams sharing links, and the
+fan-out/fan-in campus stories need science flows competing with enterprise
+background traffic.
+
+Model: a fluid tick loop.  Each tick
+
+1. every active flow offers ``window/RTT``;
+2. link bandwidth is divided max-min fairly among the flows crossing it;
+3. links whose offered load exceeds capacity grow a virtual queue; when a
+   queue overflows its buffer, flows crossing that link suffer a loss event
+   with probability proportional to their share of the overload;
+4. per-packet random loss on each flow's path contributes stochastic loss
+   events;
+5. each flow advances its own RTT clock and applies congestion control once
+   per RTT.
+
+The approximation is standard fluid-model fare: it will not reproduce
+packet-level synchronization artifacts, but it preserves the relationships
+the paper's experiments rely on (who wins, how throughput scales with flow
+count and buffering, how badly loss hurts at high RTT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, SimulationError
+from ..netsim.flow import FlowSpec
+from ..netsim.link import Link
+from ..netsim.topology import Path, PathProfile, Topology
+from ..units import DataRate, DataSize, TimeDelta, bits, seconds
+from .congestion import CongestionControl, Reno, algorithm_by_name
+
+__all__ = ["FlowProgress", "MultiFlowSimulation", "max_min_fair_allocation"]
+
+
+def max_min_fair_allocation(
+    demands: np.ndarray,
+    usage: np.ndarray,
+    capacities: np.ndarray,
+) -> np.ndarray:
+    """Max-min fair rates for flows over shared links.
+
+    Parameters
+    ----------
+    demands:
+        Shape (F,) — each flow's offered rate (bps).
+    usage:
+        Shape (F, L) boolean — flow f crosses link l.
+    capacities:
+        Shape (L,) — link capacities (bps).
+
+    Returns
+    -------
+    Shape (F,) allocated rates; each flow gets at most its demand and links
+    are never oversubscribed.  Classic progressive-filling algorithm.
+    """
+    demands = np.asarray(demands, dtype=np.float64)
+    usage = np.asarray(usage, dtype=bool)
+    capacities = np.asarray(capacities, dtype=np.float64)
+    n_flows, n_links = usage.shape
+    if demands.shape != (n_flows,) or capacities.shape != (n_links,):
+        raise ConfigurationError("max_min_fair_allocation: shape mismatch")
+
+    alloc = np.zeros(n_flows)
+    frozen = demands <= 0
+    alloc[frozen] = 0.0
+    remaining_cap = capacities.astype(np.float64).copy()
+
+    # Progressive filling: each round either satisfies some flows' demands
+    # or saturates the currently tightest link, freezing only the flows
+    # that cross it.  Terminates within n_flows + n_links rounds.
+    for _ in range(n_flows + n_links + 1):
+        active = ~frozen
+        if not active.any():
+            break
+        # Fair share on each link among its active flows.
+        active_per_link = usage[active].sum(axis=0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            share = np.where(
+                active_per_link > 0,
+                remaining_cap / np.maximum(active_per_link, 1),
+                np.inf,
+            )
+        # Each active flow is limited by the tightest link it crosses.
+        limit = np.full(n_flows, np.inf)
+        for f in np.nonzero(active)[0]:
+            links = usage[f]
+            if links.any():
+                limit[f] = share[links].min()
+        # Flows whose demand is below their limit are satisfied; freeze them
+        # and recompute shares with the released capacity.
+        headroom = demands - alloc
+        satisfied = active & (headroom <= limit + 1e-9)
+        if satisfied.any():
+            grant = headroom[satisfied]
+            alloc[satisfied] += grant
+            for f, g in zip(np.nonzero(satisfied)[0], grant):
+                remaining_cap[usage[f]] -= g
+            frozen |= satisfied
+            continue
+        # No flow is demand-satisfied: saturate the tightest link only.
+        finite_links = share[active_per_link > 0]
+        if finite_links.size == 0 or not np.isfinite(finite_links).any():
+            alloc[active] = demands[active]
+            break
+        min_share = finite_links[np.isfinite(finite_links)].min()
+        bottleneck_links = (active_per_link > 0) & (share <= min_share + 1e-9)
+        to_freeze = active & usage[:, bottleneck_links].any(axis=1)
+        for f in np.nonzero(to_freeze)[0]:
+            alloc[f] += limit[f]
+            remaining_cap[usage[f]] -= limit[f]
+        remaining_cap = np.maximum(remaining_cap, 0.0)
+        frozen |= to_freeze
+    return np.minimum(alloc, demands)
+
+
+@dataclass
+class FlowProgress:
+    """Per-flow outcome of a multi-flow simulation."""
+
+    spec: FlowSpec
+    delivered: DataSize = bits(0)
+    finish_time: Optional[TimeDelta] = None
+    loss_events: int = 0
+    started: bool = False
+    time_series: List[Tuple[float, float]] = field(default_factory=list)
+    # (time_s, rate_bps) decimated samples
+
+    @property
+    def done(self) -> bool:
+        return self.finish_time is not None
+
+    def mean_throughput(self, now: TimeDelta) -> DataRate:
+        end = self.finish_time.s if self.finish_time else now.s
+        start = self.spec.start.s
+        dur = max(end - start, 1e-12)
+        return DataRate(self.delivered.bits / dur)
+
+
+class _StreamState:
+    """Congestion state of one TCP stream inside a flow."""
+
+    __slots__ = ("cwnd", "ssthresh", "time_since_loss", "rtt_clock",
+                 "loss_flag", "delivered_bits", "remaining_bits")
+
+    def __init__(self, initial_cwnd: float, remaining_bits: Optional[float]):
+        self.cwnd = initial_cwnd
+        self.ssthresh = float("inf")
+        self.time_since_loss = 0.0
+        self.rtt_clock = 0.0
+        self.loss_flag = False
+        self.delivered_bits = 0.0
+        self.remaining_bits = remaining_bits
+
+
+class MultiFlowSimulation:
+    """Run a set of :class:`FlowSpec` demands over a topology.
+
+    Parameters
+    ----------
+    topology:
+        The network.
+    specs:
+        Flow demands.  Labels must be unique and non-empty.
+    rng:
+        Required for stochastic loss; deterministic paths may omit it.
+    algorithm:
+        Congestion control shared by all flows, or a dict
+        ``{label: algorithm}`` for per-flow choices.
+    buffer_rtt_fraction:
+        Virtual-queue depth per link, in units of that link's
+        capacity x 100 ms (approximating "one WAN RTT of buffer").
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        specs: Sequence[FlowSpec],
+        *,
+        rng: Optional[np.random.Generator] = None,
+        algorithm=None,
+        buffer_rtt_fraction: float = 1.0,
+        initial_cwnd: float = 10.0,
+    ) -> None:
+        if not specs:
+            raise ConfigurationError("MultiFlowSimulation needs at least one flow")
+        labels = [s.label or f"flow{i}" for i, s in enumerate(specs)]
+        if len(set(labels)) != len(labels):
+            raise ConfigurationError("flow labels must be unique")
+        self.topology = topology
+        self._rng = rng
+        self._buffer_frac = buffer_rtt_fraction
+        self._initial_cwnd = initial_cwnd
+
+        self._labels = labels
+        self._specs = list(specs)
+        self._paths: List[Path] = []
+        self._profiles: List[PathProfile] = []
+        self._algos: List[CongestionControl] = []
+        for label, spec in zip(labels, self._specs):
+            path = topology.path(spec.src, spec.dst, **spec.policy)
+            profile = topology.profile(path)
+            self._paths.append(path)
+            self._profiles.append(profile)
+            if isinstance(algorithm, dict):
+                algo = algorithm.get(label, Reno())
+            elif algorithm is None:
+                algo = Reno()
+            else:
+                algo = algorithm
+            if isinstance(algo, str):
+                algo = algorithm_by_name(algo)
+            self._algos.append(algo)
+            if profile.random_loss > 0 and rng is None:
+                raise ConfigurationError(
+                    f"flow {label!r} crosses a lossy path; rng is required"
+                )
+
+        # Link inventory: every link used by any flow.
+        link_ids: Dict[int, int] = {}
+        self._links: List[Link] = []
+        for path in self._paths:
+            for link in path.links:
+                if id(link) not in link_ids:
+                    link_ids[id(link)] = len(self._links)
+                    self._links.append(link)
+        n_flows, n_links = len(specs), len(self._links)
+        self._usage = np.zeros((n_flows, n_links), dtype=bool)
+        for f, path in enumerate(self._paths):
+            for link in path.links:
+                self._usage[f, link_ids[id(link)]] = True
+        self._capacities = np.array([l.rate.bps for l in self._links])
+        self._queues = np.zeros(n_links)
+        self._buffers = self._capacities * 0.1 * buffer_rtt_fraction  # bits
+
+        self.progress: Dict[str, FlowProgress] = {
+            label: FlowProgress(spec=spec)
+            for label, spec in zip(labels, self._specs)
+        }
+        # One stream state per parallel stream of each flow.
+        self._streams: List[List[_StreamState]] = []
+        for spec in self._specs:
+            per = spec.per_stream_size()
+            self._streams.append([
+                _StreamState(initial_cwnd, per.bits if per else None)
+                for _ in range(spec.parallel_streams)
+            ])
+
+    # ---------------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        until: Optional[TimeDelta] = None,
+        max_ticks: int = 2_000_000,
+        sample_interval: TimeDelta = seconds(1.0),
+    ) -> Dict[str, FlowProgress]:
+        """Advance until all sized flows finish (or ``until`` elapses)."""
+        rtts = np.array([max(p.base_rtt.s, 1e-6) for p in self._profiles])
+        dt = float(min(rtts.min() / 2.0, 0.05))
+        horizon = until.s if until is not None else float("inf")
+        if until is None and all(s.size is None for s in self._specs):
+            raise ConfigurationError(
+                "all flows are unbounded; an explicit until= horizon is required"
+            )
+        now = 0.0
+        next_sample = 0.0
+        rng = self._rng
+        n_flows = len(self._specs)
+        mss_bits = np.array([p.flow.mss.bits for p in self._profiles])
+        rwnd_pkts = np.array([
+            max(1.0, p.flow.effective_receive_window().bits / m)
+            for p, m in zip(self._profiles, mss_bits)
+        ])
+        loss_p = np.array([p.random_loss for p in self._profiles])
+        rate_caps = np.array([
+            (s.rate_limit.bps if s.rate_limit else np.inf) for s in self._specs
+        ])
+
+        for tick in range(max_ticks):
+            if now >= horizon:
+                break
+            active_any = False
+            demands = np.zeros(n_flows)
+            for f, (spec, streams) in enumerate(zip(self._specs, self._streams)):
+                prog = self.progress[self._labels[f]]
+                if prog.done or now < spec.start.s:
+                    continue
+                prog.started = True
+                active_any = True
+                demand = sum(
+                    min(st.cwnd, rwnd_pkts[f]) * mss_bits[f] / rtts[f]
+                    for st in streams
+                    if st.remaining_bits is None or st.remaining_bits > 0
+                )
+                demands[f] = min(demand, rate_caps[f])
+            if not active_any:
+                # Flows scheduled in the future? Jump the clock to the next
+                # start rather than ending the simulation early.
+                pending = [
+                    spec.start.s
+                    for label, spec in zip(self._labels, self._specs)
+                    if not self.progress[label].done and spec.start.s > now
+                ]
+                if pending:
+                    now = min(min(pending), horizon)
+                    continue
+                if until is None:
+                    break
+                now = min(horizon, now + dt)
+                continue
+
+            alloc = max_min_fair_allocation(demands, self._usage, self._capacities)
+
+            # Virtual queues: links where offered demand exceeds capacity.
+            offered_per_link = (demands[:, None] * self._usage).sum(axis=0)
+            overload = offered_per_link - self._capacities
+            self._queues += np.maximum(overload, 0.0) * dt
+            drained = overload < 0
+            self._queues[drained] = np.maximum(
+                0.0, self._queues[drained] + overload[drained] * dt
+            )
+            overflowing = self._queues > self._buffers
+            self._queues = np.minimum(self._queues, self._buffers)
+
+            # Loss events: congestion overflow + random path loss.
+            for f in range(n_flows):
+                label = self._labels[f]
+                prog = self.progress[label]
+                if prog.done or demands[f] <= 0:
+                    continue
+                streams = self._streams[f]
+                live = [st for st in streams
+                        if st.remaining_bits is None or st.remaining_bits > 0]
+                if not live:
+                    continue
+                rate_per_stream = alloc[f] / len(live)
+                congested = bool((self._usage[f] & overflowing).any())
+                for st in live:
+                    got = rate_per_stream * dt
+                    if st.remaining_bits is not None:
+                        got = min(got, st.remaining_bits)
+                        st.remaining_bits -= got
+                    st.delivered_bits += got
+                    prog.delivered = bits(prog.delivered.bits + got)
+                    if congested and rng is not None:
+                        # Probability scaled by the flow's share of overload.
+                        if rng.random() < min(1.0, dt / rtts[f]):
+                            st.loss_flag = True
+                    elif congested:
+                        st.loss_flag = True
+                    if loss_p[f] > 0:
+                        pkts = got / mss_bits[f]
+                        p_evt = 1.0 - (1.0 - loss_p[f]) ** pkts
+                        if rng.random() < p_evt:
+                            st.loss_flag = True
+
+                    # Per-RTT congestion-control update.
+                    st.rtt_clock += dt
+                    st.time_since_loss += dt
+                    if st.rtt_clock >= rtts[f]:
+                        st.rtt_clock = 0.0
+                        algo = self._algos[f]
+                        if st.loss_flag:
+                            st.loss_flag = False
+                            prog.loss_events += 1
+                            # Reduce from what was actually in flight
+                            # (RFC 2861), not an inflated cwnd.
+                            inflight = min(st.cwnd, rwnd_pkts[f])
+                            st.cwnd = algo.on_loss(inflight, rtts[f], rtts[f])
+                            st.ssthresh = st.cwnd
+                            st.time_since_loss = 0.0
+                        elif st.cwnd < st.ssthresh:
+                            st.cwnd = min(st.cwnd * algo.slow_start_factor,
+                                          rwnd_pkts[f] * 1.25)
+                        elif st.cwnd <= rwnd_pkts[f]:
+                            st.cwnd = min(
+                                st.cwnd + algo.increase(
+                                    st.cwnd, st.time_since_loss, rtts[f]),
+                                rwnd_pkts[f] * 1.25,
+                            )
+
+                if all(st.remaining_bits is not None and st.remaining_bits <= 0
+                       for st in streams):
+                    prog.finish_time = seconds(now + dt)
+
+            now += dt
+            if now >= next_sample:
+                next_sample = now + sample_interval.s
+                for f, label in enumerate(self._labels):
+                    prog = self.progress[label]
+                    if prog.started and not prog.done:
+                        prog.time_series.append((now, float(alloc[f])))
+        else:
+            raise SimulationError(
+                f"multi-flow simulation did not settle within {max_ticks} ticks"
+            )
+
+        self.finished_at = seconds(now)
+        return self.progress
+
+    # -- conveniences ---------------------------------------------------------------
+    def profile_of(self, label: str) -> PathProfile:
+        try:
+            return self._profiles[self._labels.index(label)]
+        except ValueError:
+            raise ConfigurationError(f"no flow labelled {label!r}") from None
+
+    def aggregate_delivered(self) -> DataSize:
+        return bits(sum(p.delivered.bits for p in self.progress.values()))

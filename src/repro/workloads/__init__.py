@@ -1,0 +1,42 @@
+"""Workload and traffic generation.
+
+* :mod:`repro.workloads.datasets` — dataset catalogs and file-size
+  distributions, including the paper's named datasets (NOAA GEFS
+  reforecast, the carbon-14 input files, LHC-scale stores).
+* :mod:`repro.workloads.science` — science transfer workload builders
+  (LHC-like steady fan-in, climate-archive bulk pulls, light-source
+  burst-per-experiment patterns).
+* :mod:`repro.workloads.background` — enterprise background traffic
+  profiles (the "many low-speed flows" a business network carries).
+"""
+
+from .datasets import (
+    FileSizeDistribution,
+    make_dataset,
+    NOAA_GEFS_SAMPLE,
+    NOAA_GEFS_FULL_PULL,
+    CARBON14_INPUTS,
+    LHC_DAILY_REPLICATION,
+)
+from .science import (
+    ScienceWorkload,
+    lhc_tier2_fanin,
+    climate_archive_pull,
+    lightsource_bursts,
+)
+from .background import enterprise_background_sources, BackgroundProfile
+
+__all__ = [
+    "FileSizeDistribution",
+    "make_dataset",
+    "NOAA_GEFS_SAMPLE",
+    "NOAA_GEFS_FULL_PULL",
+    "CARBON14_INPUTS",
+    "LHC_DAILY_REPLICATION",
+    "ScienceWorkload",
+    "lhc_tier2_fanin",
+    "climate_archive_pull",
+    "lightsource_bursts",
+    "enterprise_background_sources",
+    "BackgroundProfile",
+]

@@ -1,0 +1,122 @@
+"""Enterprise background traffic profiles.
+
+§5: firewall architectures "work well when the traffic traversing the
+firewall is composed of a large number of low-speed flows (e.g., a typical
+business network traffic profile)".  To show that contrast, experiments
+need such a profile: many small bursty sources (web, mail, VoIP-ish)
+rather than a few elephant flows.
+
+:func:`enterprise_background_sources` produces
+:class:`~repro.netsim.packetsim.BurstySource` lists for the packet-level
+device studies; :meth:`BackgroundProfile.flow_specs` produces unbounded
+low-rate :class:`~repro.netsim.flow.FlowSpec` demands for the fluid
+multi-flow simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+from ..errors import ConfigurationError
+from ..netsim.flow import FlowSpec
+from ..netsim.packetsim import BurstySource
+from ..units import (
+    DataRate,
+    DataSize,
+    KB,
+    Kbps,
+    Mbps,
+    bytes_,
+    seconds,
+)
+
+__all__ = ["BackgroundProfile", "enterprise_background_sources"]
+
+
+@dataclass(frozen=True)
+class BackgroundProfile:
+    """A population of small business-traffic flows.
+
+    Parameters
+    ----------
+    flow_count:
+        Number of concurrent low-speed flows.
+    per_flow_mean:
+        Long-run average rate of each flow.
+    per_flow_line_rate:
+        Access rate of the client (bursts run at this).
+    burst_size:
+        Bytes per application burst (a web page, a mail message).
+    """
+
+    flow_count: int = 200
+    per_flow_mean: DataRate = field(default_factory=lambda: Kbps(500))
+    per_flow_line_rate: DataRate = field(default_factory=lambda: Mbps(100))
+    burst_size: DataSize = field(default_factory=lambda: KB(64))
+
+    def __post_init__(self) -> None:
+        if self.flow_count < 1:
+            raise ConfigurationError("flow_count must be >= 1")
+        if self.per_flow_mean.bps > self.per_flow_line_rate.bps:
+            raise ConfigurationError("mean rate cannot exceed line rate")
+
+    @property
+    def aggregate_mean(self) -> DataRate:
+        return DataRate(self.flow_count * self.per_flow_mean.bps)
+
+    def sources(self, *, packet_size: DataSize = bytes_(1500)
+                ) -> List[BurstySource]:
+        """Packet-level sources for device studies."""
+        return [
+            BurstySource(
+                name=f"bg{i}",
+                line_rate=self.per_flow_line_rate,
+                mean_rate=self.per_flow_mean,
+                burst_size=self.burst_size,
+                packet_size=packet_size,
+            )
+            for i in range(self.flow_count)
+        ]
+
+    def flow_specs(self, src: str, dst: str, *,
+                   policy: Optional[dict] = None,
+                   bundle: int = 10) -> List[FlowSpec]:
+        """Fluid-model demands: flows bundled to keep simulations tractable.
+
+        ``bundle`` flows are aggregated into one rate-capped FlowSpec
+        (fluid fairness treats them identically, and it keeps the
+        multi-flow state small).
+        """
+        if bundle < 1:
+            raise ConfigurationError("bundle must be >= 1")
+        bundles = max(1, self.flow_count // bundle)
+        per_bundle_rate = DataRate(self.aggregate_mean.bps / bundles)
+        return [
+            FlowSpec(
+                src=src,
+                dst=dst,
+                size=None,
+                rate_limit=per_bundle_rate,
+                policy=dict(policy or {}),
+                label=f"enterprise-bg-{i}",
+            )
+            for i in range(bundles)
+        ]
+
+
+def enterprise_background_sources(
+    count: int = 200,
+    *,
+    per_flow_mean: DataRate = Kbps(500),
+    line_rate: DataRate = Mbps(100),
+    burst_size: DataSize = KB(64),
+) -> List[BurstySource]:
+    """Shorthand for :meth:`BackgroundProfile.sources`."""
+    return BackgroundProfile(
+        flow_count=count,
+        per_flow_mean=per_flow_mean,
+        per_flow_line_rate=line_rate,
+        burst_size=burst_size,
+    ).sources()

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netsim import Link, Topology
+from repro.netsim.node import Router
+from repro.units import Gbps, bytes_, ms
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator; tests share a fixed seed."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def clean_path_topology():
+    """Two 10G hosts across a 25 ms one-way (50 ms RTT) jumbo WAN link."""
+    topo = Topology("clean")
+    topo.add_host("a", nic_rate=Gbps(10))
+    topo.add_host("b", nic_rate=Gbps(10))
+    topo.connect("a", "b", Link(rate=Gbps(10), delay=ms(25),
+                                mtu=bytes_(9000)))
+    return topo
+
+
+@pytest.fixture
+def star_topology():
+    """Four 10G hosts joined by a core router (1 ms spokes)."""
+    topo = Topology("star")
+    topo.add_node(Router(name="core"))
+    for name in ("h1", "h2", "h3", "h4"):
+        topo.add_host(name, nic_rate=Gbps(10))
+        topo.connect(name, "core", Link(rate=Gbps(10), delay=ms(1),
+                                        mtu=bytes_(9000)))
+    return topo

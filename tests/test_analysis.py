@@ -1,0 +1,150 @@
+"""Tests for result tables, series helpers, and experiment records."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ExperimentRecord,
+    ExperimentReport,
+    ResultTable,
+    ascii_chart,
+    decimate,
+    rolling_mean,
+)
+from repro.errors import ConfigurationError
+
+
+class TestResultTable:
+    def test_render_text_alignment(self):
+        t = ResultTable("demo", ["name", "value"])
+        t.add_row(["alpha", 1.5])
+        t.add_row(["beta-longer", 22])
+        text = t.render_text()
+        lines = text.split("\n")
+        assert lines[0] == "== demo =="
+        assert "alpha" in text and "beta-longer" in text
+        # Header separator present.
+        assert set(lines[2]) <= {"-", "+"}
+
+    def test_render_csv(self):
+        t = ResultTable("demo", ["a", "b"])
+        t.add_row(["x,y", 2])
+        csv = t.render_csv()
+        assert csv.splitlines()[0] == "a,b"
+        assert "x;y" in csv  # comma escaped
+
+    def test_float_formatting(self):
+        t = ResultTable("demo", ["v"])
+        t.add_row([1234567.0])
+        t.add_row([0.000012])
+        t.add_row([0.0])
+        col = t.column("v")
+        assert "e" in col[0] or "E" in col[0]
+        assert col[2] == "0"
+
+    def test_column_lookup(self):
+        t = ResultTable("demo", ["a", "b"])
+        t.add_row([1, 2])
+        assert t.column("b") == ["2"]
+        with pytest.raises(ConfigurationError):
+            t.column("missing")
+
+    def test_row_width_validated(self):
+        t = ResultTable("demo", ["a", "b"])
+        with pytest.raises(ConfigurationError):
+            t.add_row([1])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ResultTable("demo", ["a", "a"])
+
+    def test_len(self):
+        t = ResultTable("demo", ["a"])
+        t.add_row([1])
+        assert len(t) == 1
+
+
+class TestSeries:
+    def test_decimate_short_series_untouched(self):
+        t = np.arange(10.0)
+        v = t * 2
+        dt, dv = decimate(t, v, max_points=100)
+        assert np.array_equal(dt, t)
+
+    def test_decimate_caps_length(self):
+        t = np.linspace(0, 1, 10_000)
+        dt, dv = decimate(t, t, max_points=256)
+        assert len(dt) == 256
+        assert dt[0] == 0 and dt[-1] == 1
+
+    def test_decimate_validates(self):
+        with pytest.raises(ConfigurationError):
+            decimate(np.arange(5.0), np.arange(4.0))
+
+    def test_rolling_mean_basic(self):
+        out = rolling_mean(np.array([1.0, 2.0, 3.0, 4.0]), window=2)
+        assert out[0] == 1.0
+        assert out[1] == pytest.approx(1.5)
+        assert out[3] == pytest.approx(3.5)
+
+    def test_rolling_mean_window_one_identity(self):
+        v = np.array([3.0, 1.0, 4.0])
+        assert np.array_equal(rolling_mean(v, 1), v)
+
+    def test_ascii_chart_renders(self):
+        x = np.linspace(0, 100, 50)
+        chart = ascii_chart(
+            [("reno", x, x * 1e7), ("htcp", x, x * 3e7)],
+            title="throughput vs rtt", logy=False,
+            xlabel="rtt", ylabel="bps",
+        )
+        assert "throughput vs rtt" in chart
+        assert "legend: *=reno  o=htcp" in chart
+        assert "rtt" in chart
+
+    def test_ascii_chart_logy(self):
+        x = np.array([1.0, 2.0, 3.0])
+        chart = ascii_chart([("s", x, np.array([1e3, 1e6, 1e9]))], logy=True)
+        assert "*" in chart
+
+    def test_ascii_chart_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart([])
+
+
+class TestExperimentRecords:
+    def test_checks_evaluate(self):
+        record = ExperimentRecord("Fig X", "claim", "measured")
+        record.add_check("two is greater than one", lambda: 2 > 1)
+        record.add_check("impossible", lambda: False)
+        assert record.evaluate() is False
+        assert [c.passed for c in record.checks] == [True, False]
+
+    def test_markdown_rendering(self):
+        record = ExperimentRecord("§6.3 NOAA", "200x", "195x",
+                                  notes="storage-capped")
+        record.add_check("speedup > 100x", lambda: True)
+        record.evaluate()
+        md = record.render_markdown()
+        assert "### §6.3 NOAA" in md
+        assert "[PASS]" in md
+        assert "storage-capped" in md
+
+    def test_text_rendering_not_run(self):
+        record = ExperimentRecord("id", "a", "b")
+        record.add_check("later", lambda: True)
+        assert "not-run" in record.render_text()
+
+    def test_report_aggregates(self):
+        report = ExperimentReport("all experiments")
+        r1 = report.add(ExperimentRecord("one", "x", "y"))
+        r1.add_check("ok", lambda: True)
+        r2 = report.add(ExperimentRecord("two", "x", "y"))
+        r2.add_check("bad", lambda: False)
+        assert report.evaluate() is False
+        assert len(report.failures()) == 1
+        assert "## all experiments" in report.render_markdown()
+
+    def test_report_needs_title(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentReport("")

@@ -1,0 +1,77 @@
+"""Tests for the parameter-sweep helper."""
+
+import pytest
+
+from repro.analysis import sweep
+from repro.errors import ConfigurationError
+
+
+class TestSweep:
+    def test_cartesian_order(self):
+        result = sweep(lambda a, b: (a, b), {"a": [1, 2], "b": ["x", "y"]})
+        assert [r.params for r in result.records] == [
+            {"a": 1, "b": "x"}, {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"}, {"a": 2, "b": "y"},
+        ]
+
+    def test_values(self):
+        result = sweep(lambda x: x * x, {"x": [1, 2, 3]})
+        assert result.values() == [1, 4, 9]
+
+    def test_table_rendering(self):
+        result = sweep(lambda x: x + 1, {"x": [1, 2]},
+                       value_label="successor")
+        table = result.table("demo")
+        assert table.columns == ["x", "successor"]
+        assert len(table) == 2
+        assert "demo" in table.render_text()
+
+    def test_best(self):
+        result = sweep(lambda x: 10 - (x - 3) ** 2, {"x": [0, 1, 2, 3, 4]})
+        assert result.best(key=float).params == {"x": 3}
+        assert result.best(key=float, maximize=False).params == {"x": 0}
+
+    def test_errors_propagate_by_default(self):
+        def boom(x):
+            raise ValueError("nope")
+        with pytest.raises(ValueError):
+            sweep(boom, {"x": [1]})
+
+    def test_catch_errors_records_failures(self):
+        def sometimes(x):
+            if x == 2:
+                raise ValueError("two is right out")
+            return x
+        result = sweep(sometimes, {"x": [1, 2, 3]}, catch_errors=True)
+        assert result.values() == [1, 3]
+        assert len(result.failures()) == 1
+        assert "two is right out" in result.failures()[0].error
+        table = result.table()
+        assert "error:" in table.render_text()
+
+    def test_best_requires_success(self):
+        def boom(x):
+            raise ValueError("nope")
+        result = sweep(boom, {"x": [1]}, catch_errors=True)
+        with pytest.raises(ConfigurationError):
+            result.best(key=float)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep(lambda: 1, {})
+        with pytest.raises(ConfigurationError):
+            sweep(lambda x: x, {"x": []})
+
+    def test_realistic_sweep_with_library(self):
+        """A miniature version of what the benches do."""
+        from repro.tcp.mathis import mathis_throughput
+        from repro.units import bytes_, seconds
+        result = sweep(
+            lambda rtt_ms, loss: mathis_throughput(
+                bytes_(9000), seconds(rtt_ms / 1e3), loss).mbps,
+            {"rtt_ms": [10, 100], "loss": [1e-4, 1e-2]},
+            value_label="mathis_mbps",
+        )
+        values = result.values()
+        assert values[0] > values[1]  # more loss, less throughput
+        assert values[0] > values[2]  # more rtt, less throughput

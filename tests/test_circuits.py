@@ -1,0 +1,254 @@
+"""Tests for OSCARS reservations, SDN bypass, and RoCE (§7)."""
+
+import pytest
+
+from repro.circuits import (
+    FlowRule,
+    FlowTable,
+    OpenFlowController,
+    OscarsService,
+    ReservationRequest,
+    RoceTransfer,
+)
+from repro.circuits.roce import ROCE_EFFICIENCY
+from repro.devices.firewall import Firewall
+from repro.devices.ids import IntrusionDetectionSystem
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    SecurityPolicyError,
+)
+from repro.netsim import Link, Topology
+from repro.netsim.node import Router
+from repro.units import GB, Gbps, TB, bytes_, hours, ms, seconds, us
+
+
+def circuit_topology():
+    topo = Topology("circuits")
+    topo.add_host("dtn-a", nic_rate=Gbps(40))
+    topo.add_host("dtn-b", nic_rate=Gbps(40))
+    topo.add_node(Router(name="r1"))
+    topo.add_node(Router(name="r2"))
+    topo.connect("dtn-a", "r1", Link(rate=Gbps(40), delay=us(50),
+                                     mtu=bytes_(9000)))
+    topo.connect("r1", "r2", Link(rate=Gbps(100), delay=ms(20),
+                                  mtu=bytes_(9000)))
+    topo.connect("r2", "dtn-b", Link(rate=Gbps(40), delay=us(50),
+                                     mtu=bytes_(9000)))
+    return topo
+
+
+class TestOscars:
+    def test_reserve_and_release(self):
+        svc = OscarsService(circuit_topology())
+        req = ReservationRequest("dtn-a", "dtn-b", Gbps(10),
+                                 seconds(0), hours(1))
+        res = svc.reserve(req)
+        assert res.circuit_id == 1
+        assert len(svc.active()) == 1
+        svc.release(res)
+        assert svc.active() == []
+
+    def test_admission_control_rejects_oversubscription(self):
+        svc = OscarsService(circuit_topology(), reservable_fraction=0.8)
+        # 40G access link x 0.8 = 32G reservable.
+        svc.reserve(ReservationRequest("dtn-a", "dtn-b", Gbps(20),
+                                       seconds(0), hours(1)))
+        with pytest.raises(CapacityError):
+            svc.reserve(ReservationRequest("dtn-a", "dtn-b", Gbps(20),
+                                           seconds(0), hours(1)))
+
+    def test_non_overlapping_windows_share_capacity(self):
+        svc = OscarsService(circuit_topology())
+        svc.reserve(ReservationRequest("dtn-a", "dtn-b", Gbps(30),
+                                       seconds(0), hours(1)))
+        # Same bandwidth later in the day is fine.
+        svc.reserve(ReservationRequest("dtn-a", "dtn-b", Gbps(30),
+                                       hours(2), hours(3)))
+        assert len(svc.active()) == 2
+
+    def test_available_on_path_decreases(self):
+        svc = OscarsService(circuit_topology())
+        req = ReservationRequest("dtn-a", "dtn-b", Gbps(10),
+                                 seconds(0), hours(1))
+        path = svc.topology.path("dtn-a", "dtn-b")
+        before = svc.available_on_path(path, req)
+        svc.reserve(req)
+        after = svc.available_on_path(path, req)
+        assert before.bps - after.bps == pytest.approx(Gbps(10).bps)
+
+    def test_circuit_profile_clamped_to_reservation(self):
+        svc = OscarsService(circuit_topology())
+        res = svc.reserve(ReservationRequest("dtn-a", "dtn-b", Gbps(10),
+                                             seconds(0), hours(1)))
+        profile = svc.circuit_profile(res)
+        assert profile.capacity.gbps == pytest.approx(10)
+        assert profile.random_loss == 0.0
+
+    def test_release_unknown_rejected(self):
+        svc = OscarsService(circuit_topology())
+        res = svc.reserve(ReservationRequest("dtn-a", "dtn-b", Gbps(1),
+                                             seconds(0), hours(1)))
+        svc.release(res)
+        with pytest.raises(ConfigurationError):
+            svc.release(res)
+
+    def test_request_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReservationRequest("a", "b", Gbps(0), seconds(0), hours(1))
+        with pytest.raises(ConfigurationError):
+            ReservationRequest("a", "b", Gbps(1), hours(1), seconds(0))
+
+
+class TestRoce:
+    def test_clean_circuit_near_line_rate(self):
+        svc = OscarsService(circuit_topology(), reservable_fraction=1.0)
+        res = svc.reserve(ReservationRequest("dtn-a", "dtn-b", Gbps(40),
+                                             seconds(0), hours(1)))
+        roce = RoceTransfer(svc.circuit_profile(res))
+        # The Kissel et al. number: 39.5 Gbps on a 40GE host.
+        assert roce.goodput().gbps == pytest.approx(39.5, rel=0.01)
+
+    def test_cpu_ratio_is_50x(self):
+        svc = OscarsService(circuit_topology(), reservable_fraction=1.0)
+        res = svc.reserve(ReservationRequest("dtn-a", "dtn-b", Gbps(40),
+                                             seconds(0), hours(1)))
+        result = RoceTransfer(svc.circuit_profile(res)).transfer(TB(1))
+        tcp_cores = RoceTransfer.tcp_cpu_cores(result.throughput)
+        assert tcp_cores / result.cpu_cores_used == pytest.approx(50, rel=0.01)
+
+    def test_loss_collapses_roce_harder_than_tcp(self):
+        topo = circuit_topology()
+        topo.link_between("r1", "r2").degrade(loss_probability=1e-4)
+        profile = topo.profile_between("dtn-a", "dtn-b")
+        roce = RoceTransfer(profile)
+        # Go-back-N with a BDP window at 1e-4 loss: well below line rate
+        # (the reason §7.1 requires a clean dedicated circuit).
+        assert roce.goodput().gbps < 0.5 * profile.capacity.gbps
+        result = roce.transfer(GB(10))
+        assert result.loss_limited
+
+    def test_transfer_duration(self):
+        svc = OscarsService(circuit_topology(), reservable_fraction=1.0)
+        res = svc.reserve(ReservationRequest("dtn-a", "dtn-b", Gbps(40),
+                                             seconds(0), hours(1)))
+        result = RoceTransfer(svc.circuit_profile(res)).transfer(TB(1))
+        expected = TB(1).bits / (Gbps(40).bps * ROCE_EFFICIENCY)
+        assert result.duration.s == pytest.approx(expected, rel=0.01)
+
+    def test_validation(self):
+        svc = OscarsService(circuit_topology())
+        res = svc.reserve(ReservationRequest("dtn-a", "dtn-b", Gbps(1),
+                                             seconds(0), hours(1)))
+        with pytest.raises(ConfigurationError):
+            RoceTransfer(svc.circuit_profile(res)).transfer(GB(0))
+
+
+def sdn_topology():
+    """Hosts with both a firewalled default path and a science bypass."""
+    topo = Topology("sdn")
+    topo.add_host("site-a", nic_rate=Gbps(10))
+    topo.add_host("site-b", nic_rate=Gbps(10))
+    topo.add_node(Router(name="edge"))
+    fw = topo.add_node(Firewall(name="fw"))
+    fw.policy.allow()
+    topo.add_node(Router(name="inner"))
+    topo.connect("site-a", "edge", Link(rate=Gbps(10), delay=ms(1),
+                                        mtu=bytes_(9000)))
+    topo.connect("edge", "fw", Link(rate=Gbps(10), delay=us(10)))
+    topo.connect("fw", "inner", Link(rate=Gbps(10), delay=us(10)))
+    # Bypass path: edge -> inner directly (higher latency so the default
+    # shortest path goes through the firewall).
+    topo.connect("edge", "inner", Link(rate=Gbps(10), delay=ms(5),
+                                       mtu=bytes_(9000), tags={"science"}))
+    topo.connect("inner", "site-b", Link(rate=Gbps(10), delay=ms(1),
+                                         mtu=bytes_(9000)))
+    return topo
+
+
+class TestFlowTable:
+    def test_priority_wins(self):
+        table = FlowTable()
+        table.install(FlowRule(action="forward", priority=1))
+        table.install(FlowRule(src="a", dst="b", port=5000,
+                               action="bypass", priority=100))
+        assert table.lookup("a", "b", 5000) == "bypass"
+        assert table.lookup("x", "y", 80) == "forward"
+
+    def test_specificity_breaks_priority_ties(self):
+        table = FlowTable()
+        table.install(FlowRule(src="a", action="drop", priority=10))
+        table.install(FlowRule(src="a", dst="b", port=22,
+                               action="forward", priority=10))
+        assert table.lookup("a", "b", 22) == "forward"
+
+    def test_default_action(self):
+        assert FlowTable(default_action="inspect").lookup("x", "y", 1) == "inspect"
+
+    def test_remove_cookie(self):
+        table = FlowTable()
+        table.install(FlowRule(src="a", action="bypass", cookie="c1"))
+        table.install(FlowRule(src="b", action="bypass", cookie="c2"))
+        assert table.remove_cookie("c1") == 1
+        assert len(table) == 1
+
+    def test_rule_validation(self):
+        with pytest.raises(ConfigurationError):
+            FlowRule(action="teleport")
+
+
+class TestOpenFlowBypass:
+    def test_trusted_clean_flow_gets_bypass(self):
+        topo = sdn_topology()
+        ids = IntrusionDetectionSystem()
+        controller = OpenFlowController(topo, ids,
+                                        trusted_sites={"site-a", "site-b"})
+        decision = controller.request_flow("site-a", "site-b", 50000)
+        assert decision.bypass_installed
+        assert not decision.path.traverses_kind("firewall")
+
+    def test_untrusted_site_stays_inspected(self):
+        topo = sdn_topology()
+        controller = OpenFlowController(topo, IntrusionDetectionSystem(),
+                                        trusted_sites={"site-b"})
+        decision = controller.request_flow("site-a", "site-b", 50000)
+        assert not decision.bypass_installed
+        path = controller.path_for("site-a", "site-b", 50000)
+        assert path.traverses_kind("firewall")
+
+    def test_ids_alert_blocks_bypass(self):
+        topo = sdn_topology()
+        ids = IntrusionDetectionSystem()
+        ids.add_signature("scan", lambda s, d, p: p == 22)
+        controller = OpenFlowController(topo, ids,
+                                        trusted_sites={"site-a", "site-b"})
+        decision = controller.request_flow("site-a", "site-b", 22)
+        assert not decision.bypass_installed
+        assert decision.alerts
+
+    def test_bypass_improves_path_profile(self):
+        topo = sdn_topology()
+        controller = OpenFlowController(topo, IntrusionDetectionSystem(),
+                                        trusted_sites={"site-a", "site-b"})
+        before = topo.profile(controller.path_for("site-a", "site-b", 50000))
+        controller.request_flow("site-a", "site-b", 50000)
+        after = topo.profile(controller.path_for("site-a", "site-b", 50000))
+        assert after.capacity.bps > before.capacity.bps
+        assert after.flow.window_scaling  # no seq-checking middlebox
+
+    def test_revoke(self):
+        topo = sdn_topology()
+        controller = OpenFlowController(topo, IntrusionDetectionSystem(),
+                                        trusted_sites={"site-a", "site-b"})
+        controller.request_flow("site-a", "site-b", 50000)
+        assert controller.revoke("site-a", "site-b", 50000) == 1
+        path = controller.path_for("site-a", "site-b", 50000)
+        assert path.traverses_kind("firewall")
+
+    def test_drop_action_raises(self):
+        topo = sdn_topology()
+        controller = OpenFlowController(topo, IntrusionDetectionSystem())
+        controller.table.install(FlowRule(src="site-a", action="drop",
+                                          priority=200))
+        with pytest.raises(SecurityPolicyError):
+            controller.path_for("site-a", "site-b", 80)

@@ -1,0 +1,166 @@
+"""Tests for multi-domain circuit provisioning (§7.1 DYNES/IDC)."""
+
+import pytest
+
+from repro.circuits import (
+    Domain,
+    InterDomainController,
+    OscarsService,
+    ReservationRequest,
+)
+from repro.errors import CapacityError, ConfigurationError, RoutingError
+from repro.netsim import Link, Topology
+from repro.netsim.node import Router
+from repro.units import Gbps, bytes_, hours, ms, seconds
+
+
+def make_domain(name: str, host: str, exchange: str, *,
+                delay=ms(2), rate=Gbps(100), fraction=0.8) -> Domain:
+    topo = Topology(name)
+    topo.add_host(host, nic_rate=Gbps(10))
+    topo.add_node(Router(name=exchange))
+    topo.connect(host, exchange, Link(rate=rate, delay=delay,
+                                      mtu=bytes_(9000)))
+    return Domain(name=name, topology=topo,
+                  oscars=OscarsService(topo, reservable_fraction=fraction))
+
+
+def make_transit(name: str, a: str, b: str, *, rate=Gbps(100)) -> Domain:
+    topo = Topology(name)
+    topo.add_node(Router(name=a))
+    topo.add_node(Router(name=b))
+    topo.connect(a, b, Link(rate=rate, delay=ms(15), mtu=bytes_(9000)))
+    return Domain(name=name, topology=topo, oscars=OscarsService(topo))
+
+
+@pytest.fixture
+def three_domain_idc():
+    """campus-a -- regional -- campus-b, DYNES style."""
+    campus_a = make_domain("campus-a", "dtn-a", "xp-west")
+    regional = make_transit("regional", "xp-west", "xp-east")
+    campus_b = make_domain("campus-b", "dtn-b", "xp-east")
+    idc = InterDomainController(
+        [campus_a, regional, campus_b],
+        [("campus-a", "regional", "xp-west"),
+         ("regional", "campus-b", "xp-east")],
+    )
+    return idc
+
+
+class TestConstruction:
+    def test_peering_requires_shared_exchange(self):
+        a = make_domain("a", "h1", "x1")
+        b = make_domain("b", "h2", "x2")
+        with pytest.raises(ConfigurationError):
+            InterDomainController([a, b], [("a", "b", "x-nowhere")])
+
+    def test_unknown_domain_in_peering(self):
+        a = make_domain("a", "h1", "x1")
+        with pytest.raises(ConfigurationError):
+            InterDomainController([a], [("a", "ghost", "x1")])
+
+    def test_duplicate_domain_rejected(self):
+        a = make_domain("a", "h1", "x1")
+        a2 = make_domain("a", "h3", "x3")
+        with pytest.raises(ConfigurationError):
+            InterDomainController([a, a2], [])
+
+    def test_domain_of(self, three_domain_idc):
+        assert three_domain_idc.domain_of("dtn-a").name == "campus-a"
+        assert three_domain_idc.domain_of("dtn-b").name == "campus-b"
+        with pytest.raises(ConfigurationError):
+            three_domain_idc.domain_of("nobody")
+
+    def test_exchange_nodes_not_owned(self, three_domain_idc):
+        # xp-west exists in two domains but is an exchange, not a host.
+        with pytest.raises(ConfigurationError):
+            three_domain_idc.domain_of("xp-west")
+
+
+class TestRouting:
+    def test_domain_route(self, three_domain_idc):
+        assert three_domain_idc.domain_route("campus-a", "campus-b") == [
+            "campus-a", "regional", "campus-b"]
+
+    def test_unpeered_domains_unroutable(self):
+        a = make_domain("a", "h1", "x1")
+        b = make_domain("b", "h2", "x1")  # same exchange name but no peering
+        idc = InterDomainController([a, b], [])
+        with pytest.raises(RoutingError):
+            idc.domain_route("a", "b")
+
+
+class TestProvisioning:
+    def test_end_to_end_reservation(self, three_domain_idc):
+        circuit = three_domain_idc.reserve_end_to_end(
+            "dtn-a", "dtn-b", Gbps(5), start=seconds(0), end=hours(2))
+        assert circuit.domain_count == 3
+        assert len(circuit.segments) == 3
+        assert circuit.bandwidth.gbps == 5
+        # Every participating OSCARS holds one segment.
+        for name in ("campus-a", "regional", "campus-b"):
+            domain = three_domain_idc._domains[name]
+            assert len(domain.oscars.active()) == 1
+
+    def test_stitched_profile(self, three_domain_idc):
+        circuit = three_domain_idc.reserve_end_to_end(
+            "dtn-a", "dtn-b", Gbps(5), start=seconds(0), end=hours(2))
+        profile = circuit.profile
+        assert profile.capacity.gbps == pytest.approx(5)
+        # 2 + 15 + 2 ms one-way -> 38 ms RTT.
+        assert profile.base_rtt.ms == pytest.approx(38, rel=0.05)
+        assert profile.random_loss == 0.0
+
+    def test_circuit_usable_for_tcp(self, three_domain_idc):
+        from repro.tcp import HTcp, TcpConnection
+        from repro.units import GB, MB
+        from dataclasses import replace
+        circuit = three_domain_idc.reserve_end_to_end(
+            "dtn-a", "dtn-b", Gbps(5), start=seconds(0), end=hours(2))
+        profile = replace(
+            circuit.profile,
+            flow=circuit.profile.flow.with_(max_receive_window=MB(256)))
+        result = TcpConnection(profile, algorithm=HTcp()).transfer(GB(10))
+        assert result.mean_throughput.gbps == pytest.approx(5, rel=0.15)
+
+    def test_all_or_nothing_rollback(self, three_domain_idc):
+        # Fill campus-b's reservable headroom (100G access x 0.8 = 80G).
+        campus_b = three_domain_idc._domains["campus-b"]
+        campus_b.oscars.reserve(ReservationRequest(
+            "dtn-b", "xp-east", Gbps(78), seconds(0), hours(4)))
+        with pytest.raises(CapacityError):
+            three_domain_idc.reserve_end_to_end(
+                "dtn-a", "dtn-b", Gbps(5), start=seconds(0), end=hours(2))
+        # Rollback: no stray segments left in the upstream domains.
+        assert three_domain_idc._domains["campus-a"].oscars.active() == []
+        assert three_domain_idc._domains["regional"].oscars.active() == []
+
+    def test_release(self, three_domain_idc):
+        circuit = three_domain_idc.reserve_end_to_end(
+            "dtn-a", "dtn-b", Gbps(5), start=seconds(0), end=hours(2))
+        three_domain_idc.release(circuit)
+        assert three_domain_idc.active() == []
+        for domain in three_domain_idc._domains.values():
+            assert domain.oscars.active() == []
+
+    def test_double_release_rejected(self, three_domain_idc):
+        circuit = three_domain_idc.reserve_end_to_end(
+            "dtn-a", "dtn-b", Gbps(5), start=seconds(0), end=hours(2))
+        three_domain_idc.release(circuit)
+        with pytest.raises(ConfigurationError):
+            three_domain_idc.release(circuit)
+
+    def test_concurrent_circuits_share_capacity(self, three_domain_idc):
+        # Regional backbone: 100G x 0.8 = 80G reservable.
+        c1 = three_domain_idc.reserve_end_to_end(
+            "dtn-a", "dtn-b", Gbps(4), start=seconds(0), end=hours(2))
+        c2 = three_domain_idc.reserve_end_to_end(
+            "dtn-a", "dtn-b", Gbps(3), start=seconds(0), end=hours(2))
+        assert len(three_domain_idc.active()) == 2
+        assert c1.circuit_id != c2.circuit_id
+
+    def test_describe(self, three_domain_idc):
+        circuit = three_domain_idc.reserve_end_to_end(
+            "dtn-a", "dtn-b", Gbps(5), start=seconds(0), end=hours(2))
+        text = circuit.describe()
+        assert "campus-a -> regional -> campus-b" in text

@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import DESIGNS, main
+
+
+class TestDesignsCommand:
+    def test_lists_all(self, capsys):
+        assert main(["designs"]) == 0
+        out = capsys.readouterr().out
+        for name in DESIGNS:
+            assert name in out
+
+
+class TestAuditCommand:
+    def test_passing_design_exits_zero(self, capsys):
+        assert main(["audit", "simple-science-dmz"]) == 0
+        assert "PASSES" in capsys.readouterr().out
+
+    def test_failing_design_exits_nonzero(self, capsys):
+        assert main(["audit", "general-purpose-campus"]) == 1
+        assert "FAILS" in capsys.readouterr().out
+
+    def test_unknown_design_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["audit", "atlantis-campus"])
+
+
+class TestTransferCommand:
+    def test_default_transfer(self, capsys):
+        assert main(["transfer", "simple-science-dmz",
+                     "--size", "10GB", "--files", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "10 GB" in out and "globus" in out
+
+    def test_firewalled_transfer(self, capsys):
+        assert main(["transfer", "simple-science-dmz", "--size", "1GB",
+                     "--files", "1", "--tool", "ftp",
+                     "--dst", "lab-server1", "--via-firewall"]) == 0
+        out = capsys.readouterr().out
+        assert "ftp" in out
+
+    def test_bad_size_is_graceful(self, capsys):
+        assert main(["transfer", "simple-science-dmz",
+                     "--size", "lots"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestMathisCommand:
+    def test_loss_calculation(self, capsys):
+        assert main(["mathis", "--mss", "9000B", "--rtt", "50ms",
+                     "--loss", "4.5e-5"]) == 0
+        assert "Mathis ceiling" in capsys.readouterr().out
+
+    def test_window_calculation(self, capsys):
+        assert main(["mathis", "--rtt", "10ms", "--rate", "1Gbps"]) == 0
+        out = capsys.readouterr().out
+        assert "1.25 MB" in out
+
+    def test_nothing_requested(self, capsys):
+        assert main(["mathis"]) == 2
+
+
+class TestUpgradeCommand:
+    def test_upgrade_baseline(self, capsys):
+        assert main(["upgrade"]) == 0
+        out = capsys.readouterr().out
+        assert "BEFORE" in out and "AFTER" in out
+        assert "FAILS" in out and "PASSES" in out
+
+    def test_upgrade_passing_design_noop(self, capsys):
+        assert main(["upgrade", "simple-science-dmz"]) == 0
+        assert "nothing to do" in capsys.readouterr().out
+
+
+class TestExportDescribe:
+    def test_export_to_file_and_describe(self, tmp_path, capsys):
+        path = tmp_path / "dmz.json"
+        assert main(["export", "simple-science-dmz", "-o", str(path)]) == 0
+        assert path.exists()
+        capsys.readouterr()
+        assert main(["describe", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "dtn1" in out and "firewall" in out
+
+    def test_export_to_stdout(self, capsys):
+        assert main(["export", "general-purpose-campus"]) == 0
+        out = capsys.readouterr().out
+        import json
+        data = json.loads(out)
+        assert data["name"] == "general-purpose-campus"
+
+    def test_exported_design_roundtrips(self, tmp_path):
+        import json
+        from repro.netsim import topology_from_dict
+        path = tmp_path / "t.json"
+        main(["export", "supercomputer-center", "-o", str(path)])
+        topo = topology_from_dict(json.loads(path.read_text()))
+        assert topo.has_node("dtn1")
+
+
+class TestLintCommand:
+    def test_clean_design_exits_zero(self, capsys):
+        assert main(["lint", "simple-science-dmz"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_dirty_design_lists_findings(self, capsys):
+        assert main(["lint", "general-purpose-campus"]) == 1
+        out = capsys.readouterr().out
+        assert "firewall-in-path" in out
+        assert "critical" in out

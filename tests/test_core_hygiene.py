@@ -1,0 +1,112 @@
+"""Tests for the §5 path-hygiene linter."""
+
+
+from repro.core import (
+    HygieneLevel,
+    general_purpose_campus,
+    lint_path,
+    simple_science_dmz,
+)
+from repro.devices.firewall import Firewall
+from repro.dtn.host import attach_profile, tuned_dtn
+from repro.netsim import Link, Topology
+from repro.netsim.node import Router
+from repro.units import Gbps, bytes_, ms, us
+
+
+def checks_of(findings):
+    return {f.check for f in findings}
+
+
+class TestCleanPath:
+    def test_science_dmz_path_is_clean(self):
+        bundle = simple_science_dmz()
+        findings = lint_path(bundle.topology, "dtn1", "remote-dtn",
+                             policy=bundle.science_policy)
+        assert findings == [], [str(f) for f in findings]
+
+
+class TestFirewallPath:
+    def test_campus_path_flagged(self):
+        bundle = general_purpose_campus()
+        findings = lint_path(bundle.topology, "lab-server1", "remote-dtn")
+        found = checks_of(findings)
+        assert "firewall-in-path" in found
+        assert "window-scaling-stripped" in found  # seq checking is on
+        assert "buffer-provisioning" in found      # shallow fw input buffer
+        criticals = [f for f in findings
+                     if f.level is HygieneLevel.CRITICAL]
+        assert criticals and findings[0].level is HygieneLevel.CRITICAL
+
+
+class TestMtuChecks:
+    def test_mixed_mtu_flagged(self):
+        topo = Topology("mtu")
+        topo.add_host("a", nic_rate=Gbps(10))
+        topo.add_host("b", nic_rate=Gbps(10))
+        topo.add_node(Router(name="r"))
+        topo.connect("a", "r", Link(rate=Gbps(10), delay=ms(1),
+                                    mtu=bytes_(9000)))
+        topo.connect("r", "b", Link(rate=Gbps(10), delay=ms(1),
+                                    mtu=bytes_(1500)))
+        findings = lint_path(topo, "a", "b")
+        assert "mtu-consistency" in checks_of(findings)
+
+    def test_jumbo_host_on_1500_path_flagged(self):
+        topo = Topology("mtu2")
+        host = topo.add_host("a", nic_rate=Gbps(10))
+        topo.add_host("b", nic_rate=Gbps(10))
+        attach_profile(host, tuned_dtn("a"))  # 9000-byte host
+        topo.connect("a", "b", Link(rate=Gbps(10), delay=ms(1),
+                                    mtu=bytes_(1500)))
+        findings = lint_path(topo, "a", "b")
+        messages = " ".join(f.message for f in findings)
+        assert "mtu-consistency" in checks_of(findings)
+        assert "'a'" in messages
+
+
+class TestNicMatch:
+    def test_overpowered_nic_flagged(self):
+        topo = Topology("nic")
+        topo.add_host("dtn", nic_rate=Gbps(10))
+        topo.add_host("peer", nic_rate=Gbps(10))
+        topo.add_node(Router(name="border"))
+        topo.connect("dtn", "border", Link(rate=Gbps(10), delay=us(10)))
+        topo.connect("border", "peer", Link(rate=Gbps(1), delay=ms(20)))
+        findings = lint_path(topo, "dtn", "peer")
+        assert "nic-uplink-match" in checks_of(findings)
+
+    def test_matched_nic_not_flagged(self):
+        topo = Topology("nic2")
+        topo.add_host("dtn", nic_rate=Gbps(1))
+        topo.add_host("peer", nic_rate=Gbps(1))
+        topo.connect("dtn", "peer", Link(rate=Gbps(1), delay=ms(20)))
+        assert "nic-uplink-match" not in checks_of(lint_path(topo, "dtn",
+                                                             "peer"))
+
+
+class TestLossCheck:
+    def test_residual_loss_is_critical_and_names_culprit(self):
+        bundle = simple_science_dmz()
+        bundle.topology.link_between("border", "wan").degrade(
+            loss_probability=1 / 22000)
+        findings = lint_path(bundle.topology, "dtn1", "remote-dtn",
+                             policy=bundle.science_policy)
+        loss = [f for f in findings if f.check == "residual-loss"]
+        assert loss and loss[0].level is HygieneLevel.CRITICAL
+        assert "border" in loss[0].message or "wan" in loss[0].message
+
+
+class TestBufferCheck:
+    def test_shallow_bottleneck_flagged(self):
+        topo = Topology("buf")
+        topo.add_host("a", nic_rate=Gbps(10))
+        topo.add_host("b", nic_rate=Gbps(10))
+        fw = topo.add_node(Firewall(name="fw", processor_rate=Gbps(1)))
+        fw.policy.allow()
+        topo.connect("a", "fw", Link(rate=Gbps(10), delay=ms(20)))
+        topo.connect("fw", "b", Link(rate=Gbps(10), delay=ms(20)))
+        findings = lint_path(topo, "a", "b")
+        buf = [f for f in findings if f.check == "buffer-provisioning"]
+        assert buf
+        assert buf[0].level in (HygieneLevel.WARNING, HygieneLevel.CRITICAL)

@@ -1,0 +1,219 @@
+"""Tests for the design patterns, the ScienceDMZ builder, and the audit."""
+
+import pytest
+
+from repro.core import (
+    ALL_PATTERNS,
+    AuditReport,
+    ScienceDMZ,
+    audit_design,
+    big_data_site,
+    campus_with_rcnet,
+    general_purpose_campus,
+    simple_science_dmz,
+    supercomputer_center,
+)
+from repro.core.patterns import (
+    DEDICATED_SYSTEMS_PATTERN,
+    LOCATION_PATTERN,
+    MONITORING_PATTERN,
+    SECURITY_PATTERN,
+)
+from repro.devices.acl import AclEngine
+from repro.dtn.host import attach_profile, untuned_host
+from repro.errors import AuditError, ConfigurationError
+from repro.netsim import Link, Topology
+from repro.netsim.node import Router
+from repro.units import Gbps, ms
+
+
+class TestPatternMetadata:
+    def test_four_patterns(self):
+        assert len(ALL_PATTERNS) == 4
+        assert {p.name for p in ALL_PATTERNS} == {
+            "location", "dedicated-systems", "performance-monitoring",
+            "appropriate-security",
+        }
+
+    def test_sections_match_paper(self):
+        assert LOCATION_PATTERN.section == "3.1"
+        assert DEDICATED_SYSTEMS_PATTERN.section == "3.2"
+        assert MONITORING_PATTERN.section == "3.3"
+        assert SECURITY_PATTERN.section == "3.4"
+
+    def test_context_keys_required(self):
+        topo = Topology("t")
+        with pytest.raises(ConfigurationError):
+            LOCATION_PATTERN.check(topo, {})
+
+
+class TestScienceDmzBuilder:
+    def build(self):
+        topo = Topology("campus")
+        topo.add_node(Router(name="border"))
+        topo.add_node(Router(name="wan"))
+        topo.connect("border", "wan", Link(rate=Gbps(10), delay=ms(1)))
+        return topo, ScienceDMZ(topo, border="border", wan="wan")
+
+    def test_dtn_attached_at_perimeter(self):
+        topo, dmz = self.build()
+        dmz.add_dtn("dtn1")
+        path = topo.path("dtn1", "wan")
+        assert path.node_names() == ["dtn1", "dmz-switch", "border", "wan"]
+
+    def test_dtn_gets_tuned_profile(self):
+        topo, dmz = self.build()
+        dtn = dmz.add_dtn("dtn1")
+        assert dtn.meta["host_profile"].dedicated
+
+    def test_perfsonar_tagged(self):
+        topo, dmz = self.build()
+        ps = dmz.add_perfsonar()
+        assert ps.has_tag("perfsonar")
+
+    def test_acl_installed_on_switch(self):
+        topo, dmz = self.build()
+        dmz.add_dtn("dtn1")
+        engine = dmz.install_acl(allowed_peers=["remote"])
+        assert engine in dmz.switch.elements
+        assert engine.permits("remote", "dtn1", "tcp", 50000)
+        assert not engine.permits("remote", "dtn1", "tcp", 22)
+
+    def test_acl_reinstall_replaces(self):
+        topo, dmz = self.build()
+        dmz.add_dtn("dtn1")
+        dmz.install_acl()
+        dmz.install_acl()
+        engines = [e for e in dmz.switch.elements if isinstance(e, AclEngine)]
+        assert len(engines) == 1
+
+    def test_full_dmz_passes_audit(self):
+        topo, dmz = self.build()
+        dmz.add_dtn("dtn1")
+        dmz.add_perfsonar()
+        dmz.install_acl()
+        report = dmz.audit()
+        assert report.passed, report.render_text()
+
+    def test_missing_acl_fails_security(self):
+        topo, dmz = self.build()
+        dmz.add_dtn("dtn1")
+        dmz.add_perfsonar()
+        report = dmz.audit()
+        assert not report.pattern_passed("appropriate-security")
+
+    def test_wan_node_must_exist(self):
+        topo = Topology("t")
+        topo.add_node(Router(name="border"))
+        with pytest.raises(ConfigurationError):
+            ScienceDMZ(topo, border="border", wan="missing")
+
+
+class TestDesignAudits:
+    def test_baseline_fails_every_pattern(self):
+        report = general_purpose_campus().audit()
+        assert not report.passed
+        for pattern in ("location", "dedicated-systems",
+                        "performance-monitoring", "appropriate-security"):
+            assert not report.pattern_passed(pattern), pattern
+
+    def test_paper_designs_pass(self):
+        for builder in (simple_science_dmz, supercomputer_center,
+                        big_data_site, campus_with_rcnet):
+            report = builder().audit()
+            assert report.passed, f"{builder.__name__}:\n{report.render_text()}"
+
+    def test_fixed_colorado_also_passes(self):
+        assert campus_with_rcnet(fixed_fabric=True).audit().passed
+
+    def test_untuning_a_dtn_fails_dedicated_pattern(self):
+        bundle = simple_science_dmz()
+        node = bundle.topology.node("dtn1")
+        attach_profile(node, untuned_host("dtn1"))
+        report = bundle.audit()
+        assert not report.pattern_passed("dedicated-systems")
+        assert report.pattern_passed("location")
+
+    def test_report_api(self):
+        report = general_purpose_campus().audit()
+        assert isinstance(report, AuditReport)
+        assert report.failures()
+        by_pattern = report.by_pattern()
+        assert set(by_pattern) == {p.name for p in ALL_PATTERNS}
+        with pytest.raises(AuditError):
+            report.pattern_passed("nonexistent-pattern")
+        with pytest.raises(AuditError):
+            report.require_pass()
+        text = report.render_text()
+        assert "FAILS" in text
+
+    def test_audit_subset_of_patterns(self):
+        bundle = simple_science_dmz()
+        report = audit_design(bundle.topology, dtns=bundle.dtns,
+                              wan_node=bundle.wan,
+                              patterns=[LOCATION_PATTERN])
+        assert {f.pattern for f in report.findings} == {"location"}
+
+
+class TestDesignStructure:
+    def test_simple_dmz_keeps_enterprise_path(self):
+        bundle = simple_science_dmz()
+        ent = bundle.topology.path("lab-server1", "wan")
+        assert ent.traverses_kind("firewall")
+        sci = bundle.topology.path("dtn1", "wan", **bundle.science_policy)
+        assert not sci.traverses_kind("firewall")
+
+    def test_supercomputer_login_not_on_science_path(self):
+        bundle = supercomputer_center()
+        sci = bundle.topology.path("dtn1", "wan", **bundle.science_policy)
+        assert "login1" not in sci.node_names()
+
+    def test_supercomputer_shared_filesystem(self):
+        bundle = supercomputer_center()
+        pfs = bundle.extras["parallel_fs"]
+        assert pfs.shared_with_compute
+        # Every DTN mounts the same object — no double copy.
+        profiles = [bundle.topology.node(d).meta["host_profile"]
+                    for d in bundle.dtns]
+        assert all(p.storage is pfs for p in profiles)
+
+    def test_big_data_site_has_redundant_borders(self):
+        bundle = big_data_site()
+        topo = bundle.topology
+        assert topo.has_node("border1") and topo.has_node("border2")
+        # Killing border1's uplink leaves the site reachable via border2.
+        topo.remove_link("border1", "wan")
+        path = topo.path("cluster-dtn1", "wan", **bundle.science_policy)
+        assert "border2" in path.node_names()
+
+    def test_colorado_fabric_wired(self):
+        bundle = campus_with_rcnet()
+        fabric = bundle.extras["fabric"]
+        assert fabric.flip_bug
+        fixed = campus_with_rcnet(fixed_fabric=True)
+        assert not fixed.extras["fabric"].flip_bug
+
+    def test_colorado_perfsonar_at_both_rates(self):
+        bundle = campus_with_rcnet()
+        topo = bundle.topology
+        assert topo.node("perf1g").nic_rate.gbps == 1
+        assert topo.node("perf10g").nic_rate.gbps == 10
+
+    def test_remote_peer_present_everywhere(self):
+        for builder in (general_purpose_campus, simple_science_dmz,
+                        supercomputer_center, big_data_site,
+                        campus_with_rcnet):
+            bundle = builder()
+            assert bundle.topology.has_node("remote-dtn")
+            profile = bundle.topology.profile_between(
+                bundle.remote_dtn, bundle.dtns[0], **bundle.science_policy)
+            assert profile.capacity.bps > 0
+
+    def test_wan_rtt_parameter(self):
+        near = simple_science_dmz(wan_rtt=ms(10))
+        far = simple_science_dmz(wan_rtt=ms(100))
+        p_near = near.topology.profile_between("remote-dtn", "dtn1",
+                                               **near.science_policy)
+        p_far = far.topology.profile_between("remote-dtn", "dtn1",
+                                             **far.science_policy)
+        assert p_far.base_rtt.s > p_near.base_rtt.s * 5

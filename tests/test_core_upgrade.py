@@ -1,0 +1,94 @@
+"""Tests for the Science DMZ upgrade planner (the CC-NIE operation)."""
+
+import pytest
+
+from repro.core import (
+    apply_upgrade,
+    general_purpose_campus,
+    plan_upgrade,
+    simple_science_dmz,
+)
+from repro.dtn import Dataset, TransferPlan
+from repro.dtn.storage import ParallelFilesystem
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+class TestPlanUpgrade:
+    def test_failing_campus_gets_full_plan(self):
+        bundle = general_purpose_campus()
+        plan = plan_upgrade(bundle.topology, science_hosts=bundle.dtns,
+                            border=bundle.border, wan=bundle.wan)
+        assert plan.needed
+        kinds = [a.kind for a in plan.actions]
+        assert "create-dmz" in kinds
+        assert kinds.count("provision-dtn") == len(bundle.dtns)
+        assert "deploy-perfsonar" in kinds
+        assert "install-acl" in kinds
+
+    def test_passing_design_needs_nothing(self):
+        bundle = simple_science_dmz()
+        plan = plan_upgrade(bundle.topology, science_hosts=bundle.dtns,
+                            border=bundle.border, wan=bundle.wan)
+        assert not plan.needed
+        assert plan.before.passed
+
+    def test_unknown_host_rejected(self):
+        bundle = general_purpose_campus()
+        with pytest.raises(ConfigurationError):
+            plan_upgrade(bundle.topology, science_hosts=["ghost"],
+                         border=bundle.border, wan=bundle.wan)
+
+    def test_render(self):
+        bundle = general_purpose_campus()
+        plan = plan_upgrade(bundle.topology, science_hosts=bundle.dtns,
+                            border=bundle.border, wan=bundle.wan)
+        text = plan.render_text()
+        assert "create-dmz" in text and "1." in text
+
+
+class TestApplyUpgrade:
+    def test_upgrade_makes_audit_pass(self):
+        bundle = general_purpose_campus()
+        result = apply_upgrade(bundle.topology, science_hosts=bundle.dtns,
+                               border=bundle.border, wan=bundle.wan)
+        assert result.successful, result.after.render_text()
+        assert not result.plan.before.passed
+
+    def test_enterprise_untouched(self):
+        bundle = general_purpose_campus()
+        before_path = bundle.topology.path("lab-server1", "wan").node_names()
+        apply_upgrade(bundle.topology, science_hosts=bundle.dtns,
+                      border=bundle.border, wan=bundle.wan)
+        after_path = bundle.topology.path("lab-server1", "wan",
+                                          forbid_link_tags=("science",)
+                                          ).node_names()
+        assert before_path == after_path  # firewall path intact
+
+    def test_new_dtns_are_performant(self):
+        bundle = general_purpose_campus()
+        result = apply_upgrade(
+            bundle.topology, science_hosts=bundle.dtns,
+            border=bundle.border, wan=bundle.wan,
+            storage_factory=lambda h: ParallelFilesystem(name=f"{h}-pfs"))
+        dtn = result.dtn_map["lab-server1"]
+        report = TransferPlan(bundle.topology, bundle.remote_dtn, dtn,
+                              Dataset("post-upgrade", GB(50), 50),
+                              "gridftp",
+                              policy={"forbid_node_kinds": ("firewall",)}
+                              ).execute()
+        assert report.mean_throughput.gbps > 1.0
+
+    def test_upgrade_of_passing_design_rejected(self):
+        bundle = simple_science_dmz()
+        with pytest.raises(ConfigurationError):
+            apply_upgrade(bundle.topology, science_hosts=bundle.dtns,
+                          border=bundle.border, wan=bundle.wan)
+
+    def test_result_render(self):
+        bundle = general_purpose_campus()
+        result = apply_upgrade(bundle.topology, science_hosts=bundle.dtns,
+                               border=bundle.border, wan=bundle.wan)
+        text = result.render_text()
+        assert "PASSES" in text
+        assert "lab-server1->lab-server1-dtn" in text

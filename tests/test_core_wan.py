@@ -1,0 +1,67 @@
+"""Tests for the reference national backbone."""
+
+import pytest
+
+from repro.core import SITES, national_backbone, site_names
+from repro.core.wan import _SPANS
+from repro.dtn import Dataset, TransferPlan
+from repro.errors import ConfigurationError
+from repro.units import GB, Gbps
+
+
+class TestStructure:
+    def test_all_sites_present_and_tagged(self):
+        topo = national_backbone()
+        for site in SITES:
+            node = topo.node(site.name)
+            assert node.has_tag("perfsonar")
+            assert node.has_tag("dtn")
+
+    def test_every_pair_routable(self):
+        topo = national_backbone()
+        names = site_names()
+        for src in names:
+            for dst in names:
+                if src != dst:
+                    profile = topo.profile_between(src, dst)
+                    assert profile.capacity.gbps == 10
+                    assert profile.random_loss == 0.0
+
+    def test_rtts_geographically_plausible(self):
+        topo = national_backbone()
+        coast_to_coast = topo.profile_between("lbl", "bnl").base_rtt.ms
+        regional = topo.profile_between("anl", "fnal").base_rtt.ms
+        assert 50 < coast_to_coast < 120
+        assert regional < 15
+        assert coast_to_coast > 3 * regional
+
+    def test_backbone_redundancy(self):
+        # The hub ring survives any single span failure.
+        for a, b, _ in _SPANS:
+            topo = national_backbone()
+            topo.remove_link(a, b)
+            profile = topo.profile_between("lbl", "bnl")
+            assert profile.capacity.bps > 0
+
+    def test_jumbo_everywhere(self):
+        topo = national_backbone()
+        profile = topo.profile_between("slac", "ornl")
+        assert profile.mtu.bytes == 9000
+        assert profile.flow.mss.bytes == 8960
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            national_backbone(backbone_rate=Gbps(1), site_rate=Gbps(10))
+
+
+class TestUsability:
+    def test_cross_country_transfer_out_of_the_box(self):
+        topo = national_backbone()
+        report = TransferPlan(topo, "lbl", "bnl",
+                              Dataset("hep-sample", GB(100), 100),
+                              "gridftp").execute()
+        assert report.mean_throughput.gbps > 1.0
+
+    def test_without_dtns_hosts_are_bare(self):
+        topo = national_backbone(with_dtns=False)
+        assert topo.node("lbl").meta.get("host_profile") is None

@@ -1,0 +1,212 @@
+"""Tests for fault injection, IDS, and the switch fabric (§3.3, §6.1)."""
+
+import pytest
+
+from repro.devices.faults import (
+    ESNET_LINE_CARD_LOSS,
+    DirtyOptics,
+    DuplexMismatch,
+    FailingLineCard,
+    FaultInjector,
+    ManagementCpuForwarding,
+)
+from repro.devices.ids import IdsMode, IntrusionDetectionSystem
+from repro.devices.switchfab import SwitchFabric, SwitchingMode
+from repro.errors import ConfigurationError
+from repro.netsim import Link, Simulator, Topology
+from repro.netsim.node import Router
+from repro.netsim.packetsim import BurstySource
+from repro.units import DataRate, Gbps, KB, MB, Mbps, bytes_, minutes, ms
+
+
+class TestFaultModels:
+    def test_line_card_default_matches_paper(self):
+        card = FailingLineCard()
+        assert card.loss_rate == pytest.approx(1 / 22000)
+        assert card.element_loss_probability() == ESNET_LINE_CARD_LOSS
+        assert not card.visible_to_counters
+
+    def test_dirty_optics_scales_with_packet_size(self):
+        small = DirtyOptics(bit_error_rate=1e-9, packet_size=bytes_(1500))
+        jumbo = DirtyOptics(bit_error_rate=1e-9, packet_size=bytes_(9000))
+        assert jumbo.element_loss_probability() > small.element_loss_probability()
+
+    def test_management_cpu_caps_capacity(self):
+        slow = ManagementCpuForwarding(cpu_rate=Mbps(300))
+        assert slow.element_capacity().mbps == 300
+        assert slow.element_loss_probability() == 0.0
+        assert slow.element_latency().ms == pytest.approx(2)
+
+    def test_duplex_mismatch(self):
+        dm = DuplexMismatch()
+        assert dm.element_loss_probability() == pytest.approx(0.02)
+        assert dm.element_capacity().mbps == 100
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FailingLineCard(loss_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            DirtyOptics(bit_error_rate=-1)
+
+
+class TestFaultInjector:
+    def build(self):
+        topo = Topology("t")
+        topo.add_host("a", nic_rate=Gbps(10))
+        topo.add_host("b", nic_rate=Gbps(10))
+        core = topo.add_node(Router(name="core"))
+        topo.connect("a", "core", Link(rate=Gbps(10), delay=ms(1)))
+        topo.connect("core", "b", Link(rate=Gbps(10), delay=ms(1)))
+        return topo
+
+    def test_inject_now_affects_profile(self):
+        topo = self.build()
+        sim = Simulator(seed=0)
+        injector = FaultInjector(sim)
+        assert topo.profile_between("a", "b").random_loss == 0.0
+        injector.inject_now(topo.node("core"), FailingLineCard())
+        assert topo.profile_between("a", "b").random_loss == pytest.approx(
+            ESNET_LINE_CARD_LOSS)
+
+    def test_scheduled_inject_and_clear(self):
+        topo = self.build()
+        sim = Simulator(seed=0)
+        injector = FaultInjector(sim)
+        card = FailingLineCard()
+        injector.inject_at(minutes(5), topo.node("core"), card)
+        sim.run_until(minutes(4).s)
+        assert topo.profile_between("a", "b").random_loss == 0.0
+        sim.run_until(minutes(6).s)
+        assert topo.profile_between("a", "b").random_loss > 0
+        record = injector.history[0]
+        injector.clear(record, topo.node("core"))
+        assert topo.profile_between("a", "b").random_loss == 0.0
+        assert not record.active
+
+    def test_ground_truth_visibility(self):
+        topo = self.build()
+        injector = FaultInjector(Simulator(seed=0))
+        injector.inject_now(topo.node("core"), FailingLineCard())
+        injector.inject_now(topo.node("core"), DuplexMismatch())
+        invisible = injector.invisible_faults()
+        assert len(injector.active_faults()) == 2
+        assert len(invisible) == 1
+        assert isinstance(invisible[0].fault, FailingLineCard)
+
+    def test_double_clear_rejected(self):
+        topo = self.build()
+        injector = FaultInjector(Simulator(seed=0))
+        record = injector.inject_now(topo.node("core"), FailingLineCard())
+        injector.clear(record, topo.node("core"))
+        with pytest.raises(ConfigurationError):
+            injector.clear(record, topo.node("core"))
+
+
+class TestIds:
+    def test_passive_mode_is_invisible(self):
+        ids = IntrusionDetectionSystem(mode=IdsMode.PASSIVE)
+        assert ids.element_capacity() is None
+        assert ids.element_loss_probability() == 0.0
+        assert ids.element_latency().s == 0.0
+
+    def test_inline_fail_closed_drops_overload(self):
+        ids = IntrusionDetectionSystem(mode=IdsMode.INLINE, fail_open=False,
+                                       inspection_capacity=Gbps(1),
+                                       offered_load=Gbps(4))
+        assert ids.element_capacity().gbps == 1
+        assert ids.element_loss_probability() == pytest.approx(0.75)
+
+    def test_inline_fail_open_passes_uninspected(self):
+        ids = IntrusionDetectionSystem(mode=IdsMode.INLINE, fail_open=True,
+                                       inspection_capacity=Gbps(1),
+                                       offered_load=Gbps(4))
+        assert ids.element_capacity() is None
+        assert ids.element_loss_probability() == 0.0
+        assert ids.blind_fraction == pytest.approx(0.75)
+
+    def test_signatures_raise_alerts(self):
+        ids = IntrusionDetectionSystem()
+        ids.add_signature("ssh-scan", lambda s, d, p: p == 22)
+        alerts = ids.observe("attacker", "dtn", 22, time=10.0)
+        assert len(alerts) == 1
+        assert alerts[0].signature == "ssh-scan"
+        assert ids.observe("peer", "dtn", 50000) == []
+        assert len(ids.alerts) == 1
+
+    def test_signature_needs_label(self):
+        ids = IntrusionDetectionSystem()
+        with pytest.raises(ConfigurationError):
+            ids.add_signature("", lambda s, d, p: True)
+
+
+class TestSwitchFabric:
+    def sources(self, n=9, mean=Mbps(600)):
+        return [BurstySource(name=f"s{i}", line_rate=Gbps(1),
+                             mean_rate=mean, burst_size=KB(256))
+                for i in range(n)]
+
+    def test_idle_fabric_lossless(self):
+        fab = SwitchFabric()
+        assert fab.fan_in_loss() == 0.0
+        assert fab.element_loss_probability() == 0.0
+
+    def test_flip_bug_engages_under_load(self):
+        fab = SwitchFabric(flip_bug=True, flip_threshold=0.4)
+        fab.set_offered_load(self.sources())
+        assert fab.effective_mode is SwitchingMode.STORE_AND_FORWARD
+        assert fab.flipped
+        assert fab.effective_service_rate.bps < fab.egress_rate.bps
+        assert fab.effective_buffer.bits < fab.port_buffer.bits
+
+    def test_flip_bug_dormant_at_low_load(self):
+        fab = SwitchFabric(flip_bug=True, flip_threshold=0.4)
+        fab.set_offered_load(self.sources(n=2, mean=Mbps(100)))
+        assert fab.effective_mode is SwitchingMode.CUT_THROUGH
+        assert not fab.flipped
+
+    def test_flipped_fabric_loses_packets(self):
+        fab = SwitchFabric(flip_bug=True, port_buffer=KB(384))
+        fab.set_offered_load(self.sources())
+        assert fab.fan_in_loss() > 0.001
+
+    def test_vendor_fix_restores_service(self):
+        fab = SwitchFabric(flip_bug=True, port_buffer=KB(384))
+        fab.set_offered_load(self.sources())
+        broken_loss = fab.fan_in_loss()
+        fab.apply_vendor_fix()
+        assert fab.fan_in_loss() < broken_loss
+        assert fab.effective_service_rate.bps == fab.egress_rate.bps
+
+    def test_deep_buffers_prevent_fanin_loss(self):
+        shallow = SwitchFabric(port_buffer=KB(128), egress_rate=Gbps(4))
+        deep = SwitchFabric(port_buffer=MB(64), egress_rate=Gbps(4))
+        srcs = self.sources()
+        shallow.set_offered_load(srcs)
+        deep.set_offered_load(srcs)
+        assert deep.fan_in_loss() < shallow.fan_in_loss()
+
+    def test_store_and_forward_adds_latency(self):
+        cut = SwitchFabric(mode=SwitchingMode.CUT_THROUGH)
+        sf = SwitchFabric(mode=SwitchingMode.STORE_AND_FORWARD)
+        assert sf.element_latency().s > cut.element_latency().s
+
+    def test_element_buffer_reports_effective(self):
+        fab = SwitchFabric(flip_bug=True, port_buffer=KB(384))
+        fab.set_offered_load(self.sources())
+        assert fab.element_buffer().bits == fab.effective_buffer.bits
+
+    def test_clear_offered_load(self):
+        fab = SwitchFabric(flip_bug=True)
+        fab.set_offered_load(self.sources())
+        fab.clear_offered_load()
+        assert fab.fan_in_loss() == 0.0
+
+    def test_describe(self):
+        fab = SwitchFabric(flip_bug=True)
+        assert "flip bug" in fab.describe()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SwitchFabric(egress_rate=DataRate(0))
+        with pytest.raises(ConfigurationError):
+            SwitchFabric(flip_threshold=2.0)

@@ -1,0 +1,195 @@
+"""Tests for the firewall and ACL models (§5, §6.2)."""
+
+import pytest
+
+from repro.devices.acl import AccessControlList, AclAction, AclEngine, AclRule
+from repro.devices.firewall import Firewall, FirewallPolicy, FirewallRule
+from repro.errors import ConfigurationError, SecurityPolicyError
+from repro.netsim import Link, Topology
+from repro.netsim.node import FlowContext, Router
+from repro.tcp import TcpConnection
+from repro.units import GB, Gbps, KB, MB, Mbps, bytes_, ms, us
+
+
+class TestFirewallCapacity:
+    def test_aggregate_matches_marketing(self):
+        fw = Firewall(name="fw", processors=16, processor_rate=Mbps(650))
+        assert fw.aggregate_capacity.gbps == pytest.approx(10.4)
+
+    def test_single_flow_pinned_to_one_processor(self):
+        fw = Firewall(name="fw", processors=16, processor_rate=Mbps(650))
+        assert fw.per_flow_capacity.mbps == pytest.approx(650)
+        assert fw.element_capacity().mbps == pytest.approx(650)
+
+    def test_input_buffer_advertised(self):
+        fw = Firewall(name="fw", input_buffer=KB(512))
+        assert fw.element_buffer().bits == KB(512).bits
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Firewall(name="fw", processors=0)
+
+
+class TestSequenceChecking:
+    def test_strips_window_scaling(self):
+        fw = Firewall(name="fw", sequence_checking=True)
+        ctx = FlowContext(mss=bytes_(1460), max_receive_window=MB(16))
+        out = fw.transform_flow(ctx)
+        assert out.window_scaling is False
+        assert out.effective_receive_window().bits == KB(64).bits
+
+    def test_disabled_leaves_flow_alone(self):
+        fw = Firewall(name="fw", sequence_checking=False)
+        ctx = FlowContext(mss=bytes_(1460))
+        assert fw.transform_flow(ctx) is ctx
+
+
+class TestFirewallBurstLoss:
+    def test_burst_within_buffer_no_loss(self):
+        fw = Firewall(name="fw", input_buffer=KB(512),
+                      expected_burst=KB(128))
+        assert fw.element_loss_probability() == 0.0
+
+    def test_big_burst_loses(self):
+        fw = Firewall(name="fw", input_buffer=KB(512),
+                      expected_burst=MB(8), expected_line_rate=Gbps(10))
+        assert fw.element_loss_probability() > 0
+
+    def test_burst_loss_for_custom_profile(self):
+        fw = Firewall(name="fw", input_buffer=KB(256))
+        small = fw.burst_loss_for(KB(64), Gbps(10))
+        big = fw.burst_loss_for(MB(16), Gbps(10))
+        assert small == 0.0
+        assert big > 0.5
+
+
+class TestFirewallPolicy:
+    def test_first_match_wins(self):
+        policy = FirewallPolicy(default_action="deny")
+        policy.deny(src="evil")
+        policy.allow(src="*", dst="dtn", port=50000)
+        assert not policy.permits("evil", "dtn", 50000)
+        assert policy.permits("good", "dtn", 50000)
+        assert not policy.permits("good", "dtn", 22)
+
+    def test_check_raises(self):
+        fw = Firewall(name="fw")
+        with pytest.raises(SecurityPolicyError):
+            fw.check("a", "b", 80)
+
+    def test_rule_validation(self):
+        with pytest.raises(ConfigurationError):
+            FirewallRule(action="maybe")
+        with pytest.raises(ConfigurationError):
+            FirewallRule(action="allow", port="eighty")
+
+    def test_describe(self):
+        text = Firewall(name="fw", sequence_checking=True).describe()
+        assert "sequence checking on" in text
+
+
+class TestPennStateScenario:
+    """The §6.2 pathology end-to-end: seq checking -> 64 KB -> ~50 Mbps."""
+
+    def build(self, seq_checking):
+        topo = Topology("psu")
+        topo.add_host("vtti", nic_rate=Gbps(1))
+        topo.add_host("coe", nic_rate=Gbps(1))
+        fw = topo.add_node(Firewall(name="coe-fw",
+                                    processor_rate=Gbps(1),
+                                    input_buffer=MB(4),
+                                    sequence_checking=seq_checking))
+        fw.policy.allow()
+        topo.connect("vtti", "coe-fw", Link(rate=Gbps(1), delay=ms(5)))
+        topo.connect("coe-fw", "coe", Link(rate=Gbps(1), delay=us(50)))
+        return topo
+
+    def test_window_clamped_path_is_slow(self):
+        topo = self.build(seq_checking=True)
+        profile = topo.profile_between("vtti", "coe")
+        result = TcpConnection(profile).transfer(GB(1))
+        assert 40 < result.mean_throughput.mbps < 70  # "around 50Mbps"
+
+    def test_fix_recovers_hundreds_of_mbps(self):
+        slow = TcpConnection(
+            self.build(True).profile_between("vtti", "coe")).transfer(GB(1))
+        fast = TcpConnection(
+            self.build(False).profile_between("vtti", "coe")).transfer(GB(1))
+        speedup = fast.mean_throughput.bps / slow.mean_throughput.bps
+        assert speedup > 4  # paper: ~5x inbound, ~12x outbound
+
+
+class TestAcl:
+    def test_permit_deny_ordering(self):
+        acl = AccessControlList(name="t")
+        acl.deny(src="bad")
+        acl.permit(dst="dtn", port=50000)
+        assert acl.evaluate("bad", "dtn", "tcp", 50000) is AclAction.DENY
+        assert acl.evaluate("ok", "dtn", "tcp", 50000) is AclAction.PERMIT
+        assert acl.evaluate("ok", "dtn", "tcp", 22) is AclAction.DENY
+
+    def test_default_action(self):
+        acl = AccessControlList(name="t", default_action=AclAction.PERMIT)
+        assert acl.permits("x", "y")
+
+    def test_protocol_matching(self):
+        acl = AccessControlList(name="t")
+        acl.permit(protocol="udp", port=861)
+        assert acl.permits("a", "b", "udp", 861)
+        assert not acl.permits("a", "b", "tcp", 861)
+
+    def test_rule_validation(self):
+        with pytest.raises(ConfigurationError):
+            AclRule(action="permit")  # must be AclAction
+        with pytest.raises(ConfigurationError):
+            AclRule(action=AclAction.PERMIT, protocol="icmpish")
+
+    def test_engine_is_neutral_path_element(self):
+        engine = AclEngine(acl=AccessControlList(name="t"))
+        assert engine.element_capacity() is None
+        assert engine.element_loss_probability() == 0.0
+        assert engine.element_latency().us == pytest.approx(1)
+        ctx = FlowContext(mss=bytes_(1460))
+        assert engine.transform_flow(ctx) is ctx
+
+    def test_engine_check_raises(self):
+        engine = AclEngine(acl=AccessControlList(name="t"))
+        with pytest.raises(SecurityPolicyError):
+            engine.check("a", "b", "tcp", 80)
+
+    def test_acl_vs_firewall_throughput(self):
+        """§5's punchline: same policy, ACL costs nothing, firewall costs
+        nearly everything."""
+        def build(security):
+            topo = Topology("sec")
+            topo.add_host("remote", nic_rate=Gbps(10))
+            topo.add_host("dtn", nic_rate=Gbps(10))
+            mid = topo.add_node(Router(name="mid"))
+            if security == "acl":
+                acl = AccessControlList(name="a")
+                acl.permit(dst="dtn")
+                mid.attach(AclEngine(acl=acl))
+            topo.connect("remote", "mid", Link(rate=Gbps(10), delay=ms(20),
+                                               mtu=bytes_(9000)))
+            if security == "firewall":
+                fw = topo.add_node(Firewall(name="fw"))
+                fw.policy.allow(dst="dtn")
+                topo.connect("mid", "fw", Link(rate=Gbps(10), delay=us(10),
+                                               mtu=bytes_(9000)))
+                topo.connect("fw", "dtn", Link(rate=Gbps(10), delay=us(10),
+                                               mtu=bytes_(9000)))
+            else:
+                topo.connect("mid", "dtn", Link(rate=Gbps(10), delay=us(10),
+                                                mtu=bytes_(9000)))
+            return topo.profile_between("remote", "dtn")
+
+        from dataclasses import replace
+        acl_prof = build("acl")
+        acl_prof = replace(acl_prof,
+                           flow=acl_prof.flow.with_(max_receive_window=MB(256)))
+        fw_prof = build("firewall")
+        fw_prof = replace(fw_prof,
+                          flow=fw_prof.flow.with_(max_receive_window=MB(256)))
+        acl_rate = TcpConnection(acl_prof).transfer(GB(10)).mean_throughput
+        fw_rate = TcpConnection(fw_prof).transfer(GB(10)).mean_throughput
+        assert acl_rate.bps > 5 * fw_rate.bps

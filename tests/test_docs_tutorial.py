@@ -1,0 +1,106 @@
+"""Executable checks for docs/tutorial.md — every snippet must run."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    apply_upgrade,
+    general_purpose_campus,
+    plan_upgrade,
+    simple_science_dmz,
+)
+from repro.devices import FailingLineCard, FaultInjector
+from repro.dtn import Dataset, TransferPlan
+from repro.netsim import Link, Simulator, Topology
+from repro.netsim.node import Router
+from repro.perfsonar import (
+    MeasurementArchive,
+    MeshConfig,
+    MeshSchedule,
+    ThresholdAlerter,
+    localize_loss,
+)
+from repro.tcp import HTcp, TcpConnection
+from repro.units import GB, Gbps, KB, bytes_, minutes, ms, parse_size
+
+
+def test_section_1_units():
+    window = Gbps(1).bdp(ms(10))
+    assert window.megabytes == 1.25
+    assert KB(64).bytes == 65536
+    assert parse_size("239.5GB").gigabytes == 239.5
+
+
+@pytest.fixture
+def tutorial_topology():
+    topo = Topology("my-campus")
+    topo.add_host("dtn", nic_rate=Gbps(10))
+    topo.add_node(Router(name="border"))
+    topo.add_node(Router(name="wan"))
+    topo.connect("dtn", "border", Link(rate=Gbps(10), delay=ms(0.1),
+                                       mtu=bytes_(9000)))
+    topo.connect("border", "wan", Link(rate=Gbps(10), delay=ms(20),
+                                       mtu=bytes_(9000)))
+    return topo
+
+
+def test_section_2_topology(tutorial_topology):
+    profile = tutorial_topology.profile_between("dtn", "wan")
+    assert profile.capacity.gbps == 10
+    assert profile.base_rtt.ms > 40
+
+
+def test_section_3_tcp(tutorial_topology):
+    profile = tutorial_topology.profile_between("dtn", "wan")
+    clean = TcpConnection(profile, algorithm=HTcp()).transfer(GB(100))
+    assert "GB" in clean.summary()
+
+    tutorial_topology.link_between("border", "wan").degrade(
+        loss_probability=1 / 22000)
+    lossy_profile = tutorial_topology.profile_between("dtn", "wan")
+    lossy = TcpConnection(lossy_profile, algorithm=HTcp(),
+                          rng=np.random.default_rng(0)).transfer(
+        GB(10), max_rounds=60_000)
+    assert lossy.mean_throughput.bps < clean.mean_throughput.bps
+
+
+def test_sections_4_and_5_designs_and_transfers():
+    bundle = simple_science_dmz()
+    assert bundle.audit().passed
+    report = TransferPlan(bundle.topology, "remote-dtn", "dtn1",
+                          Dataset("sample", GB(100), 100), "globus",
+                          policy=bundle.science_policy).execute()
+    assert report.duration.s > 0
+
+
+def test_section_6_monitoring():
+    bundle = simple_science_dmz()
+    sim = Simulator(seed=7)
+    archive = MeasurementArchive()
+    mesh = MeshSchedule(bundle.topology, ["dmz-perfsonar", "remote-dtn"],
+                        sim, archive,
+                        config=MeshConfig(owamp_interval=minutes(1),
+                                          bwctl_interval=minutes(10),
+                                          owamp_packets=20_000),
+                        policy=bundle.science_policy)
+    mesh.start()
+    injector = FaultInjector(sim)
+    injector.inject_at(minutes(30), bundle.topology.node("border"),
+                       FailingLineCard())
+    sim.run_until(minutes(60).s)
+    alerts = ThresholdAlerter(archive).scan()
+    assert alerts
+    path = bundle.topology.path("dmz-perfsonar", "remote-dtn",
+                                **bundle.science_policy)
+    culprits = localize_loss(bundle.topology, path)
+    assert culprits and "border" in culprits[0][0]
+
+
+def test_section_7_upgrade():
+    baseline = general_purpose_campus()
+    plan = plan_upgrade(baseline.topology, science_hosts=baseline.dtns,
+                        border=baseline.border, wan=baseline.wan)
+    assert plan.needed
+    result = apply_upgrade(baseline.topology, science_hosts=baseline.dtns,
+                           border=baseline.border, wan=baseline.wan)
+    assert result.successful

@@ -1,0 +1,66 @@
+"""Tests for transfer integrity: checksum retries vs silent corruption."""
+
+
+from repro.dtn.host import attach_profile, tuned_dtn
+from repro.dtn.storage import ParallelFilesystem
+from repro.dtn.transfer import CORRUPTION_PER_PACKET, Dataset, TransferPlan
+from repro.netsim import Link, Topology
+from repro.units import GB, Gbps, TB, bytes_, ms
+
+
+def wan_pair():
+    topo = Topology("pair")
+    src = topo.add_host("src", nic_rate=Gbps(10))
+    dst = topo.add_host("dst", nic_rate=Gbps(10))
+    topo.connect("src", "dst", Link(rate=Gbps(10), delay=ms(20),
+                                    mtu=bytes_(9000)))
+    attach_profile(src, tuned_dtn("src", ParallelFilesystem()))
+    attach_profile(dst, tuned_dtn("dst", ParallelFilesystem()))
+    return topo
+
+
+BIG_CAMPAIGN = Dataset("campaign", TB(40), 1200)  # ~33 GB files
+
+
+class TestIntegritySemantics:
+    def test_globus_retries_and_delivers_clean(self):
+        report = TransferPlan(wan_pair(), "src", "dst", BIG_CAMPAIGN,
+                              "globus").execute()
+        assert report.expected_corrupt_files == 0.0
+        assert report.expected_retried_files > 0.0
+
+    def test_gridftp_without_checksums_delivers_corruption(self):
+        # Plain gridftp (no checksum_overhead, no restart) leaves residual
+        # corruption undetected.
+        report = TransferPlan(wan_pair(), "src", "dst", BIG_CAMPAIGN,
+                              "gridftp").execute()
+        assert report.expected_retried_files == 0.0
+        assert report.expected_corrupt_files > 0.0
+
+    def test_corruption_scales_with_file_size(self):
+        small_files = Dataset("small", GB(100), 10_000)   # 10 MB files
+        big_files = Dataset("big", GB(100), 10)           # 10 GB files
+        topo = wan_pair()
+        small = TransferPlan(topo, "src", "dst", small_files,
+                             "gridftp").execute()
+        big = TransferPlan(topo, "src", "dst", big_files,
+                           "gridftp").execute()
+        # Per-file corruption probability grows with packets per file, but
+        # total expected corrupt *data* is what matters — expected corrupt
+        # files x file size is roughly conserved; per-file probability is
+        # much higher for big files.
+        p_small = small.expected_corrupt_files / small_files.file_count
+        p_big = big.expected_corrupt_files / big_files.file_count
+        assert p_big > 100 * p_small
+
+    def test_retry_cost_is_visible_in_duration(self):
+        topo = wan_pair()
+        with_retries = TransferPlan(topo, "src", "dst", BIG_CAMPAIGN,
+                                    "globus").execute()
+        plain = TransferPlan(topo, "src", "dst", BIG_CAMPAIGN,
+                             "gridftp").execute()
+        # Globus pays checksum overhead + retransmissions.
+        assert with_retries.duration.s > plain.duration.s
+
+    def test_corruption_constant_is_sane(self):
+        assert 0 < CORRUPTION_PER_PACKET < 1e-6

@@ -1,0 +1,126 @@
+"""Tests for the managed transfer service (Globus-style task queue)."""
+
+import numpy as np
+import pytest
+
+from repro.core import simple_science_dmz
+from repro.dtn import (
+    Dataset,
+    JobState,
+    TransferPlan,
+    TransferService,
+)
+from repro.errors import ConfigurationError
+from repro.units import GB, seconds
+
+
+@pytest.fixture
+def bundle():
+    return simple_science_dmz()
+
+
+def make_plan(bundle, name="job", size=GB(50)):
+    return TransferPlan(bundle.topology, bundle.remote_dtn, "dtn1",
+                        Dataset(name, size, 50), "gridftp",
+                        policy=bundle.science_policy)
+
+
+class TestSubmission:
+    def test_submit_queues(self, bundle):
+        svc = TransferService()
+        job = svc.submit(make_plan(bundle))
+        assert job.state is JobState.QUEUED
+        assert job.job_id == 1
+        assert job.report is None
+
+    def test_submit_in_past_rejected(self, bundle):
+        svc = TransferService()
+        svc.submit(make_plan(bundle))
+        svc.run()
+        with pytest.raises(ConfigurationError):
+            svc.submit(make_plan(bundle), at=seconds(0))
+
+    def test_concurrency_validated(self):
+        with pytest.raises(ConfigurationError):
+            TransferService(concurrency_per_source=0)
+
+
+class TestScheduling:
+    def test_single_job_succeeds(self, bundle):
+        svc = TransferService()
+        job = svc.submit(make_plan(bundle))
+        svc.run()
+        assert job.state is JobState.SUCCEEDED
+        assert job.report is not None
+        assert job.queue_wait.s == 0
+        assert job.total_time.s == pytest.approx(job.report.duration.s)
+
+    def test_concurrency_limit_serializes_excess(self, bundle):
+        svc = TransferService(concurrency_per_source=2)
+        jobs = [svc.submit(make_plan(bundle, f"j{i}")) for i in range(4)]
+        svc.run()
+        waits = [j.queue_wait.s for j in jobs]
+        # First two start immediately; the next two wait a full job time.
+        assert waits[0] == 0 and waits[1] == 0
+        assert waits[2] > 0 and waits[3] > 0
+        assert waits[2] == pytest.approx(jobs[0].report.duration.s, rel=0.01)
+
+    def test_makespan_reflects_queueing(self, bundle):
+        narrow = TransferService(concurrency_per_source=1)
+        wide = TransferService(concurrency_per_source=4)
+        for svc in (narrow, wide):
+            for i in range(4):
+                svc.submit(make_plan(bundle, f"j{i}"))
+            svc.run()
+        assert narrow.makespan().s > 2 * wide.makespan().s
+        assert narrow.total_moved().bits == wide.total_moved().bits
+
+    def test_submission_time_offsets(self, bundle):
+        svc = TransferService(concurrency_per_source=1)
+        early = svc.submit(make_plan(bundle, "early"))
+        late = svc.submit(make_plan(bundle, "late"), at=seconds(10_000))
+        svc.run()
+        assert early.finished_at < late.started_at
+        assert late.started_at >= 10_000
+
+    def test_failed_job_recorded(self, bundle):
+        # Lossy path with no rng -> TransferError -> FAILED state.
+        bundle.topology.link_between("border", "wan").degrade(
+            loss_probability=0.001)
+        svc = TransferService(rng=None)
+        job = svc.submit(make_plan(bundle))
+        svc.run()
+        assert job.state is JobState.FAILED
+        assert "rng" in job.error
+        assert svc.failed() == [job]
+
+    def test_lossy_path_with_rng_succeeds(self, bundle):
+        bundle.topology.link_between("border", "wan").degrade(
+            loss_probability=1e-5)
+        svc = TransferService(rng=np.random.default_rng(3))
+        job = svc.submit(make_plan(bundle, size=GB(5)))
+        svc.run()
+        assert job.state is JobState.SUCCEEDED
+
+
+class TestReporting:
+    def test_aggregate_stats(self, bundle):
+        svc = TransferService(concurrency_per_source=2)
+        for i in range(3):
+            svc.submit(make_plan(bundle, f"j{i}", size=GB(20)))
+        svc.run()
+        assert svc.total_moved().gigabytes == pytest.approx(60)
+        assert svc.aggregate_throughput().bps > 0
+
+    def test_summary_text(self, bundle):
+        svc = TransferService()
+        svc.submit(make_plan(bundle))
+        svc.run()
+        text = svc.summary()
+        assert "succeeded" in text and "job 1" in text
+
+    def test_empty_service_stats(self):
+        svc = TransferService()
+        assert svc.total_moved().bits == 0
+        assert svc.makespan().s == 0
+        assert svc.aggregate_throughput().bps == 0

@@ -1,0 +1,163 @@
+"""Tests for storage subsystems and host system profiles (§3.2)."""
+
+import pytest
+
+from repro.dtn.host import (
+    DTN_APPS,
+    HostSystemProfile,
+    attach_profile,
+    tuned_dtn,
+    untuned_host,
+)
+from repro.dtn.storage import (
+    ParallelFilesystem,
+    RaidArray,
+    SingleDisk,
+    StorageAreaNetwork,
+)
+from repro.errors import ConfigurationError
+from repro.netsim.node import FlowContext, Host, Router
+from repro.units import GBps, KB, MB, MBps, bytes_
+
+
+class TestSingleDisk:
+    def test_sequential_rate(self):
+        disk = SingleDisk(sequential_rate=MBps(150))
+        assert disk.read_rate().MBps == pytest.approx(150)
+
+    def test_seek_penalty_with_streams(self):
+        disk = SingleDisk(sequential_rate=MBps(150), seek_penalty=0.15)
+        assert disk.read_rate(4).MBps == pytest.approx(150 * 0.55)
+
+    def test_ssd_no_penalty(self):
+        ssd = SingleDisk(sequential_rate=MBps(500), seek_penalty=0.0)
+        assert ssd.read_rate(8).MBps == pytest.approx(500)
+
+    def test_floor_at_ten_percent(self):
+        disk = SingleDisk(seek_penalty=0.3)
+        assert disk.read_rate(100).bps == pytest.approx(
+            disk.sequential_rate.bps * 0.1)
+
+    def test_stream_validation(self):
+        with pytest.raises(ConfigurationError):
+            SingleDisk().read_rate(0)
+
+
+class TestRaidArray:
+    def test_scales_with_disks_to_controller(self):
+        raid = RaidArray(disks=4, per_disk_rate=MBps(150),
+                         controller_limit=GBps(10))
+        assert raid.read_rate().MBps == pytest.approx(600)
+
+    def test_controller_limit_caps(self):
+        raid = RaidArray(disks=16, per_disk_rate=MBps(150),
+                         controller_limit=GBps(1.2))
+        assert raid.read_rate().MBps == pytest.approx(1200)
+
+    def test_write_parity_penalty(self):
+        raid = RaidArray(disks=4, per_disk_rate=MBps(150),
+                         controller_limit=GBps(10), write_efficiency=0.8)
+        assert raid.write_rate().MBps == pytest.approx(480)
+
+
+class TestSan:
+    def test_fabric_bound(self):
+        san = StorageAreaNetwork(fabric_rate=GBps(1.6), array_rate=GBps(4))
+        assert san.read_rate().bps == GBps(1.6).bps
+
+
+class TestParallelFilesystem:
+    def test_aggregate_scales_with_osts(self):
+        pfs = ParallelFilesystem(ost_count=32, per_ost_rate=MBps(500))
+        assert pfs.aggregate_rate.MBps == pytest.approx(16000)
+
+    def test_single_client_below_limit(self):
+        pfs = ParallelFilesystem(per_client_limit=GBps(2.5))
+        assert pfs.read_rate(1).bps < GBps(2.5).bps
+
+    def test_streams_approach_client_limit(self):
+        pfs = ParallelFilesystem(per_client_limit=GBps(2.5))
+        rates = [pfs.read_rate(s).bps for s in (1, 2, 4, 8)]
+        assert rates == sorted(rates)
+        assert rates[-1] == pytest.approx(GBps(2.5).bps)
+
+    def test_shared_with_compute_flag(self):
+        # §4.2: the point of DTNs mounting the parallel FS directly.
+        assert ParallelFilesystem().shared_with_compute
+        assert not SingleDisk().shared_with_compute
+
+
+class TestHostProfiles:
+    def test_untuned_defaults(self):
+        prof = untuned_host()
+        assert not prof.dedicated
+        assert prof.runs_general_purpose_apps()
+        assert prof.mtu.bytes == 1500
+        assert prof.congestion_algorithm == "reno"
+
+    def test_tuned_dtn_defaults(self):
+        prof = tuned_dtn()
+        assert prof.dedicated
+        assert not prof.runs_general_purpose_apps()
+        assert prof.mtu.bytes == 9000
+        assert prof.congestion_algorithm == "htcp"
+        assert prof.tcp_buffer_max.bits == MB(256).bits
+        assert set(prof.installed_apps) == set(DTN_APPS)
+
+    def test_transform_sets_window_from_host_buffers(self):
+        prof = untuned_host()  # 4 MB buffers
+        ctx = FlowContext(mss=bytes_(8960), max_receive_window=MB(256))
+        out = prof.transform_flow(ctx)
+        assert out.max_receive_window.bits == MB(4).bits
+
+    def test_transform_clamps_mss_to_host_mtu(self):
+        prof = untuned_host()  # 1500 MTU
+        ctx = FlowContext(mss=bytes_(8960))
+        out = prof.transform_flow(ctx)
+        assert out.mss.bytes == 1500 - 40
+
+    def test_tuned_host_preserves_jumbo_and_raises_window(self):
+        prof = tuned_dtn()
+        ctx = FlowContext(mss=bytes_(8960), max_receive_window=MB(16))
+        out = prof.transform_flow(ctx)
+        assert out.mss.bytes == 8960
+        # The tuned receiver's buffers RAISE the ceiling above the
+        # conservative default — that is the point of DTN tuning.
+        assert out.max_receive_window.bits == MB(256).bits
+
+    def test_attach_profile_to_host(self):
+        host = Host(name="h")
+        prof = tuned_dtn("h")
+        attach_profile(host, prof)
+        assert host.meta["host_profile"] is prof
+        assert prof in host.elements
+
+    def test_attach_replaces_previous(self):
+        host = Host(name="h")
+        attach_profile(host, untuned_host("h"))
+        new = tuned_dtn("h")
+        attach_profile(host, new)
+        assert host.meta["host_profile"] is new
+        assert len([e for e in host.elements
+                    if isinstance(e, HostSystemProfile)]) == 1
+
+    def test_attach_requires_host(self):
+        with pytest.raises(ConfigurationError):
+            attach_profile(Router(name="r"), tuned_dtn())
+
+    def test_profile_affects_path_profile(self, clean_path_topology):
+        # Untuned receiving host drags the whole profile down.
+        attach_profile(clean_path_topology.node("b"), untuned_host("b"))
+        profile = clean_path_topology.profile_between("a", "b")
+        assert profile.flow.max_receive_window.bits == MB(4).bits
+        assert profile.flow.mss.bytes == 1460
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HostSystemProfile(tcp_buffer_max=KB(0))
+        with pytest.raises(ConfigurationError):
+            HostSystemProfile(mtu=bytes_(100))
+
+    def test_describe(self):
+        assert "dedicated DTN" in tuned_dtn().describe()
+        assert "general-purpose" in untuned_host().describe()

@@ -1,0 +1,215 @@
+"""Tests for transfer tools, the transfer planner, and the tuning audit."""
+
+import numpy as np
+import pytest
+
+from repro.dtn.host import attach_profile, tuned_dtn, untuned_host
+from repro.dtn.storage import ParallelFilesystem, SingleDisk
+from repro.dtn.tools import TOOL_REGISTRY, TransferTool, register_tool, tool_by_name
+from repro.dtn.transfer import Dataset, TransferPlan
+from repro.dtn.tuning import audit_host, REQUIRED_CHECKS
+from repro.errors import ConfigurationError, TransferError
+from repro.netsim import Link, Topology
+from repro.units import GB, Gbps, KB, MB, MBps, bytes_, ms
+
+
+class TestTools:
+    def test_registry_contents(self):
+        for name in ("ftp", "scp", "hpn-scp", "gridftp", "globus", "fdt",
+                     "xrootd"):
+            assert tool_by_name(name).name == name
+
+    def test_unknown_tool(self):
+        with pytest.raises(ConfigurationError):
+            tool_by_name("rsync-over-carrier-pigeon")
+
+    def test_ftp_window_cap(self):
+        ftp = tool_by_name("ftp")
+        assert ftp.effective_window(MB(256)).bits == KB(64).bits
+
+    def test_hpn_scp_removes_cap(self):
+        hpn = tool_by_name("hpn-scp")
+        assert hpn.effective_window(MB(256)).bits == MB(256).bits
+
+    def test_scp_cipher_cap(self):
+        assert tool_by_name("scp").per_stream_rate_cap().MBps == pytest.approx(60)
+
+    def test_with_streams(self):
+        g8 = tool_by_name("gridftp").with_streams(8)
+        assert g8.streams == 8
+        assert tool_by_name("gridftp").streams == 4  # original untouched
+
+    def test_register_custom(self):
+        register_tool(TransferTool(name="test-tool", streams=2))
+        assert tool_by_name("test-tool").streams == 2
+        del TOOL_REGISTRY["test-tool"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TransferTool(name="bad", streams=0)
+        with pytest.raises(ConfigurationError):
+            TransferTool(name="bad", checksum_overhead=1.0)
+
+
+class TestDataset:
+    def test_mean_file_size(self):
+        ds = Dataset("d", GB(200), 100)
+        assert ds.mean_file_size.gigabytes == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Dataset("d", GB(0), 1)
+        with pytest.raises(ConfigurationError):
+            Dataset("d", GB(1), 0)
+
+    def test_describe(self):
+        assert "273 files" in Dataset("noaa", GB(239.5), 273).describe()
+
+
+def wan_pair(*, loss=0.0, rtt_ms=40, src_profile=None, dst_profile=None):
+    topo = Topology("pair")
+    src = topo.add_host("src", nic_rate=Gbps(10))
+    dst = topo.add_host("dst", nic_rate=Gbps(10))
+    topo.connect("src", "dst", Link(rate=Gbps(10),
+                                    delay=ms(rtt_ms / 2),
+                                    mtu=bytes_(9000),
+                                    loss_probability=loss))
+    attach_profile(src, src_profile or tuned_dtn("src", ParallelFilesystem()))
+    attach_profile(dst, dst_profile or tuned_dtn("dst", ParallelFilesystem()))
+    return topo
+
+
+class TestTransferPlan:
+    def test_clean_dtn_transfer_is_fast(self):
+        topo = wan_pair()
+        plan = TransferPlan(topo, "src", "dst", Dataset("d", GB(100), 100),
+                            "gridftp")
+        report = plan.execute()
+        assert report.mean_throughput.gbps > 1.5
+        assert report.duration.minutes < 10
+
+    def test_ftp_crawls_due_to_window_cap(self):
+        topo = wan_pair()
+        report = TransferPlan(topo, "src", "dst",
+                              Dataset("d", GB(10), 10), "ftp").execute()
+        # 64 KB window at 40 ms RTT -> ~13 Mbps -> ~1.6 MB/s (§6.3!).
+        assert report.mean_throughput.MBps < 3
+
+    def test_tool_speedup_ordering(self):
+        topo = wan_pair()
+        ds = Dataset("d", GB(10), 10)
+        rates = {
+            name: TransferPlan(topo, "src", "dst", ds, name)
+            .execute().mean_throughput.bps
+            for name in ("ftp", "scp", "hpn-scp", "gridftp")
+        }
+        assert rates["ftp"] < rates["scp"] < rates["hpn-scp"] <= rates["gridftp"]
+
+    def test_storage_limits_transfer(self):
+        slow_disk = SingleDisk(sequential_rate=MBps(50))
+        topo = wan_pair(dst_profile=tuned_dtn("dst", slow_disk))
+        report = TransferPlan(topo, "src", "dst",
+                              Dataset("d", GB(10), 10), "gridftp").execute()
+        assert report.limiting_factor == "destination-storage"
+        assert report.mean_throughput.MBps < 55
+
+    def test_network_loss_limits_transfer(self):
+        # Single stream so parallel streams cannot mask the loss.
+        tool = tool_by_name("gridftp").with_streams(1)
+        topo = wan_pair(loss=1 / 22000)
+        rng = np.random.default_rng(1)
+        report = TransferPlan(topo, "src", "dst",
+                              Dataset("d", GB(10), 10), tool).execute(rng)
+        assert report.limiting_factor == "network"
+        clean = TransferPlan(wan_pair(), "src", "dst",
+                             Dataset("d", GB(10), 10), tool).execute()
+        assert report.duration.s > clean.duration.s
+
+    def test_parallel_streams_help_under_loss(self):
+        topo = wan_pair(loss=1 / 22000)
+        ds = Dataset("d", GB(10), 10)
+        one = TransferPlan(topo, "src", "dst", ds,
+                           tool_by_name("gridftp").with_streams(1)).execute(
+            np.random.default_rng(2))
+        eight = TransferPlan(topo, "src", "dst", ds,
+                             tool_by_name("gridftp").with_streams(8)).execute(
+            np.random.default_rng(2))
+        assert eight.duration.s < one.duration.s
+
+    def test_many_small_files_pay_overhead(self):
+        topo = wan_pair()
+        few = TransferPlan(topo, "src", "dst",
+                           Dataset("few", GB(10), 10), "scp").execute()
+        many = TransferPlan(topo, "src", "dst",
+                            Dataset("many", GB(10), 10_000), "scp").execute()
+        assert many.duration.s > few.duration.s + 1000  # 10k x 0.8s / 1 stream
+
+    def test_rng_required_for_lossy(self):
+        topo = wan_pair(loss=0.001)
+        plan = TransferPlan(topo, "src", "dst", Dataset("d", GB(1), 1),
+                            "gridftp")
+        with pytest.raises(TransferError):
+            plan.execute()
+
+    def test_checksum_overhead_slows_globus_slightly(self):
+        topo = wan_pair()
+        ds = Dataset("d", GB(100), 10)
+        plain = TransferPlan(topo, "src", "dst", ds, "gridftp").execute()
+        globus = TransferPlan(topo, "src", "dst", ds, "globus").execute()
+        assert globus.duration.s > plain.duration.s
+
+    def test_report_summary(self):
+        topo = wan_pair()
+        report = TransferPlan(topo, "src", "dst",
+                              Dataset("d", GB(1), 1), "gridftp").execute()
+        text = report.summary()
+        assert "gridftp" in text and "MB/s" in text
+
+    def test_congestion_algorithm_from_source_host(self):
+        topo = wan_pair(src_profile=tuned_dtn("src", ParallelFilesystem()))
+        plan = TransferPlan(topo, "src", "dst", Dataset("d", GB(1), 1),
+                            "gridftp")
+        assert plan._congestion_algorithm().name == "htcp"
+
+
+class TestTuningAudit:
+    def test_tuned_dtn_passes(self):
+        prof = tuned_dtn("dtn", ParallelFilesystem())
+        findings = audit_host(prof, target_rate=Gbps(10),
+                              target_rtt=ms(50))
+        assert all(f.passed for f in findings), [str(f) for f in findings]
+
+    def test_untuned_host_fails_most_checks(self):
+        prof = untuned_host("desktop")
+        findings = audit_host(prof, target_rate=Gbps(10), target_rtt=ms(50))
+        failed = {f.check for f in findings if not f.passed}
+        assert "tcp-buffers" in failed
+        assert "jumbo-frames" in failed
+        assert "congestion-control" in failed
+        assert "dedicated-system" in failed
+
+    def test_buffer_check_scales_with_target(self):
+        prof = tuned_dtn("dtn", ParallelFilesystem())  # 256 MB buffers
+        ok = audit_host(prof, target_rate=Gbps(10), target_rtt=ms(50))
+        strained = audit_host(prof, target_rate=Gbps(100), target_rtt=ms(100))
+        assert [f for f in ok if f.check == "tcp-buffers"][0].passed
+        assert not [f for f in strained if f.check == "tcp-buffers"][0].passed
+
+    def test_storage_check(self):
+        no_storage = untuned_host("x")
+        finding = [f for f in audit_host(no_storage)
+                   if f.check == "storage-rate"][0]
+        assert not finding.passed
+
+    def test_all_required_checks_run(self):
+        findings = audit_host(tuned_dtn("d", ParallelFilesystem()))
+        assert len(findings) == len(REQUIRED_CHECKS)
+
+    def test_findings_render(self):
+        finding = audit_host(untuned_host("x"))[0]
+        assert "FAIL" in str(finding) or "PASS" in str(finding)
+
+    def test_validation(self):
+        from repro.units import DataRate
+        with pytest.raises(ConfigurationError):
+            audit_host(tuned_dtn(), target_rate=DataRate(0))

@@ -1,0 +1,86 @@
+"""Tests for the exception hierarchy and small cross-cutting behaviours."""
+
+import pytest
+
+from repro.errors import (
+    AuditError,
+    CapacityError,
+    ConfigurationError,
+    MeasurementError,
+    ReproError,
+    RoutingError,
+    SecurityPolicyError,
+    SimulationError,
+    TopologyError,
+    TransferError,
+    UnitError,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for cls in (UnitError, ConfigurationError, TopologyError,
+                    RoutingError, SimulationError, CapacityError,
+                    SecurityPolicyError, TransferError, MeasurementError,
+                    AuditError):
+            assert issubclass(cls, ReproError)
+
+    def test_routing_is_a_topology_error(self):
+        assert issubclass(RoutingError, TopologyError)
+
+    def test_value_error_compatibility(self):
+        # Unit and configuration mistakes should be catchable as
+        # ValueError by generic callers.
+        assert issubclass(UnitError, ValueError)
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_catching_base_catches_all(self):
+        from repro.units import DataSize
+        with pytest.raises(ReproError):
+            DataSize(-1)
+
+
+class TestPublicApiSurface:
+    def test_top_level_imports(self):
+        import repro
+        assert repro.__version__
+        assert repro.ReproError is ReproError
+
+    def test_subpackage_all_exports_exist(self):
+        import repro.circuits
+        import repro.core
+        import repro.devices
+        import repro.dtn
+        import repro.netsim
+        import repro.perfsonar
+        import repro.tcp
+        import repro.workloads
+        import repro.analysis
+        for module in (repro.circuits, repro.core, repro.devices, repro.dtn,
+                       repro.netsim, repro.perfsonar, repro.tcp,
+                       repro.workloads, repro.analysis):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_docstrings_on_public_classes(self):
+        """Every public item exported by a subpackage carries a docstring."""
+        import inspect
+
+        import repro.circuits
+        import repro.core
+        import repro.devices
+        import repro.dtn
+        import repro.netsim
+        import repro.perfsonar
+        import repro.tcp
+        import repro.workloads
+        missing = []
+        for module in (repro.circuits, repro.core, repro.devices, repro.dtn,
+                       repro.netsim, repro.perfsonar, repro.tcp,
+                       repro.workloads):
+            for name in module.__all__:
+                obj = getattr(module, name)
+                if inspect.isclass(obj) or inspect.isfunction(obj):
+                    if not (obj.__doc__ or "").strip():
+                        missing.append(f"{module.__name__}.{name}")
+        assert not missing, f"undocumented public items: {missing}"

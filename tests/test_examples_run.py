@@ -1,0 +1,56 @@
+"""Smoke tests: every example script must run cleanly end to end.
+
+Examples are documentation; a broken example is a broken promise.  Each
+runs in a subprocess with the repo's interpreter and must exit 0 with
+non-trivial output.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_complete():
+    assert len(EXAMPLES) >= 8
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\nstdout:\n{result.stdout[-2000:]}\n"
+        f"stderr:\n{result.stderr[-2000:]}"
+    )
+    assert len(result.stdout) > 200, f"{script} produced almost no output"
+
+
+@pytest.mark.parametrize("script,needle", [
+    ("quickstart.py", "Science DMZ speedup"),
+    ("noaa_reforecast.py", "speedup"),
+    ("campus_upgrade.py", "vendor fix"),
+    ("lhc_tier1.py", "aggregate"),
+    ("troubleshoot_softfail.py", "culprit"),
+    ("future_tech.py", "bypass rule installed"),
+    ("upgrade_campus.py", "speedup"),
+    ("detection_study.py", "fastest configuration"),
+])
+def test_example_delivers_its_headline(script, needle):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0
+    assert needle in result.stdout, (
+        f"{script} output lacks {needle!r}"
+    )

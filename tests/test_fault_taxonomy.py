@@ -1,0 +1,101 @@
+"""The soft-failure taxonomy: which signal catches which fault (§3.3).
+
+The paper's operational wisdom, as a table of assertions: each fault
+class has a characteristic signature, and the monitoring pattern works
+because *active* measurement covers the classes that passive counters
+miss.
+
+| fault                    | counters | owamp loss | owamp latency | bwctl |
+|--------------------------|----------|------------|---------------|-------|
+| failing line card        |   no     |   YES      |      no       |  YES  |
+| dirty optics             |   yes    |   YES      |      no       |  YES  |
+| management-CPU slow path |   no     |   no       |     YES       |  YES  |
+| duplex mismatch          |   yes    |   YES      |      no       |  YES  |
+"""
+
+import numpy as np
+import pytest
+
+from repro.devices.faults import (
+    DirtyOptics,
+    DuplexMismatch,
+    FailingLineCard,
+    ManagementCpuForwarding,
+)
+from repro.netsim import Link, Topology
+from repro.netsim.node import Router
+from repro.perfsonar import OwampProbe, read_error_counters
+from repro.perfsonar.bwctl import BwctlTest
+from repro.units import Gbps, bytes_, ms, seconds
+
+
+@pytest.fixture
+def instrumented_path():
+    topo = Topology("taxonomy")
+    topo.add_host("a", nic_rate=Gbps(10))
+    topo.add_host("b", nic_rate=Gbps(10))
+    core = topo.add_node(Router(name="core"))
+    topo.connect("a", "core", Link(rate=Gbps(10), delay=ms(5),
+                                   mtu=bytes_(9000)))
+    topo.connect("core", "b", Link(rate=Gbps(10), delay=ms(5),
+                                   mtu=bytes_(9000)))
+    return topo, core
+
+
+def signatures(topo, core, fault, rng):
+    """Measure all four signals with the fault attached."""
+    baseline_owd = topo.profile_between("a", "b").one_way_latency.s
+    baseline_bw = BwctlTest(topo, "a", "b", duration=seconds(10)).run(
+        np.random.default_rng(1)).throughput.bps
+    core.attach(fault)
+    try:
+        counters = not read_error_counters(core).looks_clean
+        owamp = OwampProbe(topo, "a", "b", packets_per_session=200_000).run(rng)
+        loss_seen = owamp.loss_rate > 1e-5
+        latency_seen = owamp.one_way_latency.s > baseline_owd * 1.2
+        bw = BwctlTest(topo, "a", "b", duration=seconds(10)).run(
+            np.random.default_rng(1)).throughput.bps
+        bwctl_seen = bw < 0.7 * baseline_bw
+    finally:
+        core.detach(fault)
+    return counters, loss_seen, latency_seen, bwctl_seen
+
+
+EXPECTED = {
+    # fault factory: (counters, owamp-loss, owamp-latency, bwctl-drop)
+    FailingLineCard: (False, True, False, True),
+    DirtyOptics: (True, True, False, True),
+    ManagementCpuForwarding: (False, False, True, True),
+    DuplexMismatch: (True, True, False, True),
+}
+
+
+@pytest.mark.parametrize("fault_cls", list(EXPECTED),
+                         ids=lambda c: c.__name__)
+def test_fault_signature(instrumented_path, rng, fault_cls):
+    topo, core = instrumented_path
+    if fault_cls is DirtyOptics:
+        fault = DirtyOptics(bit_error_rate=1e-8)  # strong enough to matter
+    else:
+        fault = fault_cls()
+    observed = signatures(topo, core, fault, rng)
+    assert observed == EXPECTED[fault_cls], (
+        f"{fault_cls.__name__}: observed "
+        f"(counters, loss, latency, bwctl) = {observed}, "
+        f"expected {EXPECTED[fault_cls]}"
+    )
+
+
+def test_active_measurement_covers_what_counters_miss(instrumented_path, rng):
+    """The monitoring pattern's justification in one assertion: every
+    fault invisible to counters is caught by at least one active signal."""
+    topo, core = instrumented_path
+    for fault_cls in EXPECTED:
+        fault = (DirtyOptics(bit_error_rate=1e-8)
+                 if fault_cls is DirtyOptics else fault_cls())
+        counters, loss, latency, bwctl = signatures(topo, core, fault, rng)
+        if not counters:
+            assert loss or latency or bwctl, (
+                f"{fault_cls.__name__} invisible to counters AND to "
+                "active measurement — the pattern would fail"
+            )

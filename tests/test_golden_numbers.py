@@ -1,0 +1,119 @@
+"""Golden-number regression tests.
+
+These pin the headline reproduced values (with tolerances) so that
+future model changes that silently shift the paper-facing results fail
+loudly here, with the paper's expectation in the assertion message.
+The benches check *shapes*; this file checks the numbers EXPERIMENTS.md
+publishes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import general_purpose_campus, simple_science_dmz
+from repro.dtn import RaidArray, TransferPlan, attach_profile, tool_by_name, tuned_dtn
+from repro.tcp.mathis import (
+    mathis_throughput,
+    packets_lost_per_second,
+    packets_per_second,
+    required_window,
+    window_limited_throughput,
+)
+from repro.units import Gbps, KB, MBps, bytes_, ms
+from repro.workloads import NOAA_GEFS_SAMPLE
+
+GOLDEN = {
+    # §2 arithmetic — exact.
+    "frames_per_second": 812_744,
+    "lost_per_second": 37,
+    # Eq 2 — exact.
+    "window_mb": 1.25,
+    "clamp_mbps": (50, 55),
+    # §6.3 — banded.
+    "noaa_dtn_MBps": (350, 450),
+    "noaa_minutes": (8, 13),
+    # Figure 1 Mathis point at 50 ms, jumbo MSS, 1/22000 — banded.
+    "mathis_50ms_mbps": (200, 230),
+}
+
+
+class TestParagraphTwoArithmetic:
+    def test_frames_per_second(self):
+        assert round(packets_per_second(Gbps(10), bytes_(1538))) == \
+            GOLDEN["frames_per_second"]
+
+    def test_lost_per_second(self):
+        assert round(packets_lost_per_second(Gbps(10), bytes_(1538),
+                                             1 / 22000)) == \
+            GOLDEN["lost_per_second"]
+
+
+class TestEquationTwoNumbers:
+    def test_window(self):
+        assert required_window(Gbps(1), ms(10)).megabytes == \
+            pytest.approx(GOLDEN["window_mb"])
+
+    def test_clamp(self):
+        lo, hi = GOLDEN["clamp_mbps"]
+        assert lo < window_limited_throughput(KB(64), ms(10)).mbps < hi
+
+
+class TestMathisPoint:
+    def test_figure1_anchor(self):
+        lo, hi = GOLDEN["mathis_50ms_mbps"]
+        rate = mathis_throughput(bytes_(8960), ms(50), 1 / 22000)
+        assert lo < rate.mbps < hi
+
+
+class TestNoaaGolden:
+    def test_dtn_rate_and_time(self):
+        """The §6.3 headline: ~395 MB/s, ~10 min for 239.5 GB."""
+        bundle = simple_science_dmz(wan_rtt=ms(25))
+        attach_profile(bundle.topology.node("dtn1"),
+                       tuned_dtn("dtn1", RaidArray(
+                           name="noaa-raid", disks=8,
+                           controller_limit=MBps(420))))
+        report = TransferPlan(bundle.topology, bundle.remote_dtn, "dtn1",
+                              NOAA_GEFS_SAMPLE,
+                              tool_by_name("globus").with_streams(8),
+                              policy=bundle.science_policy).execute()
+        lo, hi = GOLDEN["noaa_dtn_MBps"]
+        assert lo < report.mean_throughput.MBps < hi, \
+            f"paper says ~395 MB/s; got {report.mean_throughput.MBps:.0f}"
+        mlo, mhi = GOLDEN["noaa_minutes"]
+        assert mlo < report.duration.minutes < mhi, \
+            f"paper says 'just over 10 minutes'; got " \
+            f"{report.duration.minutes:.1f}"
+
+    def test_ftp_rate(self):
+        """The §6.3 'before': 1-2 MB/s through the firewall."""
+        bundle = general_purpose_campus(wan_rtt=ms(25))
+        report = TransferPlan(bundle.topology, bundle.remote_dtn,
+                              "lab-server1", NOAA_GEFS_SAMPLE,
+                              "ftp").execute(np.random.default_rng(63))
+        assert 0.5 < report.mean_throughput.MBps < 5, \
+            f"paper says 1-2 MB/s; got {report.mean_throughput.MBps:.1f}"
+
+
+class TestPennStateGolden:
+    def test_gains(self):
+        """§6.2: ~5x inbound, ~12x outbound after disabling sequence
+        checking — asserted against the bench's exact scenario."""
+        import sys
+        import pathlib
+        sys.path.insert(0, str(pathlib.Path(__file__).parent.parent
+                               / "benchmarks"))
+        try:
+            from bench_fig8_pennstate_firewall import build_psu, measure
+        finally:
+            sys.path.pop(0)
+        broken = build_psu(sequence_checking=True)
+        fixed = build_psu(sequence_checking=False)
+        in_gain = measure(fixed, "vtti", "coe") / measure(broken, "vtti",
+                                                          "coe")
+        out_gain = measure(fixed, "coe", "vtti") / measure(broken, "coe",
+                                                           "vtti")
+        assert in_gain == pytest.approx(5.0, rel=0.25), \
+            f"paper says ~5x inbound; got {in_gain:.1f}x"
+        assert out_gain == pytest.approx(12.5, rel=0.25), \
+            f"paper says ~12x outbound; got {out_gain:.1f}x"

@@ -1,0 +1,201 @@
+"""Integration tests: the paper's case studies as end-to-end assertions.
+
+Each test builds the relevant design, runs the transfer/measurement
+workflow through the public API, and asserts the *shape* of the paper's
+result — who wins, by roughly what factor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    campus_with_rcnet,
+    general_purpose_campus,
+    simple_science_dmz,
+    supercomputer_center,
+)
+from repro.devices.faults import FailingLineCard, FaultInjector
+from repro.dtn import Dataset, TransferPlan, tool_by_name
+from repro.netsim import Simulator
+from repro.netsim.packetsim import BurstySource
+from repro.perfsonar import (
+    AlertRule,
+    MeasurementArchive,
+    MeshConfig,
+    MeshSchedule,
+    ThresholdAlerter,
+    localize_loss,
+)
+from repro.tcp import TcpConnection, algorithm_by_name
+from repro.units import GB, Gbps, KB, Mbps, TB, minutes, ms, seconds
+from repro.workloads import CARBON14_INPUTS, NOAA_GEFS_SAMPLE
+
+
+class TestDmzVsBaselineTransfer:
+    """The headline comparison: same dataset, baseline campus vs Science DMZ."""
+
+    def test_dmz_order_of_magnitude_faster(self):
+        ds = Dataset("sample", GB(50), 50)
+        rng = np.random.default_rng(1)
+
+        baseline = general_purpose_campus()
+        base_report = TransferPlan(
+            baseline.topology, baseline.remote_dtn, "lab-server1",
+            ds, "ftp").execute(rng)
+
+        dmz = simple_science_dmz()
+        dmz_report = TransferPlan(
+            dmz.topology, dmz.remote_dtn, "dtn1", ds, "globus",
+            policy=dmz.science_policy).execute(rng)
+
+        speedup = base_report.duration.s / dmz_report.duration.s
+        assert speedup > 20, f"only {speedup:.1f}x"
+
+    def test_dmz_does_not_change_enterprise_path(self):
+        dmz = simple_science_dmz()
+        ent = dmz.topology.path("lab-server1", "wan")
+        assert ent.traverses_kind("firewall")
+
+
+class TestNoaaShape:
+    """§6.3: FTP behind firewall ~1-2 MB/s; DTN + Globus ~hundreds of MB/s,
+    239.5 GB in minutes; overall ~200x."""
+
+    def test_ftp_behind_firewall_crawls(self):
+        bundle = general_purpose_campus()
+        rng = np.random.default_rng(2)
+        report = TransferPlan(bundle.topology, bundle.remote_dtn,
+                              "lab-server1", NOAA_GEFS_SAMPLE,
+                              "ftp").execute(rng)
+        assert 0.5 < report.mean_throughput.MBps < 5
+
+    def test_dtn_transfer_in_minutes(self):
+        bundle = simple_science_dmz()
+        report = TransferPlan(bundle.topology, bundle.remote_dtn, "dtn1",
+                              NOAA_GEFS_SAMPLE, "globus",
+                              policy=bundle.science_policy).execute()
+        assert report.duration.minutes < 30
+        assert report.mean_throughput.MBps > 100
+
+    def test_speedup_around_two_orders_of_magnitude(self):
+        rng = np.random.default_rng(3)
+        slow = TransferPlan(general_purpose_campus().topology, "remote-dtn",
+                            "lab-server1", NOAA_GEFS_SAMPLE, "ftp").execute(rng)
+        bundle = simple_science_dmz()
+        fast = TransferPlan(bundle.topology, "remote-dtn", "dtn1",
+                            NOAA_GEFS_SAMPLE, "globus",
+                            policy=bundle.science_policy).execute()
+        speedup = slow.duration.s / fast.duration.s
+        assert 50 < speedup < 1000  # paper: "nearly 200 times"
+
+
+class TestNerscOlcfShape:
+    """§6.4: a 33 GB file took >1 workday before; after DTNs, 200 MB/s and
+    40 TB in <3 days; >=20x improvement."""
+
+    def test_before_a_33gb_file_takes_most_of_a_day(self):
+        bundle = general_purpose_campus(wan_rtt=ms(60))
+        rng = np.random.default_rng(4)
+        one_file = Dataset("c14-file", GB(33), 1)
+        report = TransferPlan(bundle.topology, bundle.remote_dtn,
+                              "lab-server1", one_file, "scp").execute(rng)
+        assert report.duration.hours > 4
+
+    def test_after_dtns_40tb_under_three_days(self):
+        bundle = supercomputer_center(wan_rtt=ms(60))
+        campaign = Dataset("c14-campaign", TB(40), 1200)
+        report = TransferPlan(bundle.topology, bundle.remote_dtn, "dtn1",
+                              campaign, tool_by_name("gridftp").with_streams(8),
+                              policy=bundle.science_policy).execute()
+        assert report.duration.days < 3
+        assert report.mean_throughput.MBps > 150  # ~200 MB/s in the paper
+
+    def test_improvement_at_least_20x(self):
+        rng = np.random.default_rng(5)
+        before = TransferPlan(general_purpose_campus(wan_rtt=ms(60)).topology,
+                              "remote-dtn", "lab-server1",
+                              CARBON14_INPUTS, "scp").execute(rng)
+        bundle = supercomputer_center(wan_rtt=ms(60))
+        after = TransferPlan(bundle.topology, "remote-dtn", "dtn1",
+                             CARBON14_INPUTS,
+                             tool_by_name("gridftp").with_streams(8),
+                             policy=bundle.science_policy).execute()
+        assert before.duration.s / after.duration.s > 20
+
+
+class TestColoradoShape:
+    """§6.1: fan-in loss under the flip bug; near line rate after the fix."""
+
+    def cms_sources(self):
+        return [BurstySource(name=f"cms{i}", line_rate=Gbps(1),
+                             mean_rate=Mbps(600), burst_size=KB(256))
+                for i in range(9)]
+
+    def test_buggy_fabric_loses_and_fixed_does_not(self):
+        buggy = campus_with_rcnet().extras["fabric"]
+        fixed = campus_with_rcnet(fixed_fabric=True).extras["fabric"]
+        sources = self.cms_sources()
+        buggy.set_offered_load(sources)
+        fixed.set_offered_load(sources)
+        assert buggy.fan_in_loss() > 0.001
+        assert fixed.fan_in_loss() == pytest.approx(0.0, abs=1e-9)
+
+    def test_throughput_recovers_after_fix(self):
+        sources = self.cms_sources()
+        rates = {}
+        for label, bundle in (("buggy", campus_with_rcnet()),
+                              ("fixed", campus_with_rcnet(fixed_fabric=True))):
+            bundle.extras["fabric"].set_offered_load(sources)
+            profile = bundle.topology.profile_between(
+                "cms1", bundle.remote_dtn, **bundle.science_policy)
+            conn = TcpConnection(profile,
+                                 algorithm=algorithm_by_name("htcp"),
+                                 rng=np.random.default_rng(6))
+            rates[label] = conn.measure(seconds(20),
+                                        max_rounds=100_000).mean_throughput
+        # Fixed fabric: each 1G host runs near its line rate.
+        assert rates["fixed"].mbps > 800
+        assert rates["buggy"].bps < 0.5 * rates["fixed"].bps
+
+
+class TestMonitoringWorkflow:
+    """§2 + §3.3: the failing-line-card incident end to end —
+    counters silent, OWAMP sees it, alert fires, localization names it."""
+
+    def test_full_detection_story(self):
+        bundle = simple_science_dmz()
+        topo = bundle.topology
+        sim = Simulator(seed=11)
+        archive = MeasurementArchive()
+        mesh = MeshSchedule(
+            topo, ["dmz-perfsonar", "remote-dtn"], sim, archive,
+            config=MeshConfig(owamp_interval=minutes(1),
+                              bwctl_interval=minutes(10),
+                              owamp_packets=20_000),
+            policy=bundle.science_policy)
+        mesh.start()
+
+        injector = FaultInjector(sim)
+        border = topo.node("border")
+        injector.inject_at(minutes(30), border, FailingLineCard())
+        sim.run_until(minutes(60).s)
+
+        # 1. The fault is invisible to counters.
+        assert injector.invisible_faults()
+
+        # 2. Active measurement sees it.
+        alerter = ThresholdAlerter(archive,
+                                   AlertRule(loss_rate_threshold=1e-5))
+        alerts = [a for a in alerter.scan() if a.time >= minutes(30).s]
+        assert alerts
+
+        # 3. Localization names the culprit element.
+        path = topo.path("dmz-perfsonar", "remote-dtn",
+                         **bundle.science_policy)
+        culprits = localize_loss(topo, path)
+        assert culprits and "border" in culprits[0][0]
+
+        # 4. Repair clears the loss.
+        record = injector.history[0]
+        injector.clear(record, border)
+        assert localize_loss(topo, path) == []

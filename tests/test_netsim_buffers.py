@@ -1,0 +1,129 @@
+"""Tests for the drop-tail queue model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.netsim.buffers import DropTailQueue
+from repro.units import DataRate, Gbps, KB, MB, Mbps, bytes_
+
+
+def make_queue(capacity=KB(512), service=Mbps(650)):
+    return DropTailQueue(capacity=capacity, service_rate=service)
+
+
+class TestEventDriven:
+    def test_accepts_until_full(self):
+        q = DropTailQueue(capacity=bytes_(3000), service_rate=Mbps(1))
+        assert q.offer(bytes_(1500), 0.0)
+        assert q.offer(bytes_(1500), 0.0)
+        assert not q.offer(bytes_(1500), 0.0)
+        assert q.stats.dropped_packets == 1
+        assert q.stats.enqueued_packets == 2
+
+    def test_drains_over_time(self):
+        # 1 Mbps drains 1500 B (12 kbit) in 12 ms.
+        q = DropTailQueue(capacity=bytes_(1500), service_rate=Mbps(1))
+        assert q.offer(bytes_(1500), 0.0)
+        assert not q.offer(bytes_(1500), 0.001)
+        assert q.offer(bytes_(1500), 0.013)
+
+    def test_drain_time_monotonic(self):
+        q = make_queue()
+        q.drain_to(1.0)
+        with pytest.raises(ConfigurationError):
+            q.drain_to(0.5)
+
+    def test_queueing_delay(self):
+        q = DropTailQueue(capacity=MB(1), service_rate=Mbps(8))
+        q.offer(bytes_(100_000), 0.0)  # 800 kbit at 8 Mbps = 100 ms
+        assert q.queueing_delay().ms == pytest.approx(100.0)
+
+    def test_reset(self):
+        q = make_queue()
+        q.offer(bytes_(1500), 0.0)
+        q.reset()
+        assert q.occupancy.bits == 0
+        assert q.stats.enqueued_packets == 0
+
+    def test_stats_drop_fraction(self):
+        q = DropTailQueue(capacity=bytes_(1500), service_rate=Mbps(0.001))
+        q.offer(bytes_(1500), 0.0)
+        q.offer(bytes_(1500), 0.0)
+        assert q.stats.drop_fraction == pytest.approx(0.5)
+
+    def test_max_occupancy_tracked(self):
+        q = DropTailQueue(capacity=bytes_(4500), service_rate=Mbps(0.001))
+        q.offer(bytes_(1500), 0.0)
+        q.offer(bytes_(1500), 0.0)
+        assert q.stats.max_occupancy_bits == pytest.approx(2 * 1500 * 8)
+
+
+class TestBurstAnalysis:
+    def test_small_burst_fits(self):
+        q = make_queue(capacity=KB(512))
+        assert q.burst_loss_fraction(KB(256), Gbps(10)) == 0.0
+
+    def test_slow_arrival_never_loses(self):
+        q = make_queue(capacity=KB(64), service=Gbps(10))
+        assert q.burst_loss_fraction(MB(100), Gbps(1)) == 0.0
+
+    def test_large_fast_burst_loses(self):
+        q = make_queue(capacity=KB(512), service=Mbps(650))
+        loss = q.burst_loss_fraction(MB(4), Gbps(10))
+        assert 0.0 < loss < 1.0
+
+    def test_loss_grows_with_burst_size(self):
+        q = make_queue(capacity=KB(512), service=Mbps(650))
+        losses = [q.burst_loss_fraction(MB(s), Gbps(10)) for s in (1, 2, 4, 8)]
+        assert losses == sorted(losses)
+        assert losses[-1] > losses[0]
+
+    def test_deeper_buffer_less_loss(self):
+        shallow = make_queue(capacity=KB(128)).burst_loss_fraction(MB(2), Gbps(10))
+        deep = make_queue(capacity=MB(8)).burst_loss_fraction(MB(2), Gbps(10))
+        assert deep < shallow
+
+    def test_initial_occupancy_reduces_headroom(self):
+        q = make_queue(capacity=KB(512))
+        empty = q.burst_loss_fraction(MB(2), Gbps(10))
+        primed = q.burst_loss_fraction(MB(2), Gbps(10),
+                                       initial_occupancy=KB(400))
+        assert primed > empty
+
+    def test_initial_occupancy_over_capacity_rejected(self):
+        q = make_queue(capacity=KB(512))
+        with pytest.raises(ConfigurationError):
+            q.burst_loss_fraction(MB(1), Gbps(10), initial_occupancy=MB(1))
+
+    def test_sustainable_burst(self):
+        q = make_queue(capacity=KB(512), service=Mbps(650))
+        burst = q.sustainable_burst(Gbps(10))
+        # The sustainable burst incurs zero loss...
+        assert q.burst_loss_fraction(burst, Gbps(10)) == pytest.approx(0.0, abs=1e-12)
+        # ...and 10% more incurs some.
+        assert q.burst_loss_fraction(burst * 1.1, Gbps(10)) > 0
+
+    def test_sustainable_burst_infinite_when_undersubscribed(self):
+        q = make_queue(capacity=KB(64), service=Gbps(10))
+        assert q.sustainable_burst(Gbps(1)).bits == float("inf")
+
+    @given(
+        burst_mb=st.floats(min_value=0.1, max_value=64),
+        cap_kb=st.floats(min_value=16, max_value=4096),
+        arrival_gbps=st.floats(min_value=0.8, max_value=40),
+    )
+    def test_loss_fraction_always_valid(self, burst_mb, cap_kb, arrival_gbps):
+        q = DropTailQueue(capacity=KB(cap_kb), service_rate=Mbps(650))
+        frac = q.burst_loss_fraction(MB(burst_mb), Gbps(arrival_gbps))
+        assert 0.0 <= frac < 1.0
+
+
+class TestValidation:
+    def test_zero_service_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DropTailQueue(capacity=KB(64), service_rate=DataRate(0))
+
+    def test_wrong_types_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DropTailQueue(capacity=1000, service_rate=Mbps(1))

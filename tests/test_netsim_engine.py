@@ -1,0 +1,165 @@
+"""Tests for the discrete-event engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(1.0, lambda i=i: fired.append(i))
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(1.0, lambda: fired.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        sim.run()
+        assert fired == []
+        assert sim.events_processed == 0
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run_until(3.0)
+        assert fired == [1]
+        assert sim.now == 3.0
+        sim.run_until(10.0)
+        assert fired == [1, 5]
+
+    def test_run_until_backwards_rejected(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0)
+
+    def test_run_until_inclusive_of_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("edge"))
+        sim.run_until(2.0)
+        assert fired == ["edge"]
+
+
+class TestPeriodic:
+    def test_periodic_fires_repeatedly(self):
+        sim = Simulator()
+        count = [0]
+        sim.schedule_periodic(1.0, lambda: count.__setitem__(0, count[0] + 1))
+        sim.run_until(5.5)
+        assert count[0] == 5
+
+    def test_periodic_with_start_offset(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_periodic(2.0, lambda: times.append(sim.now), start=0.5)
+        sim.run_until(6.0)
+        assert times == [0.5, 2.5, 4.5]
+
+    def test_periodic_until_bound(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_periodic(1.0, lambda: times.append(sim.now), until=3.0)
+        sim.run()
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_bad_interval_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_periodic(0.0, lambda: None)
+
+
+class TestRngStreams:
+    def test_same_stream_same_generator(self):
+        sim = Simulator(seed=1)
+        assert sim.rng("x") is sim.rng("x")
+
+    def test_streams_reproducible_across_simulators(self):
+        a = Simulator(seed=42).rng("loss").random(5)
+        b = Simulator(seed=42).rng("loss").random(5)
+        assert np.allclose(a, b)
+
+    def test_different_streams_independent(self):
+        sim = Simulator(seed=42)
+        a = sim.rng("one").random(5)
+        b = sim.rng("two").random(5)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = Simulator(seed=1).rng("s").random(5)
+        b = Simulator(seed=2).rng("s").random(5)
+        assert not np.allclose(a, b)
+
+    def test_new_stream_does_not_perturb_existing(self):
+        sim1 = Simulator(seed=9)
+        first = sim1.rng("main").random(3)
+        sim2 = Simulator(seed=9)
+        sim2.rng("other")  # create an unrelated stream first
+        second = sim2.rng("main").random(3)
+        assert np.allclose(first, second)
+
+
+class TestRunawayProtection:
+    def test_runaway_periodic_raises(self):
+        sim = Simulator()
+        sim.schedule_periodic(1e-9, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0, max_events=1000)
+
+    def test_pending_counts_uncancelled(self):
+        sim = Simulator()
+        e1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        e1.cancel()
+        assert sim.pending == 1

@@ -1,0 +1,160 @@
+"""Tests for links, nodes, and the PathElement protocol."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netsim.link import ETHERNET_MTU, JUMBO_MTU, Link
+from repro.netsim.node import (
+    DEFAULT_UNSCALED_WINDOW,
+    FlowContext,
+    Host,
+    Node,
+    Router,
+    Switch,
+)
+from repro.units import Gbps, KB, MB, Mbps, bytes_, ms, seconds, us
+
+
+class TestLink:
+    def test_basic_properties(self):
+        link = Link(rate=Gbps(10), delay=ms(5))
+        assert link.element_capacity().gbps == 10
+        assert link.element_latency().ms == 5
+        assert link.element_loss_probability() == 0.0
+
+    def test_explicit_loss(self):
+        link = Link(rate=Gbps(10), delay=ms(5), loss_probability=0.01)
+        assert link.element_loss_probability() == pytest.approx(0.01)
+
+    def test_ber_converts_to_packet_loss(self):
+        link = Link(rate=Gbps(10), delay=ms(5), mtu=bytes_(9000),
+                    bit_error_rate=1e-9)
+        p = link.element_loss_probability()
+        # 72000 bits/packet at 1e-9 BER -> ~7.2e-5 per packet.
+        assert p == pytest.approx(7.2e-5, rel=0.01)
+
+    def test_combined_loss_sources(self):
+        link = Link(rate=Gbps(10), delay=ms(5), loss_probability=0.5,
+                    bit_error_rate=0.0)
+        link.degrade(bit_error_rate=1e-6)
+        assert link.element_loss_probability() > 0.5
+
+    def test_degrade_and_repair(self):
+        link = Link(rate=Gbps(10), delay=ms(5))
+        link.degrade(loss_probability=1 / 22000)
+        assert link.element_loss_probability() > 0
+        link.repair()
+        assert link.element_loss_probability() == 0.0
+
+    def test_degrade_validates(self):
+        link = Link(rate=Gbps(10), delay=ms(5))
+        with pytest.raises(ConfigurationError):
+            link.degrade(loss_probability=2.0)
+
+    def test_serialization_delay(self):
+        link = Link(rate=Mbps(8), delay=ms(0))
+        assert link.serialization_delay(bytes_(1000)).ms == pytest.approx(1.0)
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigurationError):
+            Link(rate=Gbps(0), delay=ms(1))
+        with pytest.raises(ConfigurationError):
+            Link(rate=Gbps(1), delay=ms(1), loss_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            Link(rate=Gbps(1), delay=ms(1), mtu=bytes_(10))
+
+    def test_mtu_constants(self):
+        assert ETHERNET_MTU.bytes == 1500
+        assert JUMBO_MTU.bytes == 9000
+
+    def test_tags(self):
+        link = Link(rate=Gbps(1), delay=ms(1), tags={"science"})
+        assert link.has_tag("science")
+        assert not link.has_tag("enterprise")
+
+
+class TestFlowContext:
+    def test_effective_window_with_scaling(self):
+        ctx = FlowContext(mss=bytes_(1460), max_receive_window=MB(16))
+        assert ctx.effective_receive_window().bits == MB(16).bits
+
+    def test_effective_window_clamped_without_scaling(self):
+        ctx = FlowContext(mss=bytes_(1460), max_receive_window=MB(16),
+                          window_scaling=False)
+        assert ctx.effective_receive_window().bits == DEFAULT_UNSCALED_WINDOW.bits
+
+    def test_small_window_not_raised_by_clamp(self):
+        ctx = FlowContext(mss=bytes_(1460), max_receive_window=KB(32),
+                          window_scaling=False)
+        assert ctx.effective_receive_window().bits == KB(32).bits
+
+    def test_with_returns_modified_copy(self):
+        ctx = FlowContext(mss=bytes_(1460))
+        ctx2 = ctx.with_(window_scaling=False)
+        assert ctx.window_scaling and not ctx2.window_scaling
+
+
+class TestNode:
+    def test_requires_name(self):
+        with pytest.raises(ConfigurationError):
+            Node(name="")
+
+    def test_neutral_element_defaults(self):
+        node = Node(name="n")
+        assert node.element_capacity() is None
+        assert node.element_loss_probability() == 0.0
+        assert node.element_latency().s == 0.0
+        ctx = FlowContext(mss=bytes_(1460))
+        assert node.transform_flow(ctx) is ctx
+
+    def test_attach_detach(self):
+        node = Node(name="n")
+
+        class Extra:
+            def element_latency(self):
+                return seconds(0)
+
+            def element_capacity(self):
+                return None
+
+            def element_loss_probability(self):
+                return 0.25
+
+            def transform_flow(self, ctx):
+                return ctx
+
+        extra = Extra()
+        node.attach(extra)
+        elements = list(node.transit_elements())
+        assert elements == [node, extra]
+        node.detach(extra)
+        assert list(node.transit_elements()) == [node]
+
+    def test_detach_missing_raises(self):
+        node = Node(name="n")
+        with pytest.raises(ConfigurationError):
+            node.detach(object())
+
+    def test_attach_requires_protocol(self):
+        node = Node(name="n")
+        with pytest.raises(ConfigurationError):
+            node.attach(object())
+
+    def test_host_nic_capacity(self):
+        host = Host(name="h", nic_rate=Gbps(10))
+        assert host.element_capacity().gbps == 10
+        assert Host(name="h2").element_capacity() is None
+
+    def test_router_and_switch_latency(self):
+        assert Router(name="r").element_latency().us == pytest.approx(50)
+        assert Switch(name="s").element_latency().us == pytest.approx(10)
+
+    def test_equality_by_name_and_kind(self):
+        assert Host(name="x") == Host(name="x")
+        assert Host(name="x") != Router(name="x")
+        assert hash(Host(name="x")) == hash(Host(name="x"))
+
+    def test_tags(self):
+        node = Node(name="n", tags={"science-dmz"})
+        assert node.has_tag("science-dmz")
+        assert isinstance(node.tags, frozenset)

@@ -1,0 +1,164 @@
+"""Tests for the packet-level burst/fan-in simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.netsim.packetsim import (
+    BurstySource,
+    burst_trace,
+    generate_arrivals,
+    simulate_fan_in,
+)
+from repro.units import Gbps, KB, MB, Mbps, bytes_, seconds
+
+
+def source(name="s", mean=Mbps(200), line=Gbps(1), burst=KB(64),
+           jitter=0.5):
+    return BurstySource(name=name, line_rate=line, mean_rate=mean,
+                        burst_size=burst, jitter=jitter)
+
+
+class TestBurstySource:
+    def test_duty_cycle(self):
+        s = source(mean=Mbps(200), line=Gbps(1))
+        assert s.duty_cycle == pytest.approx(0.2)
+
+    def test_packets_per_burst(self):
+        s = source(burst=KB(64))
+        assert s.packets_per_burst == round(64 * 1024 / 1500)
+
+    def test_burst_interval_preserves_mean(self):
+        s = source(mean=Mbps(100), burst=KB(128))
+        expected = KB(128).bits / Mbps(100).bps
+        assert s.burst_interval.s == pytest.approx(expected)
+
+    def test_mean_above_line_rejected(self):
+        with pytest.raises(ConfigurationError):
+            source(mean=Gbps(2), line=Gbps(1))
+
+    def test_burst_below_packet_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BurstySource(name="x", line_rate=Gbps(1), mean_rate=Mbps(1),
+                         burst_size=bytes_(100), packet_size=bytes_(1500))
+
+
+class TestArrivals:
+    def test_mean_rate_approximated(self, rng):
+        s = source(mean=Mbps(200), jitter=0.3)
+        duration = seconds(2.0)
+        times = generate_arrivals(s, duration, rng)
+        delivered_bits = len(times) * s.packet_size.bits
+        rate = delivered_bits / duration.s
+        assert rate == pytest.approx(Mbps(200).bps, rel=0.1)
+
+    def test_sorted_and_bounded(self, rng):
+        s = source()
+        times = generate_arrivals(s, seconds(1.0), rng)
+        assert np.all(np.diff(times) >= 0)
+        assert times[-1] < 1.0
+
+    def test_intra_burst_spacing_is_line_rate(self, rng):
+        s = source(jitter=0.0, burst=KB(15))  # ~10 packets per burst
+        times = generate_arrivals(s, seconds(0.1), rng)
+        gap = s.packet_size.bits / s.line_rate.bps
+        # First two packets of the first burst are line-rate spaced.
+        assert times[1] - times[0] == pytest.approx(gap, rel=1e-6)
+
+    def test_burstiness_visible_in_trace(self, rng):
+        # §5: a 200 Mbps flow on GigE is ~1 Gbps bursts with pauses.
+        s = source(mean=Mbps(200), line=Gbps(1), burst=KB(256))
+        centers, rate = burst_trace(s, seconds(1.0), rng,
+                                    bin_width=seconds(0.0005))
+        assert rate.max() > 0.8 * Gbps(1).bps
+        assert (rate == 0).sum() > 0.2 * len(rate)
+
+
+class TestFanIn:
+    def test_undersubscribed_no_loss(self, rng):
+        # 5 x 200 Mbps mean into 10G with a deep buffer: nothing drops.
+        sources = [source(f"s{i}", Mbps(200)) for i in range(5)]
+        result = simulate_fan_in(sources, egress_rate=Gbps(10),
+                                 buffer_size=MB(16), duration=seconds(0.5),
+                                 rng=rng)
+        assert result.total_dropped == 0
+        assert result.loss_fraction == 0.0
+
+    def test_oversubscribed_shallow_buffer_loses(self, rng):
+        # 9 x 600 Mbps mean bursting at 1G into a *degraded* 4.5G egress
+        # with a shallow buffer: drops appear (the §6.1 flip-bug regime).
+        sources = [source(f"s{i}", Mbps(600), burst=KB(256))
+                   for i in range(9)]
+        result = simulate_fan_in(sources, egress_rate=Gbps(4.5),
+                                 buffer_size=KB(80), duration=seconds(0.5),
+                                 rng=rng)
+        assert result.total_dropped > 0
+        assert 0 < result.loss_fraction < 1
+
+    def test_deep_buffer_rescues_same_load(self, rng):
+        sources = [source(f"s{i}", Mbps(600), burst=KB(256))
+                   for i in range(9)]
+        shallow = simulate_fan_in(sources, egress_rate=Gbps(4.5),
+                                  buffer_size=KB(80),
+                                  duration=seconds(0.5),
+                                  rng=np.random.default_rng(7))
+        deep = simulate_fan_in(sources, egress_rate=Gbps(4.5),
+                               buffer_size=MB(64),
+                               duration=seconds(0.5),
+                               rng=np.random.default_rng(7))
+        assert deep.loss_fraction < shallow.loss_fraction
+
+    def test_per_source_stats_sum_to_totals(self, rng):
+        sources = [source(f"s{i}", Mbps(500), burst=KB(128))
+                   for i in range(4)]
+        result = simulate_fan_in(sources, egress_rate=Gbps(1),
+                                 buffer_size=KB(64), duration=seconds(0.3),
+                                 rng=rng)
+        assert (sum(s.offered_packets for s in result.per_source.values())
+                == result.total_offered)
+        assert (sum(s.dropped_packets for s in result.per_source.values())
+                == result.total_dropped)
+
+    def test_rates_consistent(self, rng):
+        sources = [source(f"s{i}", Mbps(100)) for i in range(3)]
+        result = simulate_fan_in(sources, egress_rate=Gbps(10),
+                                 buffer_size=MB(1), duration=seconds(0.5),
+                                 rng=rng)
+        assert result.delivered_rate.bps <= result.offered_rate.bps
+        assert result.offered_rate.mbps == pytest.approx(300, rel=0.15)
+
+    def test_mixed_packet_sizes_rejected(self, rng):
+        a = source("a")
+        b = BurstySource(name="b", line_rate=Gbps(1), mean_rate=Mbps(10),
+                         burst_size=KB(64), packet_size=bytes_(9000))
+        with pytest.raises(ConfigurationError):
+            simulate_fan_in([a, b], egress_rate=Gbps(1),
+                            buffer_size=KB(64), duration=seconds(0.1),
+                            rng=rng)
+
+    def test_empty_sources_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            simulate_fan_in([], egress_rate=Gbps(1), buffer_size=KB(64),
+                            duration=seconds(0.1), rng=rng)
+
+    def test_summary_renders(self, rng):
+        sources = [source("solo", Mbps(100))]
+        result = simulate_fan_in(sources, egress_rate=Gbps(1),
+                                 buffer_size=MB(1), duration=seconds(0.2),
+                                 rng=rng)
+        text = result.summary()
+        assert "fan-in" in text and "solo" in text
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=6),
+           mean_mbps=st.floats(min_value=50, max_value=900))
+    def test_loss_fraction_always_valid(self, n, mean_mbps):
+        rng = np.random.default_rng(3)
+        sources = [source(f"s{i}", Mbps(mean_mbps), burst=KB(128))
+                   for i in range(n)]
+        result = simulate_fan_in(sources, egress_rate=Gbps(2),
+                                 buffer_size=KB(256),
+                                 duration=seconds(0.2), rng=rng)
+        assert 0.0 <= result.loss_fraction <= 1.0
+        assert result.total_offered == result.total_delivered + result.total_dropped

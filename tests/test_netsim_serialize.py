@@ -1,0 +1,93 @@
+"""Tests for topology JSON round-tripping."""
+
+import json
+
+import pytest
+
+from repro.core import general_purpose_campus, simple_science_dmz
+from repro.errors import ConfigurationError
+from repro.netsim import Link, Topology, topology_from_dict, topology_to_dict
+from repro.units import Gbps, ms
+
+
+class TestRoundTrip:
+    def test_simple_pair(self, clean_path_topology):
+        data = topology_to_dict(clean_path_topology)
+        rebuilt = topology_from_dict(data)
+        assert rebuilt.name == clean_path_topology.name
+        assert rebuilt.node_count == clean_path_topology.node_count
+        assert rebuilt.link_count == clean_path_topology.link_count
+        p1 = clean_path_topology.profile_between("a", "b")
+        p2 = rebuilt.profile_between("a", "b")
+        assert p2.capacity.bps == p1.capacity.bps
+        assert p2.base_rtt.s == pytest.approx(p1.base_rtt.s)
+        assert p2.mtu.bits == p1.mtu.bits
+
+    def test_json_compatible(self, clean_path_topology):
+        data = topology_to_dict(clean_path_topology)
+        rebuilt = topology_from_dict(json.loads(json.dumps(data)))
+        assert rebuilt.node_count == 2
+
+    def test_stable_double_roundtrip(self):
+        bundle = general_purpose_campus()
+        once = topology_to_dict(bundle.topology)
+        twice = topology_to_dict(topology_from_dict(once))
+        assert once == twice
+
+    def test_design_roundtrip_preserves_audit(self):
+        bundle = simple_science_dmz()
+        rebuilt = topology_from_dict(topology_to_dict(bundle.topology))
+        # The rebuilt topology must preserve paths, firewall placement and
+        # host profiles — i.e. the location + dedicated-systems patterns.
+        science = rebuilt.path("dtn1", "wan",
+                               forbid_node_kinds=("firewall",))
+        assert science.node_names() == ["dtn1", "dmz-switch", "border", "wan"]
+        campus = rebuilt.path("lab-server1", "wan")
+        assert campus.traverses_kind("firewall")
+        profile = rebuilt.node("dtn1").meta["host_profile"]
+        assert profile.dedicated
+
+    def test_firewall_settings_preserved(self):
+        bundle = general_purpose_campus()
+        fw = bundle.topology.node("campus-firewall")
+        assert fw.sequence_checking
+        rebuilt = topology_from_dict(topology_to_dict(bundle.topology))
+        assert rebuilt.node("campus-firewall").sequence_checking
+
+    def test_link_degradation_preserved(self, clean_path_topology):
+        clean_path_topology.link_between("a", "b").degrade(
+            loss_probability=1 / 22000)
+        rebuilt = topology_from_dict(topology_to_dict(clean_path_topology))
+        assert rebuilt.profile_between("a", "b").random_loss == pytest.approx(
+            1 / 22000)
+
+    def test_tags_preserved(self):
+        topo = Topology("tagged")
+        topo.add_host("a", nic_rate=Gbps(1), tags={"perfsonar", "dtn"})
+        topo.add_host("b", nic_rate=Gbps(1))
+        topo.connect("a", "b", Link(rate=Gbps(1), delay=ms(1),
+                                    tags={"science"}))
+        rebuilt = topology_from_dict(topology_to_dict(topo))
+        assert rebuilt.node("a").has_tag("perfsonar")
+        assert rebuilt.link_between("a", "b").has_tag("science")
+
+
+class TestValidation:
+    def test_version_checked(self):
+        with pytest.raises(ConfigurationError):
+            topology_from_dict({"format_version": 99, "name": "x",
+                                "nodes": [], "links": []})
+
+    def test_unknown_node_kind(self):
+        with pytest.raises(ConfigurationError):
+            topology_from_dict({
+                "format_version": 1, "name": "x",
+                "nodes": [{"name": "q", "kind": "quantum-repeater"}],
+                "links": [],
+            })
+
+    def test_storage_type_preserved_by_name(self):
+        bundle = simple_science_dmz()
+        rebuilt = topology_from_dict(topology_to_dict(bundle.topology))
+        storage = rebuilt.node("dtn1").meta["host_profile"].storage
+        assert type(storage).__name__ == "RaidArray"

@@ -1,0 +1,154 @@
+"""Tests pinning specific textual claims from the paper to behaviour.
+
+Each test quotes the claim it encodes.  These are deliberately separate
+from the module unit tests: they are the reproduction's contract with
+the paper's prose, not with our own API.
+"""
+
+import numpy as np
+import pytest
+
+from repro.netsim import Link, Topology
+from repro.netsim.packetsim import BurstySource, simulate_fan_in
+from repro.tcp import Reno, TcpConnection
+from repro.units import (
+    GB,
+    Gbps,
+    KB,
+    MB,
+    Mbps,
+    bytes_,
+    ms,
+    seconds,
+)
+
+
+def path(rate=Gbps(10), rtt=ms(50), loss=0.0, window=MB(256)):
+    topo = Topology("claim")
+    topo.add_host("a", nic_rate=rate)
+    topo.add_host("b", nic_rate=rate)
+    topo.connect("a", "b", Link(rate=rate, delay=ms(rtt.ms / 2),
+                                mtu=bytes_(9000), loss_probability=loss))
+    profile = topo.profile_between("a", "b")
+    from dataclasses import replace
+    return replace(profile, flow=profile.flow.with_(max_receive_window=window))
+
+
+class TestSection21TcpSensitivity:
+    """§2.1: 'even a tiny amount of packet loss is enough to dramatically
+    reduce TCP performance' — 'the difference between a scientist
+    completing a transfer in days rather than hours or minutes'."""
+
+    def test_days_vs_hours_framing(self):
+        size = GB(500)
+        clean = TcpConnection(path(), algorithm=Reno()).transfer(size)
+        dirty = TcpConnection(path(loss=1 / 22000), algorithm=Reno(),
+                              rng=np.random.default_rng(1)).transfer(
+            size, max_rounds=100_000)
+        assert clean.duration.minutes < 60          # minutes
+        assert dirty.duration.hours > 2             # many hours
+
+    def test_sending_rate_reduced_then_slowly_recovers(self):
+        """'TCP interprets the loss as network congestion ... rapidly
+        reducing the overall sending rate.  The sending rate then slowly
+        recovers'."""
+        profile = path(loss=1e-4)
+        result = TcpConnection(profile, algorithm=Reno(),
+                               rng=np.random.default_rng(2)).measure(
+            seconds(60), max_rounds=100_000)
+        t, cwnd, _ = result.sample_arrays()
+        drops = np.diff(cwnd) < -cwnd[:-1] * 0.3   # multiplicative cuts
+        growth = np.diff(cwnd) > 0
+        assert drops.any(), "must show rapid reductions"
+        assert growth.sum() > drops.sum() * 3, \
+            "recovery takes many more rounds than the cut"
+
+
+class TestSection22FeedbackAndLatency:
+    """§2.1: 'This problem is exacerbated as the latency increases
+    between communicating hosts.'"""
+
+    def test_same_loss_worse_at_higher_latency(self):
+        loss = 1 / 22000
+        rates = {}
+        for rtt_ms in (5, 20, 80):
+            result = TcpConnection(path(rtt=ms(rtt_ms), loss=loss),
+                                   algorithm=Reno(),
+                                   rng=np.random.default_rng(3)).measure(
+                seconds(60), max_rounds=150_000)
+            rates[rtt_ms] = result.mean_throughput.bps
+        assert rates[5] > rates[20] > rates[80]
+
+
+class TestSection32NicMatching:
+    """§3.2: 'if the network connection from the site to the WAN is
+    1 Gigabit Ethernet, a 10 Gigabit Ethernet interface on the DTN may
+    be counterproductive ... a high-performance DTN can overwhelm the
+    slower wide area link causing packet loss.'"""
+
+    def test_fast_nic_overruns_slow_wan(self):
+        def loss_with_nic(line_rate):
+            src = BurstySource(name="dtn", line_rate=line_rate,
+                               mean_rate=Mbps(800), burst_size=MB(1))
+            result = simulate_fan_in(
+                [src], egress_rate=Gbps(1), buffer_size=KB(256),
+                duration=seconds(1.0), rng=np.random.default_rng(4))
+            return result.loss_fraction
+
+        matched = loss_with_nic(Gbps(1))
+        overpowered = loss_with_nic(Gbps(10))
+        # The matched NIC sees at most trace loss from burst-start jitter
+        # overlap; the 10G NIC's line-rate bursts hammer the 1G link.
+        assert matched < 0.005
+        assert overpowered > 0.05
+        assert overpowered > 50 * matched
+
+    def test_deep_border_buffer_mitigates(self):
+        src = BurstySource(name="dtn", line_rate=Gbps(10),
+                           mean_rate=Mbps(800), burst_size=MB(1))
+        deep = simulate_fan_in([src], egress_rate=Gbps(1),
+                               buffer_size=MB(32), duration=seconds(1.0),
+                               rng=np.random.default_rng(5))
+        assert deep.loss_fraction == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSection34LocalAccess:
+    """§3.4: 'Users at the local site who access resources on their
+    local Science DMZ through the lab or campus perimeter firewall will
+    typically get reasonable performance, since the latency between the
+    local users and the local Science DMZ is low (even if the firewall
+    causes some loss), TCP can recover quickly.'"""
+
+    def test_firewall_loss_tolerable_at_lan_rtt(self):
+        loss = 0.001  # a lossy firewall
+        lan = TcpConnection(path(rate=Gbps(1), rtt=ms(0.5), loss=loss,
+                                 window=MB(4)),
+                            algorithm=Reno(),
+                            rng=np.random.default_rng(6)).measure(
+            seconds(30), max_rounds=200_000)
+        wan = TcpConnection(path(rate=Gbps(1), rtt=ms(40), loss=loss,
+                                 window=MB(4)),
+                            algorithm=Reno(),
+                            rng=np.random.default_rng(6)).measure(
+            seconds(30), max_rounds=200_000)
+        # LAN user: hundreds of Mbps despite the loss; WAN user: starved.
+        assert lan.mean_throughput.mbps > 300
+        assert wan.mean_throughput.mbps < lan.mean_throughput.mbps / 5
+
+
+class TestExecutionModeCrossValidation:
+    """The analytic transfer composition must agree with the full
+    multi-flow simulation where their assumptions coincide."""
+
+    def test_modes_agree_on_clean_path(self):
+        from repro.core import simple_science_dmz
+        from repro.dtn import Dataset, TransferPlan
+        bundle = simple_science_dmz()
+        plan = TransferPlan(bundle.topology, "remote-dtn", "dtn1",
+                            Dataset("xval", GB(50), 50), "gridftp",
+                            policy=bundle.science_policy)
+        analytic = plan.execute()
+        simulated = plan.execute_multiflow()
+        assert simulated.duration.s == pytest.approx(analytic.duration.s,
+                                                     rel=0.25)
+        assert simulated.limiting_factor == analytic.limiting_factor

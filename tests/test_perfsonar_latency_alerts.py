@@ -1,0 +1,76 @@
+"""Tests for latency-rise alerting and lossless-soft-failure detection."""
+
+import pytest
+
+from repro.devices.faults import FaultInjector, ManagementCpuForwarding
+from repro.errors import MeasurementError
+from repro.netsim import Link, Simulator, Topology
+from repro.netsim.node import Router
+from repro.perfsonar import (
+    AlertRule,
+    MeasurementArchive,
+    MeshConfig,
+    MeshSchedule,
+    Metric,
+    ThresholdAlerter,
+)
+from repro.units import Gbps, bytes_, minutes, ms
+
+
+class TestLatencyAlertRule:
+    def test_latency_rise_alert(self):
+        arch = MeasurementArchive()
+        for t in range(5):
+            arch.record_value(t * 60.0, "a", "b",
+                              Metric.ONE_WAY_LATENCY_S, 0.010)
+        arch.record_value(300.0, "a", "b", Metric.ONE_WAY_LATENCY_S, 0.020)
+        alerts = ThresholdAlerter(arch).scan()
+        latency_alerts = [a for a in alerts
+                          if a.metric is Metric.ONE_WAY_LATENCY_S]
+        assert len(latency_alerts) == 1
+        assert latency_alerts[0].time == 300.0
+
+    def test_small_jitter_does_not_alert(self):
+        arch = MeasurementArchive()
+        for t, v in enumerate([0.010, 0.0101, 0.0099, 0.0102, 0.0100]):
+            arch.record_value(t * 60.0, "a", "b",
+                              Metric.ONE_WAY_LATENCY_S, v)
+        alerts = [a for a in ThresholdAlerter(arch).scan()
+                  if a.metric is Metric.ONE_WAY_LATENCY_S]
+        assert alerts == []
+
+    def test_rule_validation(self):
+        with pytest.raises(MeasurementError):
+            AlertRule(latency_rise_fraction=0.0)
+
+
+class TestSlowPathDetection:
+    """Management-CPU forwarding adds delay but no loss (§3.3) — only the
+    latency rule catches it."""
+
+    def test_detected_by_latency_not_loss(self):
+        topo = Topology("slowpath")
+        topo.add_host("a", nic_rate=Gbps(10), tags={"perfsonar"})
+        topo.add_host("b", nic_rate=Gbps(10), tags={"perfsonar"})
+        core = topo.add_node(Router(name="core"))
+        topo.connect("a", "core", Link(rate=Gbps(10), delay=ms(1),
+                                       mtu=bytes_(9000)))
+        topo.connect("core", "b", Link(rate=Gbps(10), delay=ms(1),
+                                       mtu=bytes_(9000)))
+        sim = Simulator(seed=13)
+        arch = MeasurementArchive()
+        mesh = MeshSchedule(topo, ["a", "b"], sim, arch,
+                            config=MeshConfig(owamp_interval=minutes(1),
+                                              bwctl_interval=minutes(60)))
+        mesh.start()
+        injector = FaultInjector(sim)
+        injector.inject_at(minutes(15), core, ManagementCpuForwarding())
+        sim.run_until(minutes(30).s)
+
+        alerts = ThresholdAlerter(arch).scan()
+        latency_alerts = [a for a in alerts
+                          if a.metric is Metric.ONE_WAY_LATENCY_S]
+        loss_alerts = [a for a in alerts if a.metric is Metric.LOSS_RATE]
+        assert latency_alerts, "slow-path fault must raise a latency alert"
+        assert min(a.time for a in latency_alerts) >= minutes(15).s
+        assert loss_alerts == []  # the fault drops nothing

@@ -1,0 +1,240 @@
+"""Tests for the mesh scheduler, the Figure 2 dashboard, and alerting."""
+
+import pytest
+
+from repro.devices.faults import FailingLineCard, FaultInjector
+from repro.errors import MeasurementError
+from repro.netsim import Link, Simulator, Topology
+from repro.netsim.node import Router
+from repro.perfsonar import (
+    AlertRule,
+    Dashboard,
+    MeasurementArchive,
+    MeshConfig,
+    MeshSchedule,
+    Metric,
+    RateBand,
+    ThresholdAlerter,
+    localize_loss,
+)
+from repro.units import Gbps, bytes_, minutes, ms
+
+
+def mesh_fixture(hosts=("lbl", "anl", "bnl"), seed=7):
+    topo = Topology("mesh")
+    topo.add_node(Router(name="core"))
+    for h in hosts:
+        topo.add_host(h, nic_rate=Gbps(10), tags={"perfsonar"})
+        topo.connect(h, "core", Link(rate=Gbps(10), delay=ms(8),
+                                     mtu=bytes_(9000)))
+    sim = Simulator(seed=seed)
+    arch = MeasurementArchive()
+    mesh = MeshSchedule(topo, list(hosts), sim, arch,
+                        config=MeshConfig(owamp_interval=minutes(1),
+                                          bwctl_interval=minutes(15)))
+    return topo, sim, arch, mesh
+
+
+class TestMesh:
+    def test_pair_count(self):
+        _, _, _, mesh = mesh_fixture()
+        assert mesh.pair_count == 6  # 3 hosts, ordered pairs
+
+    def test_periodic_tests_populate_archive(self):
+        _, sim, arch, mesh = mesh_fixture()
+        mesh.start()
+        sim.run_until(minutes(30).s)
+        assert arch.count() > 0
+        # Every ordered pair measured loss at least ~29 times.
+        times, _ = arch.series("lbl", "anl", Metric.LOSS_RATE)
+        assert len(times) >= 25
+
+    def test_bwctl_less_frequent_than_owamp(self):
+        _, sim, arch, mesh = mesh_fixture()
+        mesh.start()
+        sim.run_until(minutes(30).s)
+        loss_n = len(arch.series("lbl", "anl", Metric.LOSS_RATE)[0])
+        tput_n = len(arch.series("lbl", "anl", Metric.THROUGHPUT_BPS)[0])
+        assert loss_n > 5 * tput_n >= 1
+
+    def test_one_shot_rounds(self):
+        _, _, arch, mesh = mesh_fixture()
+        mesh.run_owamp_round()
+        mesh.run_bwctl_round()
+        assert len(arch.pairs(Metric.LOSS_RATE)) == 6
+        assert len(arch.pairs(Metric.THROUGHPUT_BPS)) == 6
+
+    def test_double_start_rejected(self):
+        _, _, _, mesh = mesh_fixture()
+        mesh.start()
+        with pytest.raises(MeasurementError):
+            mesh.start()
+
+    def test_validation(self):
+        topo, sim, arch, _ = mesh_fixture()
+        with pytest.raises(MeasurementError):
+            MeshSchedule(topo, ["lbl"], sim, arch)
+        with pytest.raises(MeasurementError):
+            MeshSchedule(topo, ["lbl", "lbl"], sim, arch)
+        with pytest.raises(MeasurementError):
+            MeshSchedule(topo, ["lbl", "ghost"], sim, arch)
+
+
+class TestDashboard:
+    def test_grid_shape(self):
+        _, _, arch, mesh = mesh_fixture()
+        mesh.run_bwctl_round()
+        dash = Dashboard(arch, ["lbl", "anl", "bnl"], expected_rate=Gbps(3))
+        grid = dash.grid()
+        assert len(grid) == 3 and len(grid[0]) == 3
+        assert grid[0][0] is None  # diagonal
+        assert grid[0][1] is not None
+
+    def test_banding(self):
+        arch = MeasurementArchive()
+        dash = Dashboard(arch, ["a", "b"], expected_rate=Gbps(10))
+        assert dash.band(9.5e9) is RateBand.GOOD
+        assert dash.band(5e9) is RateBand.DEGRADED
+        assert dash.band(0.5e9) is RateBand.BAD
+        assert dash.band(None) is RateBand.NO_DATA
+
+    def test_cell_is_bidirectional(self):
+        arch = MeasurementArchive()
+        arch.record_value(0.0, "a", "b", Metric.THROUGHPUT_BPS, 9.5e9)
+        arch.record_value(0.0, "b", "a", Metric.THROUGHPUT_BPS, 0.2e9)
+        dash = Dashboard(arch, ["a", "b"], expected_rate=Gbps(10))
+        cell = dash.cell("a", "b")
+        assert cell.forward_band is RateBand.GOOD
+        assert cell.reverse_band is RateBand.BAD
+        assert cell.glyphs == "#X"
+
+    def test_problem_pairs(self):
+        arch = MeasurementArchive()
+        arch.record_value(0.0, "a", "b", Metric.THROUGHPUT_BPS, 9.5e9)
+        arch.record_value(0.0, "b", "a", Metric.THROUGHPUT_BPS, 0.2e9)
+        dash = Dashboard(arch, ["a", "b"], expected_rate=Gbps(10))
+        problems = dash.problem_pairs()
+        assert ("b", "a", RateBand.BAD) in problems
+        assert all(p[0] != "a" for p in problems)
+
+    def test_render_text_and_csv(self):
+        _, _, arch, mesh = mesh_fixture()
+        mesh.run_bwctl_round()
+        dash = Dashboard(arch, ["lbl", "anl", "bnl"], expected_rate=Gbps(3))
+        text = dash.render_text()
+        assert "legend" in text and "lbl" in text
+        csv = dash.render_csv()
+        assert csv.startswith("src,dst,")
+        assert len(csv.strip().split("\n")) == 1 + 6
+
+    def test_validation(self):
+        arch = MeasurementArchive()
+        with pytest.raises(MeasurementError):
+            Dashboard(arch, ["only-one"])
+        with pytest.raises(MeasurementError):
+            Dashboard(arch, ["a", "b"], good_fraction=0.1, bad_fraction=0.5)
+
+
+class TestAlerting:
+    def test_loss_alert_raised(self):
+        arch = MeasurementArchive()
+        arch.record_value(60.0, "a", "b", Metric.LOSS_RATE, 0.0)
+        arch.record_value(120.0, "a", "b", Metric.LOSS_RATE, 0.002)
+        alerts = ThresholdAlerter(arch).scan()
+        assert len(alerts) == 1
+        assert alerts[0].time == 120.0
+        assert alerts[0].metric is Metric.LOSS_RATE
+
+    def test_throughput_drop_alert(self):
+        arch = MeasurementArchive()
+        for t in range(5):
+            arch.record_value(t * 60.0, "a", "b", Metric.THROUGHPUT_BPS, 9e9)
+        arch.record_value(300.0, "a", "b", Metric.THROUGHPUT_BPS, 1e9)
+        alerts = ThresholdAlerter(arch).scan()
+        assert any(a.metric is Metric.THROUGHPUT_BPS for a in alerts)
+
+    def test_no_alert_without_baseline(self):
+        arch = MeasurementArchive()
+        arch.record_value(0.0, "a", "b", Metric.THROUGHPUT_BPS, 1e9)
+        assert ThresholdAlerter(arch).scan() == []
+
+    def test_first_detection(self):
+        arch = MeasurementArchive()
+        arch.record_value(60.0, "a", "b", Metric.LOSS_RATE, 0.002)
+        arch.record_value(120.0, "a", "b", Metric.LOSS_RATE, 0.002)
+        alert = ThresholdAlerter(arch).first_detection("a", "b")
+        assert alert.time == 60.0
+        assert ThresholdAlerter(arch).first_detection("x", "y") is None
+
+    def test_rule_validation(self):
+        with pytest.raises(MeasurementError):
+            AlertRule(loss_rate_threshold=0.0)
+        with pytest.raises(MeasurementError):
+            AlertRule(throughput_drop_fraction=1.0)
+
+    def test_detection_time_after_injection(self):
+        """Integration: inject the §2 line card, measure time-to-detect.
+
+        At 1/22000 loss, most 600-packet OWAMP sessions see zero losses
+        (binomial mean 0.027), so use a heavier probe stream to make
+        detection statistically prompt — the real toolkit streams
+        continuously for the same reason.
+        """
+        topo = Topology("mesh")
+        topo.add_node(Router(name="core"))
+        for h in ("lbl", "anl", "bnl"):
+            topo.add_host(h, nic_rate=Gbps(10), tags={"perfsonar"})
+            topo.connect(h, "core", Link(rate=Gbps(10), delay=ms(8),
+                                         mtu=bytes_(9000)))
+        sim = Simulator(seed=3)
+        arch = MeasurementArchive()
+        mesh = MeshSchedule(topo, ["lbl", "anl", "bnl"], sim, arch,
+                            config=MeshConfig(owamp_interval=minutes(1),
+                                              bwctl_interval=minutes(15),
+                                              owamp_packets=6000))
+        mesh.start()
+        injector = FaultInjector(sim)
+        injector.inject_at(minutes(20), topo.node("core"), FailingLineCard())
+        sim.run_until(minutes(50).s)
+        alerter = ThresholdAlerter(arch, AlertRule(loss_rate_threshold=1e-5))
+        alerts = alerter.scan()
+        assert alerts, "injected fault must be detected"
+        first = min(a.time for a in alerts)
+        assert first >= minutes(20).s
+        # Detected within a handful of OWAMP cycles.
+        assert first <= minutes(30).s
+
+
+class TestLocalization:
+    def test_culprit_element_identified(self):
+        topo = Topology("loc")
+        topo.add_host("a", nic_rate=Gbps(10))
+        topo.add_host("b", nic_rate=Gbps(10))
+        for name in ("r1", "r2", "r3"):
+            topo.add_node(Router(name=name))
+        topo.connect("a", "r1", Link(rate=Gbps(10), delay=ms(1)))
+        topo.connect("r1", "r2", Link(rate=Gbps(10), delay=ms(1)))
+        topo.connect("r2", "r3", Link(rate=Gbps(10), delay=ms(1)))
+        topo.connect("r3", "b", Link(rate=Gbps(10), delay=ms(1)))
+        topo.node("r2").attach(FailingLineCard())
+        culprits = localize_loss(topo, topo.path("a", "b"))
+        assert len(culprits) == 1
+        assert "r2" in culprits[0][0]
+        assert culprits[0][1] == pytest.approx(1 / 22000)
+
+    def test_clean_path_no_culprits(self, clean_path_topology):
+        path = clean_path_topology.path("a", "b")
+        assert localize_loss(clean_path_topology, path) == []
+
+    def test_multiple_culprits_sorted_by_severity(self):
+        topo = Topology("loc2")
+        topo.add_host("a", nic_rate=Gbps(10))
+        topo.add_host("b", nic_rate=Gbps(10))
+        topo.add_node(Router(name="r1"))
+        topo.connect("a", "r1", Link(rate=Gbps(10), delay=ms(1),
+                                     loss_probability=0.001))
+        topo.connect("r1", "b", Link(rate=Gbps(10), delay=ms(1),
+                                     loss_probability=0.05))
+        culprits = localize_loss(topo, topo.path("a", "b"))
+        assert len(culprits) == 2
+        assert culprits[0][1] > culprits[1][1]

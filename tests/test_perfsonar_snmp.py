@@ -1,0 +1,124 @@
+"""Tests for the passive SNMP counter models."""
+
+import pytest
+
+from repro.devices.faults import (
+    DuplexMismatch,
+    FailingLineCard,
+    ManagementCpuForwarding,
+)
+from repro.errors import MeasurementError
+from repro.netsim import Link, Simulator, Topology
+from repro.netsim.node import Router
+from repro.perfsonar import (
+    InterfaceCounters,
+    MeasurementArchive,
+    SnmpPoller,
+    read_error_counters,
+)
+from repro.perfsonar.snmp import UTILIZATION_METRIC
+from repro.units import Gbps, Mbps, minutes, ms, seconds
+
+
+class TestInterfaceCounters:
+    def test_accounting_and_poll_delta(self):
+        counters = InterfaceCounters(name="uplink")
+        counters.account(Mbps(800), seconds(30))
+        rate = counters.poll(30.0)
+        assert rate.mbps == pytest.approx(800)
+
+    def test_second_poll_uses_delta(self):
+        counters = InterfaceCounters(name="uplink")
+        counters.account(Mbps(100), seconds(60))
+        counters.poll(60.0)
+        counters.account(Mbps(500), seconds(60))
+        rate = counters.poll(120.0)
+        assert rate.mbps == pytest.approx(500)
+
+    def test_idle_interface_polls_zero(self):
+        counters = InterfaceCounters(name="idle")
+        assert counters.poll(60.0).bps == 0.0
+
+    def test_poll_backwards_rejected(self):
+        counters = InterfaceCounters(name="x")
+        counters.poll(60.0)
+        with pytest.raises(MeasurementError):
+            counters.poll(30.0)
+
+
+class TestErrorCounters:
+    def test_clean_node(self):
+        node = Router(name="r")
+        reading = read_error_counters(node)
+        assert reading.looks_clean
+        assert reading.hidden_faults == 0
+
+    def test_invisible_fault_keeps_counters_clean(self):
+        # The §2 story: the failing line card drops packets but the
+        # device reports no errors.
+        node = Router(name="r")
+        node.attach(FailingLineCard())
+        reading = read_error_counters(node)
+        assert reading.looks_clean
+        assert reading.hidden_faults == 1
+
+    def test_visible_fault_shows(self):
+        node = Router(name="r")
+        node.attach(DuplexMismatch())
+        reading = read_error_counters(node)
+        assert not reading.looks_clean
+        assert reading.visible_errors == 1
+        assert any("duplex" in d for d in reading.details)
+
+    def test_mixed_faults(self):
+        node = Router(name="r")
+        node.attach(FailingLineCard())
+        node.attach(DuplexMismatch())
+        node.attach(ManagementCpuForwarding())  # invisible, lossless
+        reading = read_error_counters(node)
+        assert reading.visible_errors == 1
+        assert reading.hidden_faults == 2
+
+
+class TestSnmpPoller:
+    def test_periodic_polling_into_archive(self):
+        topo = Topology("snmp")
+        topo.add_host("a", nic_rate=Gbps(10))
+        topo.add_host("b", nic_rate=Gbps(10))
+        link = topo.connect("a", "b", Link(rate=Gbps(10), delay=ms(1),
+                                           name="uplink"))
+        sim = Simulator(seed=0)
+        archive = MeasurementArchive()
+        poller = SnmpPoller(topo, sim, archive, interval=minutes(1))
+        counters = poller.counters_for(link)
+        poller.start()
+        # Simulated traffic: account as the experiment runs.
+        sim.schedule(30.0, lambda: counters.account(Gbps(2), seconds(60)))
+        sim.run_until(minutes(3).s)
+        times, values = archive.series("uplink", "snmp", UTILIZATION_METRIC)
+        assert len(times) == 3
+        assert values.max() > 0
+
+    def test_error_sweep(self):
+        topo = Topology("snmp2")
+        core = topo.add_node(Router(name="core"))
+        core.attach(FailingLineCard())
+        sim = Simulator(seed=0)
+        poller = SnmpPoller(topo, sim, MeasurementArchive())
+        readings = {r.node: r for r in poller.error_sweep()}
+        assert readings["core"].looks_clean          # the paper's point
+        assert readings["core"].hidden_faults == 1
+
+    def test_double_start_rejected(self):
+        topo = Topology("snmp3")
+        sim = Simulator(seed=0)
+        poller = SnmpPoller(topo, sim, MeasurementArchive())
+        poller.start()
+        with pytest.raises(MeasurementError):
+            poller.start()
+
+    def test_bad_interval(self):
+        topo = Topology("snmp4")
+        with pytest.raises(MeasurementError):
+            SnmpPoller(topo, Simulator(seed=0), MeasurementArchive(),
+                       interval=seconds(0))

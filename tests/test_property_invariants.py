@@ -1,0 +1,328 @@
+"""Property-based tests over the library's core invariants.
+
+These encode the physics and protocol laws the simulator must never
+violate, regardless of parameters:
+
+* path profiles: capacity is the min, latency the sum, loss combines
+  multiplicatively, MSS never exceeds the path MTU;
+* TCP: throughput never exceeds capacity or window/RTT; more loss never
+  helps; conservation of bytes;
+* fairness: allocations never exceed demands or link capacities;
+* OSCARS: no sequence of admissions oversubscribes a link;
+* queues: accepted + dropped == offered, occupancy <= capacity;
+* ACL/flow tables: evaluation is deterministic and total.
+"""
+
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.circuits import OscarsService, ReservationRequest
+from repro.errors import CapacityError
+from repro.netsim import Link, Topology
+from repro.netsim.buffers import DropTailQueue
+from repro.netsim.node import Router
+from repro.tcp import Reno, TcpConnection
+from repro.tcp.simulate import max_min_fair_allocation
+from repro.units import GB, Gbps, KB, MB, Mbps, bytes_, hours, ms, seconds
+
+# ---------------------------------------------------------------------------
+# Path profile composition
+# ---------------------------------------------------------------------------
+
+link_params = st.tuples(
+    st.floats(min_value=0.05, max_value=100.0),   # rate Gbps
+    st.floats(min_value=0.01, max_value=100.0),   # one-way delay ms
+    st.floats(min_value=0.0, max_value=0.05),     # loss prob
+    st.sampled_from([1500, 9000]),                # mtu bytes
+)
+
+
+@st.composite
+def chain_topologies(draw):
+    """A linear chain host-r1-r2-...-host with random link parameters."""
+    n_links = draw(st.integers(min_value=1, max_value=5))
+    params = [draw(link_params) for _ in range(n_links)]
+    topo = Topology("chain")
+    topo.add_host("h0", nic_rate=Gbps(200))
+    prev = "h0"
+    for i, _ in enumerate(params[:-1]):
+        topo.add_node(Router(name=f"r{i}"))
+    topo.add_host("h1", nic_rate=Gbps(200))
+    nodes = ["h0"] + [f"r{i}" for i in range(n_links - 1)] + ["h1"]
+    for (a, b), (rate, delay, loss, mtu) in zip(zip(nodes, nodes[1:]),
+                                                params):
+        topo.connect(a, b, Link(rate=Gbps(rate), delay=ms(delay),
+                                loss_probability=loss, mtu=bytes_(mtu)))
+    return topo, params
+
+
+class TestProfileComposition:
+    @settings(max_examples=80, deadline=None)
+    @given(chain_topologies())
+    def test_capacity_is_min_of_links(self, built):
+        topo, params = built
+        profile = topo.profile_between("h0", "h1")
+        assert profile.capacity.bps == pytest.approx(
+            min(p[0] for p in params) * 1e9)
+
+    @settings(max_examples=80, deadline=None)
+    @given(chain_topologies())
+    def test_latency_at_least_sum_of_links(self, built):
+        topo, params = built
+        profile = topo.profile_between("h0", "h1")
+        link_sum = sum(p[1] for p in params) / 1e3
+        assert profile.one_way_latency.s >= link_sum - 1e-12
+        # Router forwarding adds at most 50 us per hop.
+        assert profile.one_way_latency.s <= link_sum + 60e-6 * len(params)
+
+    @settings(max_examples=80, deadline=None)
+    @given(chain_topologies())
+    def test_loss_combines_multiplicatively(self, built):
+        topo, params = built
+        profile = topo.profile_between("h0", "h1")
+        survive = 1.0
+        for _, _, loss, _ in params:
+            survive *= (1.0 - loss)
+        assert profile.random_loss == pytest.approx(1.0 - survive)
+        assert 0.0 <= profile.random_loss < 1.0
+
+    @settings(max_examples=80, deadline=None)
+    @given(chain_topologies())
+    def test_mss_respects_path_mtu(self, built):
+        topo, params = built
+        profile = topo.profile_between("h0", "h1")
+        min_mtu = min(p[3] for p in params)
+        assert profile.mtu.bytes == min_mtu
+        assert profile.flow.mss.bytes <= min_mtu - 40
+
+
+# ---------------------------------------------------------------------------
+# TCP model laws
+# ---------------------------------------------------------------------------
+
+def make_profile(rate_gbps, rtt_ms, loss, window_mb):
+    topo = Topology("p")
+    topo.add_host("a", nic_rate=Gbps(rate_gbps))
+    topo.add_host("b", nic_rate=Gbps(rate_gbps))
+    topo.connect("a", "b", Link(rate=Gbps(rate_gbps),
+                                delay=ms(rtt_ms / 2),
+                                mtu=bytes_(9000),
+                                loss_probability=loss))
+    profile = topo.profile_between("a", "b")
+    from dataclasses import replace
+    return replace(profile,
+                   flow=profile.flow.with_(max_receive_window=MB(window_mb)))
+
+
+class TestTcpLaws:
+    @settings(max_examples=40, deadline=None)
+    @given(rate=st.floats(min_value=0.1, max_value=40),
+           rtt=st.floats(min_value=1, max_value=200),
+           window=st.floats(min_value=0.1, max_value=512))
+    def test_throughput_never_exceeds_capacity_or_window(self, rate, rtt,
+                                                         window):
+        profile = make_profile(rate, rtt, 0.0, window)
+        result = TcpConnection(profile).measure(seconds(20),
+                                                max_rounds=100_000)
+        bps = result.mean_throughput.bps
+        assert bps <= rate * 1e9 * 1.001
+        window_cap = MB(window).bits / profile.base_rtt.s
+        assert bps <= window_cap * 1.001
+
+    @settings(max_examples=20, deadline=None)
+    @given(loss_lo=st.floats(min_value=1e-6, max_value=1e-4),
+           factor=st.floats(min_value=5, max_value=100))
+    def test_more_loss_never_helps(self, loss_lo, factor):
+        loss_hi = min(0.05, loss_lo * factor)
+        assume(loss_hi > loss_lo)
+        lo = TcpConnection(make_profile(10, 50, loss_lo, 256),
+                           algorithm=Reno(),
+                           rng=np.random.default_rng(7)).measure(
+            seconds(30), max_rounds=100_000)
+        hi = TcpConnection(make_profile(10, 50, loss_hi, 256),
+                           algorithm=Reno(),
+                           rng=np.random.default_rng(7)).measure(
+            seconds(30), max_rounds=100_000)
+        # Allow 20% stochastic slack; the trend must hold.
+        assert hi.mean_throughput.bps <= lo.mean_throughput.bps * 1.2
+
+    @settings(max_examples=30, deadline=None)
+    @given(size_gb=st.floats(min_value=0.1, max_value=50),
+           rtt=st.floats(min_value=1, max_value=100))
+    def test_transfer_conserves_bytes(self, size_gb, rtt):
+        profile = make_profile(10, rtt, 0.0, 64)
+        result = TcpConnection(profile).transfer(GB(size_gb))
+        assert result.bytes_delivered.bits == pytest.approx(
+            GB(size_gb).bits, rel=1e-9)
+        assert result.duration.s > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(rtt=st.floats(min_value=1, max_value=100),
+           loss=st.floats(min_value=0.0, max_value=0.01))
+    def test_steady_state_bounds_hold(self, rtt, loss):
+        profile = make_profile(10, rtt, loss, 64)
+        rng = np.random.default_rng(3) if loss > 0 else None
+        conn = TcpConnection(profile, rng=rng)
+        est = conn.steady_state_throughput()
+        assert est.bps <= profile.capacity.bps + 1
+        window_cap = profile.flow.effective_receive_window().bits \
+            / profile.base_rtt.s
+        assert est.bps <= window_cap * 1.001
+
+
+# ---------------------------------------------------------------------------
+# Max-min fairness
+# ---------------------------------------------------------------------------
+
+class TestFairnessProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        n_flows=st.integers(min_value=1, max_value=8),
+        n_links=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_feasibility(self, n_flows, n_links, seed):
+        rng = np.random.default_rng(seed)
+        demands = rng.uniform(1e7, 5e10, size=n_flows)
+        usage = rng.random((n_flows, n_links)) < 0.5
+        # Every flow crosses at least one link.
+        for f in range(n_flows):
+            if not usage[f].any():
+                usage[f, rng.integers(n_links)] = True
+        caps = rng.uniform(1e8, 1e11, size=n_links)
+        alloc = max_min_fair_allocation(demands, usage, caps)
+        assert np.all(alloc >= -1e-6)
+        assert np.all(alloc <= demands + 1e-6)
+        per_link = (alloc[:, None] * usage).sum(axis=0)
+        assert np.all(per_link <= caps * (1 + 1e-6) + 1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_pareto_efficiency_on_single_link(self, seed):
+        """On one shared link, max-min leaves no capacity unused unless
+        all demands are satisfied."""
+        rng = np.random.default_rng(seed)
+        n = rng.integers(1, 8)
+        demands = rng.uniform(1e8, 2e10, size=n)
+        usage = np.ones((n, 1), dtype=bool)
+        cap = np.array([rng.uniform(1e8, 3e10)])
+        alloc = max_min_fair_allocation(demands, usage, cap)
+        used = alloc.sum()
+        if demands.sum() >= cap[0]:
+            assert used == pytest.approx(cap[0], rel=1e-6)
+        else:
+            assert used == pytest.approx(demands.sum(), rel=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# OSCARS admission control
+# ---------------------------------------------------------------------------
+
+class TestOscarsProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        requests=st.lists(
+            st.tuples(st.floats(min_value=0.1, max_value=6.0),   # Gbps
+                      st.integers(min_value=0, max_value=4),     # start h
+                      st.integers(min_value=1, max_value=4)),    # dur h
+            min_size=1, max_size=15),
+    )
+    def test_never_oversubscribes(self, requests):
+        topo = Topology("osc")
+        topo.add_host("a", nic_rate=Gbps(10))
+        topo.add_host("b", nic_rate=Gbps(10))
+        topo.connect("a", "b", Link(rate=Gbps(10), delay=ms(5)))
+        svc = OscarsService(topo, reservable_fraction=0.8)
+        link = topo.link_between("a", "b")
+        for gbps, start_h, dur_h in requests:
+            req = ReservationRequest("a", "b", Gbps(gbps),
+                                     hours(start_h),
+                                     hours(start_h + dur_h))
+            try:
+                svc.reserve(req)
+            except CapacityError:
+                continue
+            # Invariant after every admission: no overlapping window
+            # commits more than the reservable ceiling.
+            for probe_h in range(0, 10):
+                probe = ReservationRequest(
+                    "a", "b", Gbps(0.001),
+                    hours(probe_h), hours(probe_h + 1))
+                committed = svc.committed_on_link(link, probe)
+                assert committed <= 0.8 * 10e9 + 1e-3
+
+
+# ---------------------------------------------------------------------------
+# Queue conservation
+# ---------------------------------------------------------------------------
+
+class TestQueueProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        cap_kb=st.floats(min_value=8, max_value=1024),
+        pkt_bytes=st.integers(min_value=64, max_value=9000),
+        n=st.integers(min_value=1, max_value=200),
+        gap_us=st.floats(min_value=0, max_value=100),
+        rate_mbps=st.floats(min_value=1, max_value=10_000),
+    )
+    def test_conservation_and_bounds(self, cap_kb, pkt_bytes, n, gap_us,
+                                     rate_mbps):
+        queue = DropTailQueue(capacity=KB(cap_kb),
+                              service_rate=Mbps(rate_mbps))
+        for i in range(n):
+            queue.offer(bytes_(pkt_bytes), i * gap_us * 1e-6)
+        stats = queue.stats
+        assert stats.enqueued_packets + stats.dropped_packets == n
+        assert queue.occupancy_bits <= queue.capacity.bits + 1e-9
+        assert stats.max_occupancy_bits <= queue.capacity.bits + 1e-9
+        assert 0.0 <= stats.drop_fraction <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Multi-domain circuit conservation
+# ---------------------------------------------------------------------------
+
+class TestMultiDomainProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        requests=st.lists(st.floats(min_value=0.5, max_value=9.0),
+                          min_size=1, max_size=12),
+    )
+    def test_segments_always_balanced(self, requests):
+        """However many end-to-end requests are admitted or refused, every
+        domain holds exactly one segment per *admitted* circuit — no
+        leaks from the all-or-nothing rollback."""
+        from repro.circuits import Domain, InterDomainController, OscarsService
+        from repro.netsim.node import Router
+        from repro.units import hours
+
+        def campus(name, host, xp):
+            topo = Topology(name)
+            topo.add_host(host, nic_rate=Gbps(10))
+            topo.add_node(Router(name=xp))
+            topo.connect(host, xp, Link(rate=Gbps(10), delay=ms(1)))
+            return Domain(name, topo, OscarsService(topo))
+
+        a = campus("a", "ha", "xa")
+        b = campus("b", "hb", "xb")
+        transit_topo = Topology("t")
+        transit_topo.add_node(Router(name="xa"))
+        transit_topo.add_node(Router(name="xb"))
+        transit_topo.connect("xa", "xb", Link(rate=Gbps(20), delay=ms(10)))
+        transit = Domain("t", transit_topo, OscarsService(transit_topo))
+        idc = InterDomainController(
+            [a, transit, b], [("a", "t", "xa"), ("t", "b", "xb")])
+
+        admitted = 0
+        for gbps in requests:
+            try:
+                idc.reserve_end_to_end("ha", "hb", Gbps(gbps),
+                                       start=seconds(0), end=hours(1))
+                admitted += 1
+            except CapacityError:
+                pass
+        for domain in (a, transit, b):
+            assert len(domain.oscars.active()) == admitted
+        assert len(idc.active()) == admitted

@@ -1,0 +1,115 @@
+"""Tests for the declarative scenario runner."""
+
+import pytest
+
+from repro.core import simple_science_dmz
+from repro.devices.faults import FailingLineCard, ManagementCpuForwarding
+from repro.errors import ConfigurationError
+from repro.perfsonar import Metric
+from repro.scenario import Scenario
+from repro.units import minutes
+
+
+def base_scenario(seed=7):
+    bundle = simple_science_dmz()
+    return Scenario(bundle, seed=seed).with_mesh(
+        ["dmz-perfsonar", "remote-dtn"])
+
+
+class TestScenarioLifecycle:
+    def test_fault_detected_and_attributed(self):
+        scenario = base_scenario().inject("border", FailingLineCard(),
+                                          at=minutes(30))
+        outcome = scenario.run(until=minutes(90))
+        assert outcome.alerts
+        assert outcome.detected(0)
+        delay = outcome.detection_delays[0]
+        assert 0 <= delay <= minutes(30).s
+
+    def test_repair_clears_faults(self):
+        scenario = (base_scenario()
+                    .inject("border", FailingLineCard(), at=minutes(20))
+                    .repair_at(minutes(50)))
+        outcome = scenario.run(until=minutes(80))
+        fault = outcome.faults[0]
+        assert fault.cleared_at == pytest.approx(minutes(50).s)
+        # The path is clean again post-repair.
+        profile = scenario.bundle.topology.profile_between(
+            "dtn1", "remote-dtn", **scenario.bundle.science_policy)
+        assert profile.random_loss == 0.0
+
+    def test_clean_scenario_raises_no_alerts(self):
+        outcome = base_scenario().run(until=minutes(45))
+        loss_alerts = [a for a in outcome.alerts
+                       if a.metric is Metric.LOSS_RATE]
+        assert loss_alerts == []
+        assert outcome.archive.count() > 0
+
+    def test_multiple_faults_tracked_independently(self):
+        scenario = (base_scenario(seed=9)
+                    .inject("border", FailingLineCard(), at=minutes(20))
+                    .inject("dmz-switch", ManagementCpuForwarding(),
+                            at=minutes(40)))
+        outcome = scenario.run(until=minutes(100))
+        assert len(outcome.faults) == 2
+        assert set(outcome.detection_delays) == {0, 1}
+        assert outcome.detected(0)
+
+    def test_summary_renders(self):
+        scenario = base_scenario().inject("border", FailingLineCard(),
+                                          at=minutes(30))
+        outcome = scenario.run(until=minutes(70))
+        text = outcome.summary()
+        assert "alerts" in text and "fault #0" in text
+
+
+class TestScenarioValidation:
+    def test_needs_mesh(self):
+        bundle = simple_science_dmz()
+        with pytest.raises(ConfigurationError):
+            Scenario(bundle).run(until=minutes(10))
+
+    def test_single_use(self):
+        scenario = base_scenario()
+        scenario.run(until=minutes(10))
+        with pytest.raises(ConfigurationError):
+            scenario.run(until=minutes(20))
+
+    def test_double_mesh_rejected(self):
+        scenario = base_scenario()
+        with pytest.raises(ConfigurationError):
+            scenario.with_mesh(["dmz-perfsonar", "remote-dtn"])
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            base_scenario().inject("ghost", FailingLineCard(),
+                                   at=minutes(1))
+
+
+class TestHardFailures:
+    def test_fiber_cut_recorded_not_crashing(self):
+        """A hard failure (link down) must not crash the mesh; it shows
+        as total loss / zero throughput in the archive."""
+        from repro.perfsonar import Metric
+        scenario = base_scenario(seed=11).cut_link("border", "wan",
+                                                   at=minutes(20))
+        outcome = scenario.run(until=minutes(40))
+        times, values = outcome.archive.series(
+            "dmz-perfsonar", "remote-dtn", Metric.LOSS_RATE)
+        post_cut = values[times >= minutes(20).s]
+        assert len(post_cut) > 0
+        assert (post_cut == 1.0).all()
+        assert scenario._mesh.unreachable_events
+
+    def test_cut_validates_link_exists(self):
+        from repro.errors import TopologyError
+        import pytest as _pytest
+        with _pytest.raises(TopologyError):
+            base_scenario().cut_link("border", "ghost", at=minutes(1))
+
+    def test_hard_failure_raises_loss_alerts(self):
+        scenario = base_scenario(seed=12).cut_link("border", "wan",
+                                                   at=minutes(20))
+        outcome = scenario.run(until=minutes(40))
+        assert any(a.time >= minutes(20).s and a.value == 1.0
+                   for a in outcome.alerts)

@@ -1,0 +1,138 @@
+"""Tests for congestion-control algorithms."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tcp.congestion import (
+    CongestionControl,
+    Cubic,
+    HTcp,
+    LossFreeIdeal,
+    Reno,
+    algorithm_by_name,
+    register_algorithm,
+)
+
+
+class TestReno:
+    def test_additive_increase_is_one(self):
+        reno = Reno()
+        assert reno.increase(100.0, 5.0, 0.05) == 1.0
+        assert reno.increase(10000.0, 500.0, 0.05) == 1.0
+
+    def test_halves_on_loss(self):
+        reno = Reno()
+        assert reno.on_loss(100.0, 0.05, 0.05) == 50.0
+
+    def test_floor_of_one_segment(self):
+        reno = Reno()
+        assert reno.on_loss(1.0, 0.05, 0.05) == 1.0
+
+
+class TestHTcp:
+    def test_reno_compatible_in_low_speed_regime(self):
+        htcp = HTcp()
+        assert htcp.increase(100.0, 0.5, 0.05) == 1.0
+
+    def test_aggressive_after_delta_l(self):
+        htcp = HTcp()
+        # At 3 s since loss: 1 + 10*2 + (2/2)^2 = 22.
+        assert htcp.increase(100.0, 3.0, 0.05) == pytest.approx(22.0)
+
+    def test_increase_grows_with_time(self):
+        htcp = HTcp()
+        values = [htcp.increase(100.0, t, 0.05) for t in (1.0, 2.0, 5.0, 10.0)]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_beta_adapts_to_rtt_ratio(self):
+        htcp = HTcp()
+        # Stable RTT -> gentle 0.8 backoff.
+        assert htcp.decrease_factor(100.0, 0.05, 0.05) == pytest.approx(0.8)
+        # Heavy queueing (rtt_max >> rtt_min) -> Reno-like 0.5.
+        assert htcp.decrease_factor(100.0, 0.01, 0.1) == pytest.approx(0.5)
+
+    def test_faster_than_reno_at_high_bdp(self):
+        # The Figure 1 separation: after 10 s loss-free, H-TCP's per-RTT
+        # increase dwarfs Reno's.
+        assert HTcp().increase(1000, 10.0, 0.05) > 50 * Reno().increase(
+            1000, 10.0, 0.05)
+
+
+class TestCubic:
+    def test_decrease_factor(self):
+        assert Cubic().decrease_factor(100.0, 0.05, 0.05) == pytest.approx(0.7)
+
+    def test_increase_at_least_reno(self):
+        cubic = Cubic()
+        for t in (0.0, 0.5, 2.0, 10.0):
+            assert cubic.increase(100.0, t, 0.05) >= 1.0
+
+    def test_growth_accelerates_far_from_loss(self):
+        cubic = Cubic()
+        near = cubic.increase(1000.0, 1.0, 0.05)
+        far = cubic.increase(1000.0, 30.0, 0.05)
+        assert far > near
+
+
+class TestLossFreeIdeal:
+    def test_exponential_growth(self):
+        ideal = LossFreeIdeal()
+        assert ideal.increase(100.0, 1.0, 0.05) == pytest.approx(50.0)
+
+    def test_still_backs_off_if_loss_happens(self):
+        assert LossFreeIdeal().on_loss(100.0, 0.05, 0.05) == 50.0
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert isinstance(algorithm_by_name("reno"), Reno)
+        assert isinstance(algorithm_by_name("htcp"), HTcp)
+        assert isinstance(algorithm_by_name("cubic"), Cubic)
+        assert isinstance(algorithm_by_name("ideal"), LossFreeIdeal)
+
+    def test_lookup_case_insensitive(self):
+        assert isinstance(algorithm_by_name("HTCP"), HTcp)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            algorithm_by_name("bbr2-experimental")
+
+    def test_register_custom(self):
+        class Gentle(CongestionControl):
+            name = "gentle-test"
+
+            def increase(self, cwnd, tsl, rtt):
+                return 0.5
+
+            def decrease_factor(self, cwnd, rtt_min, rtt_max):
+                return 0.9
+
+        register_algorithm(Gentle)
+        assert isinstance(algorithm_by_name("gentle-test"), Gentle)
+
+    def test_register_requires_name(self):
+        class Nameless(CongestionControl):
+            name = "abstract"
+
+            def increase(self, cwnd, tsl, rtt):
+                return 1.0
+
+            def decrease_factor(self, cwnd, rtt_min, rtt_max):
+                return 0.5
+
+        with pytest.raises(ConfigurationError):
+            register_algorithm(Nameless)
+
+    def test_on_loss_validates_beta(self):
+        class Broken(CongestionControl):
+            name = "broken-test"
+
+            def increase(self, cwnd, tsl, rtt):
+                return 1.0
+
+            def decrease_factor(self, cwnd, rtt_min, rtt_max):
+                return 1.5
+
+        with pytest.raises(ConfigurationError):
+            Broken().on_loss(100.0, 0.05, 0.05)

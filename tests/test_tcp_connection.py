@@ -1,0 +1,185 @@
+"""Tests for the fluid TCP connection model — the reproduction's engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netsim import Link, Topology
+from repro.tcp import HTcp, Reno, TcpConnection
+from repro.tcp.mathis import mathis_throughput
+from repro.units import GB, Gbps, KB, MB, bytes_, ms, seconds
+
+
+def make_profile(*, rate=Gbps(10), one_way=ms(25), mtu=bytes_(9000),
+                 loss=0.0, window=MB(256)):
+    topo = Topology("t")
+    topo.add_host("a", nic_rate=rate)
+    topo.add_host("b", nic_rate=rate)
+    topo.connect("a", "b", Link(rate=rate, delay=one_way, mtu=mtu,
+                                loss_probability=loss))
+    profile = topo.profile_between("a", "b")
+    from dataclasses import replace
+    return replace(profile, flow=profile.flow.with_(max_receive_window=window))
+
+
+class TestLossFreeBehaviour:
+    def test_fills_the_pipe_when_tuned(self):
+        profile = make_profile()
+        result = TcpConnection(profile, algorithm=HTcp()).transfer(GB(100))
+        # 100 GB at ~10 Gbps is ~80 s; slow start adds a little.
+        assert result.mean_throughput.gbps > 8.0
+        assert result.timeouts == 0
+
+    def test_window_limited_when_untuned(self):
+        # 4 MB window on a 50 ms path: ~640 Mbps ceiling.
+        profile = make_profile(window=MB(4))
+        result = TcpConnection(profile).transfer(GB(10))
+        assert result.mean_throughput.mbps == pytest.approx(640, rel=0.1)
+
+    def test_64k_clamp_matches_eq2(self):
+        # The Penn State pathology: 64 KB at 10 ms -> ~52 Mbps.
+        profile = make_profile(one_way=ms(5), window=KB(64))
+        result = TcpConnection(profile).transfer(GB(1))
+        assert result.mean_throughput.mbps == pytest.approx(52, rel=0.1)
+
+    def test_fast_forward_makes_large_transfers_cheap(self):
+        profile = make_profile()
+        result = TcpConnection(profile, algorithm=HTcp()).transfer(GB(4000))
+        # 4 TB at 10 Gbps = ~53 min simulated; must not need 64k rounds.
+        assert result.rounds < 10_000 or result.extrapolated is False
+        assert result.duration.minutes == pytest.approx(53.3, rel=0.05)
+
+    def test_deterministic_without_rng(self):
+        profile = make_profile()
+        a = TcpConnection(profile).transfer(GB(1))
+        b = TcpConnection(profile).transfer(GB(1))
+        assert a.duration.s == b.duration.s
+
+
+class TestLossyBehaviour:
+    def test_rng_required_for_lossy_paths(self):
+        profile = make_profile(loss=1e-4)
+        with pytest.raises(ConfigurationError):
+            TcpConnection(profile)
+
+    def test_tiny_loss_collapses_throughput(self):
+        # The paper's core claim: 1/22000 loss wrecks a 10G 50ms-RTT path.
+        clean = make_profile()
+        dirty = make_profile(loss=1 / 22000)
+        clean_rate = TcpConnection(clean, algorithm=Reno()).transfer(GB(10))
+        dirty_rate = TcpConnection(
+            dirty, algorithm=Reno(), rng=np.random.default_rng(1)
+        ).transfer(GB(10), max_rounds=60_000)
+        assert clean_rate.mean_throughput.bps > 10 * dirty_rate.mean_throughput.bps
+
+    def test_loss_hurts_more_at_high_rtt(self):
+        # §3.4: local users through the firewall are fine because TCP
+        # recovers quickly at low RTT.
+        loss = 1 / 22000
+        lan = make_profile(one_way=ms(0.5), loss=loss)
+        wan = make_profile(one_way=ms(50), loss=loss)
+        lan_r = TcpConnection(lan, rng=np.random.default_rng(2)).transfer(
+            GB(2), max_rounds=80_000)
+        wan_r = TcpConnection(wan, rng=np.random.default_rng(2)).transfer(
+            GB(2), max_rounds=80_000)
+        assert lan_r.mean_throughput.bps > 3 * wan_r.mean_throughput.bps
+
+    def test_htcp_beats_reno_under_loss(self):
+        # Figure 1's measured separation.
+        profile = make_profile(loss=1 / 22000)
+        reno = TcpConnection(profile, algorithm=Reno(),
+                             rng=np.random.default_rng(3)).transfer(
+            GB(5), max_rounds=60_000)
+        htcp = TcpConnection(profile, algorithm=HTcp(),
+                             rng=np.random.default_rng(3)).transfer(
+            GB(5), max_rounds=60_000)
+        assert htcp.mean_throughput.bps > 1.5 * reno.mean_throughput.bps
+
+    def test_reno_tracks_mathis_order_of_magnitude(self):
+        profile = make_profile(loss=1e-4)
+        result = TcpConnection(profile, algorithm=Reno(),
+                               rng=np.random.default_rng(4)).transfer(
+            GB(2), max_rounds=60_000)
+        bound = mathis_throughput(profile.flow.mss, profile.base_rtt, 1e-4)
+        ratio = result.mean_throughput.bps / bound.bps
+        assert 0.3 < ratio < 3.0
+
+    def test_loss_events_counted(self):
+        profile = make_profile(loss=1e-3)
+        result = TcpConnection(profile, rng=np.random.default_rng(5)).transfer(
+            MB(500), max_rounds=60_000)
+        assert result.loss_events > 0
+
+    def test_severe_loss_triggers_timeouts(self):
+        profile = make_profile(loss=0.05, window=MB(4))
+        result = TcpConnection(profile, rng=np.random.default_rng(6)).transfer(
+            MB(5), max_rounds=30_000)
+        assert result.timeouts > 0
+
+    def test_extrapolation_flagged(self):
+        profile = make_profile(loss=1e-3)
+        result = TcpConnection(profile, rng=np.random.default_rng(7)).transfer(
+            GB(100), max_rounds=500)
+        assert result.extrapolated
+        assert result.bytes_delivered.bits == GB(100).bits
+
+
+class TestShallowBuffers:
+    def test_shallow_bottleneck_buffer_reduces_throughput(self):
+        profile = make_profile()
+        deep = TcpConnection(profile).transfer(GB(10))
+        shallow = TcpConnection(profile, bottleneck_buffer=KB(512)).transfer(GB(10))
+        assert shallow.mean_throughput.bps < deep.mean_throughput.bps
+
+    def test_profile_buffer_used_by_default(self):
+        from dataclasses import replace
+        profile = replace(make_profile(), bottleneck_buffer=KB(512))
+        auto = TcpConnection(profile)
+        assert auto.buffer_segments == pytest.approx(
+            KB(512).bits / profile.flow.mss.bits)
+
+
+class TestMeasurement:
+    def test_measure_runs_for_duration(self):
+        profile = make_profile()
+        result = TcpConnection(profile, algorithm=HTcp()).measure(seconds(10))
+        assert result.duration.s >= 10
+        assert result.bytes_delivered.bits > 0
+
+    def test_measure_validates_duration(self):
+        with pytest.raises(ConfigurationError):
+            TcpConnection(make_profile()).measure(seconds(0))
+
+
+class TestAnalyticShortcut:
+    def test_steady_state_loss_free(self):
+        profile = make_profile(window=MB(4))
+        est = TcpConnection(profile).steady_state_throughput()
+        assert est.mbps == pytest.approx(640, rel=0.01)
+
+    def test_steady_state_with_loss_uses_mathis(self):
+        profile = make_profile(loss=1e-4)
+        conn = TcpConnection(profile, rng=np.random.default_rng(0))
+        est = conn.steady_state_throughput()
+        bound = mathis_throughput(profile.flow.mss, profile.base_rtt, 1e-4)
+        assert est.bps == pytest.approx(bound.bps, rel=1e-9)
+
+
+class TestResultObject:
+    def test_samples_decimated(self):
+        profile = make_profile(loss=1e-4)
+        result = TcpConnection(profile, rng=np.random.default_rng(8)).transfer(
+            GB(5), max_rounds=50_000)
+        assert 0 < len(result.samples) <= 8192
+        t, w, r = result.sample_arrays()
+        assert len(t) == len(w) == len(r) == len(result.samples)
+        assert np.all(np.diff(t) > 0)
+
+    def test_summary_text(self):
+        result = TcpConnection(make_profile()).transfer(GB(1))
+        text = result.summary()
+        assert "GB" in text and "reno" in text
+
+    def test_transfer_size_validated(self):
+        with pytest.raises(ConfigurationError):
+            TcpConnection(make_profile()).transfer(GB(0))

@@ -1,0 +1,140 @@
+"""Tests for the Mathis model and window arithmetic (paper Eq. 1 and Eq. 2)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.tcp.mathis import (
+    MATHIS_CONSTANT_RENO,
+    loss_rate_for_throughput,
+    mathis_throughput,
+    mathis_throughput_array,
+    packets_lost_per_second,
+    packets_per_second,
+    required_window,
+    window_limited_throughput,
+)
+from repro.units import Gbps, KB, Mbps, bytes_, ms, seconds
+
+
+class TestEquationOne:
+    def test_inverse_sqrt_loss_scaling(self):
+        mss, rtt = bytes_(9000), ms(50)
+        r1 = mathis_throughput(mss, rtt, 1e-4)
+        r2 = mathis_throughput(mss, rtt, 4e-4)
+        assert r1.bps / r2.bps == pytest.approx(2.0)
+
+    def test_inverse_rtt_scaling(self):
+        mss, p = bytes_(9000), 1e-4
+        r1 = mathis_throughput(mss, ms(10), p)
+        r2 = mathis_throughput(mss, ms(100), p)
+        assert r1.bps / r2.bps == pytest.approx(10.0)
+
+    def test_linear_mss_scaling(self):
+        # Why the paper's tests use 9 KB jumbo frames: 6x the MSS is 6x
+        # the loss-limited throughput.
+        rtt, p = ms(50), 1e-4
+        small = mathis_throughput(bytes_(1460), rtt, p)
+        jumbo = mathis_throughput(bytes_(8760), rtt, p)
+        assert jumbo.bps / small.bps == pytest.approx(6.0)
+
+    def test_paper_line_card_scenario(self):
+        # 1/22000 loss on a cross-country (~50ms) path with jumbo frames:
+        # hundreds of Mbps, not 10 Gbps — the figure-1 collapse.
+        rate = mathis_throughput(bytes_(8960), ms(50), 1 / 22000)
+        assert 100 < rate.mbps < 400
+
+    def test_reno_constant_option(self):
+        plain = mathis_throughput(bytes_(1460), ms(10), 1e-3)
+        reno = mathis_throughput(bytes_(1460), ms(10), 1e-3,
+                                 constant=MATHIS_CONSTANT_RENO)
+        assert reno.bps / plain.bps == pytest.approx(math.sqrt(1.5))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            mathis_throughput(bytes_(1460), ms(10), 0.0)
+        with pytest.raises(ConfigurationError):
+            mathis_throughput(bytes_(1460), ms(10), 1.5)
+        with pytest.raises(ConfigurationError):
+            mathis_throughput(bytes_(1460), seconds(0), 1e-3)
+
+    def test_array_version_matches_scalar(self):
+        rtts = np.array([0.01, 0.05, 0.1])
+        arr = mathis_throughput_array(bytes_(9000), rtts, 1e-4)
+        for rtt_s, v in zip(rtts, arr):
+            scalar = mathis_throughput(bytes_(9000), seconds(rtt_s), 1e-4)
+            assert v == pytest.approx(scalar.bps)
+
+    def test_array_zero_rtt_is_infinite(self):
+        arr = mathis_throughput_array(bytes_(9000), np.array([0.0]), 1e-4)
+        assert np.isinf(arr[0])
+
+
+class TestEquationTwo:
+    def test_penn_state_window(self):
+        # Eq 2 exactly: 1 Gbps at 10 ms needs 1.25 MB.
+        assert required_window(Gbps(1), ms(10)).megabytes == pytest.approx(1.25)
+
+    def test_64k_window_limit_is_50mbps(self):
+        # The §6.2 observation: 64 KB at 10 ms -> ~52 Mbps (~"around 50Mbps").
+        rate = window_limited_throughput(KB(64), ms(10))
+        assert rate.mbps == pytest.approx(52.4, rel=0.01)
+
+    def test_window_20x_ratio(self):
+        # "This theoretical value was 20 times less than the required size."
+        needed = required_window(Gbps(1), ms(10))
+        assert needed.bits / KB(64).bits == pytest.approx(20.0, rel=0.05)
+
+    def test_window_limited_requires_positive_rtt(self):
+        with pytest.raises(ConfigurationError):
+            window_limited_throughput(KB(64), seconds(0))
+
+
+class TestInversion:
+    def test_loss_rate_roundtrip(self):
+        mss, rtt = bytes_(9000), ms(50)
+        p = loss_rate_for_throughput(Gbps(1), mss, rtt)
+        back = mathis_throughput(mss, rtt, p)
+        assert back.gbps == pytest.approx(1.0, rel=1e-9)
+
+    def test_loss_rate_capped_at_one(self):
+        p = loss_rate_for_throughput(Mbps(0.001), bytes_(9000), ms(500))
+        assert p == 1.0
+
+    @given(st.floats(min_value=1e6, max_value=1e10),
+           st.floats(min_value=1e-3, max_value=0.5))
+    def test_inversion_consistent(self, target_bps, rtt_s):
+        from repro.units import DataRate
+        mss = bytes_(9000)
+        p = loss_rate_for_throughput(DataRate(target_bps), mss,
+                                     seconds(rtt_s))
+        if p < 1.0:
+            back = mathis_throughput(mss, seconds(rtt_s), p)
+            assert back.bps == pytest.approx(target_bps, rel=1e-6)
+
+
+class TestPacketRates:
+    def test_paper_packets_per_second(self):
+        # §2: 10 Gbps at peak efficiency = 812,744 frames/s (1538 B frames).
+        fps = packets_per_second(Gbps(10), bytes_(1538))
+        assert round(fps) == 812744
+
+    def test_paper_lost_packets_per_second(self):
+        # §2: 1/22000 of those = ~37 packets lost per second.
+        lost = packets_lost_per_second(Gbps(10), bytes_(1538), 1 / 22000)
+        assert round(lost) == 37
+
+    def test_paper_device_level_loss_rate(self):
+        # §2: the loss amounts to only ~450 Kbps of traffic on the device.
+        lost = packets_lost_per_second(Gbps(10), bytes_(1538), 1 / 22000)
+        kbps = lost * 1538 * 8 / 1e3
+        assert kbps == pytest.approx(455, rel=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            packets_per_second(Gbps(10), bytes_(0))
+        with pytest.raises(ConfigurationError):
+            packets_lost_per_second(Gbps(10), bytes_(1538), 2.0)

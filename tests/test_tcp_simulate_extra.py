@@ -1,0 +1,110 @@
+"""Additional multi-flow simulator behaviours: rate caps, loss accounting,
+time series, and algorithm strings."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netsim import FlowSpec, Link, Topology
+from repro.tcp import MultiFlowSimulation
+from repro.units import GB, Gbps, MB, Mbps, bytes_, ms, seconds
+
+
+def lossy_pair(loss=1e-4):
+    topo = Topology("pair")
+    topo.add_host("a", nic_rate=Gbps(10))
+    topo.add_host("b", nic_rate=Gbps(10))
+    topo.connect("a", "b", Link(rate=Gbps(10), delay=ms(10),
+                                mtu=bytes_(9000), loss_probability=loss))
+    return topo
+
+
+class TestRateCaps:
+    def test_rate_limited_flow_respects_cap(self, clean_path_topology):
+        spec = FlowSpec(src="a", dst="b", size=GB(1),
+                        rate_limit=Mbps(500), label="capped")
+        sim = MultiFlowSimulation(clean_path_topology, [spec])
+        progress = sim.run()
+        elapsed = progress["capped"].finish_time.s
+        # 1 GB at 500 Mbps = 16 s minimum.
+        assert elapsed >= 15.5
+
+    def test_uncapped_flow_much_faster(self, clean_path_topology):
+        free = MultiFlowSimulation(
+            clean_path_topology,
+            [FlowSpec(src="a", dst="b", size=GB(1), label="free")],
+        ).run()["free"]
+        capped = MultiFlowSimulation(
+            clean_path_topology,
+            [FlowSpec(src="a", dst="b", size=GB(1),
+                      rate_limit=Mbps(500), label="capped")],
+        ).run()["capped"]
+        assert free.finish_time.s < capped.finish_time.s / 3
+
+
+class TestLossAccounting:
+    def test_loss_events_counted_on_lossy_path(self):
+        topo = lossy_pair(loss=1e-3)
+        sim = MultiFlowSimulation(
+            topo, [FlowSpec(src="a", dst="b", size=GB(1), label="f")],
+            rng=np.random.default_rng(1))
+        progress = sim.run()
+        assert progress["f"].loss_events > 0
+
+    def test_clean_uncongested_flow_sees_no_loss(self, clean_path_topology):
+        sim = MultiFlowSimulation(
+            clean_path_topology,
+            [FlowSpec(src="a", dst="b", size=MB(500),
+                      rate_limit=Gbps(1), label="f")])
+        progress = sim.run()
+        assert progress["f"].loss_events == 0
+
+
+class TestTimeSeries:
+    def test_series_sampled_while_running(self, clean_path_topology):
+        sim = MultiFlowSimulation(
+            clean_path_topology,
+            [FlowSpec(src="a", dst="b", size=GB(20), label="f")])
+        progress = sim.run(sample_interval=seconds(1.0))
+        series = progress["f"].time_series
+        assert len(series) >= 3
+        times = [t for t, _ in series]
+        assert times == sorted(times)
+        rates = [r for _, r in series]
+        assert max(rates) > 0
+
+    def test_mean_throughput_helper(self, clean_path_topology):
+        sim = MultiFlowSimulation(
+            clean_path_topology,
+            [FlowSpec(src="a", dst="b", size=GB(1), label="f")])
+        progress = sim.run()
+        rate = progress["f"].mean_throughput(sim.finished_at)
+        expected = GB(1).bits / progress["f"].finish_time.s
+        assert rate.bps == pytest.approx(expected, rel=0.05)
+
+
+class TestAlgorithmSelection:
+    def test_string_algorithm_accepted_globally(self, clean_path_topology):
+        sim = MultiFlowSimulation(
+            clean_path_topology,
+            [FlowSpec(src="a", dst="b", size=MB(100), label="f")],
+            algorithm="cubic")
+        assert sim.run()["f"].done
+
+    def test_unknown_string_algorithm_rejected(self, clean_path_topology):
+        with pytest.raises(ConfigurationError):
+            MultiFlowSimulation(
+                clean_path_topology,
+                [FlowSpec(src="a", dst="b", size=MB(1), label="f")],
+                algorithm={"f": "tachyon"})
+
+
+class TestTickBudget:
+    def test_max_ticks_exceeded_raises(self, clean_path_topology):
+        from repro.errors import SimulationError
+        sim = MultiFlowSimulation(
+            clean_path_topology,
+            [FlowSpec(src="a", dst="b", size=GB(100), label="f",
+                      rate_limit=Mbps(1))])  # would take ~9 days
+        with pytest.raises(SimulationError):
+            sim.run(max_ticks=100)

@@ -1,0 +1,85 @@
+"""Integration: workload generators driving the multi-flow simulator."""
+
+
+from repro.core import big_data_site, supercomputer_center
+from repro.tcp import MultiFlowSimulation
+from repro.units import GB, Gbps, minutes, seconds
+from repro.workloads import (
+    BackgroundProfile,
+    climate_archive_pull,
+    lhc_tier2_fanin,
+    lightsource_bursts,
+)
+
+
+class TestLhcFanInWorkload:
+    def test_cms_fanin_completes_on_big_data_site(self):
+        bundle = big_data_site(dtn_count=4)
+        workload = lhc_tier2_fanin(
+            ["remote-dtn"], "cluster-dtn1",
+            per_site_size=GB(50), streams_per_site=4,
+            policy=bundle.science_policy)
+        sim = MultiFlowSimulation(bundle.topology, workload.specs(),
+                                  algorithm="htcp")
+        progress = sim.run()
+        assert all(p.done for p in progress.values())
+        assert sim.aggregate_delivered().bits >= workload.total_bytes.bits * 0.999
+
+
+class TestClimatePullWorkload:
+    def test_parallel_pulls_share_the_wan(self):
+        bundle = supercomputer_center()
+        workload = climate_archive_pull(
+            "remote-dtn", "dtn1", total=GB(200), parallel_transfers=2,
+            streams_per_transfer=4, policy=bundle.science_policy)
+        sim = MultiFlowSimulation(bundle.topology, workload.specs(),
+                                  algorithm="htcp")
+        progress = sim.run()
+        finish_times = [p.finish_time.s for p in progress.values()]
+        assert all(p.done for p in progress.values())
+        # Parallel transfers over the same path finish together-ish.
+        assert max(finish_times) < 2.0 * min(finish_times)
+
+
+class TestLightsourceWorkload:
+    def test_cycles_arrive_in_order(self):
+        bundle = supercomputer_center()
+        workload = lightsource_bursts(
+            "remote-dtn", "dtn1", dataset_per_cycle=GB(20), cycles=3,
+            cycle_gap=minutes(1), policy=bundle.science_policy)
+        sim = MultiFlowSimulation(bundle.topology, workload.specs(),
+                                  algorithm="htcp")
+        progress = sim.run()
+        finishes = [progress[f"beamline-cycle-{i}"].finish_time.s
+                    for i in range(3)]
+        assert finishes == sorted(finishes)
+        # Each 20 GB burst fits within its 60 s cycle gap on a 10G path.
+        assert finishes[0] < 60
+
+
+class TestBackgroundContention:
+    def test_science_flow_vs_enterprise_background(self):
+        """Science elephant + many enterprise mice on one shared link:
+        the fluid model gives the mice their (small) demand and the
+        elephant the rest."""
+        from repro.netsim import FlowSpec, Link, Topology
+        from repro.units import Mbps, bytes_, ms
+        topo = Topology("shared")
+        topo.add_host("src", nic_rate=Gbps(10))
+        topo.add_host("dst", nic_rate=Gbps(10))
+        topo.connect("src", "dst", Link(rate=Gbps(1), delay=ms(10),
+                                        mtu=bytes_(1500)))
+        bg = BackgroundProfile(flow_count=100, per_flow_mean=Mbps(2))
+        specs = bg.flow_specs("src", "dst", bundle=5)
+        specs.append(FlowSpec(src="src", dst="dst", size=GB(2),
+                              parallel_streams=4, label="science"))
+        sim = MultiFlowSimulation(topo, specs, algorithm="htcp")
+        progress = sim.run(until=seconds(120))
+        science = progress["science"]
+        assert science.done
+        # Background demand is 200 Mbps of the 1G link; science gets the
+        # remaining ~800 Mbps, so 2 GB takes ~20-40 s.
+        assert 15 < science.finish_time.s < 80
+        delivered_bg = sum(progress[s.label].delivered.bits
+                           for s in specs[:-1])
+        assert delivered_bg > 0
