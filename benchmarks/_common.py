@@ -22,12 +22,17 @@ from repro.analysis.report import ExperimentRecord
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def emit(name: str, text: str) -> None:
-    """Write a bench's rendered output to benchmarks/results/<name>.txt."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+def emit(name: str, text: str) -> pathlib.Path:
+    """Write a bench's rendered output to benchmarks/results/<name>.txt.
+
+    Returns the written path so callers can chain further processing
+    (e.g. attach it to a report or diff it against a golden file).
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text.rstrip() + "\n")
     print(text)
+    return path
 
 
 def assert_record(record: ExperimentRecord) -> None:

@@ -75,6 +75,7 @@ def sweep(
     *,
     value_label: str = "value",
     catch_errors: bool = False,
+    on_error: Optional[str] = None,
 ) -> SweepResult:
     """Evaluate ``fn(**point)`` over the cartesian product of ``grid``.
 
@@ -89,7 +90,16 @@ def sweep(
         When True, exceptions from ``fn`` become failed records instead
         of propagating — useful for sweeps that intentionally cross into
         invalid regions (e.g. oversubscribed reservations).
+    on_error:
+        Explicit spelling of the same choice: ``"raise"`` propagates the
+        first exception, ``"record"`` turns each into a failed record.
+        Overrides ``catch_errors`` when given.
     """
+    if on_error is not None:
+        if on_error not in ("raise", "record"):
+            raise ConfigurationError(
+                f"on_error must be 'raise' or 'record', got {on_error!r}")
+        catch_errors = on_error == "record"
     if not grid:
         raise ConfigurationError("sweep needs at least one parameter")
     names = list(grid.keys())

@@ -7,7 +7,9 @@ Gives operators the library's main workflows without writing Python:
 * ``transfer`` — simulate a data transfer over a design;
 * ``mathis``   — Eq 1/Eq 2 calculator (throughput, required window);
 * ``upgrade``  — plan + apply the Science DMZ upgrade to the baseline
-  campus and show the before/after audits.
+  campus and show the before/after audits;
+* ``trace``    — run a traced soft-failure scenario and export the
+  event log (Chrome ``trace_event`` JSON + optional JSONL).
 
 Examples
 --------
@@ -18,6 +20,8 @@ Examples
         --files 273 --tool globus
     python -m repro.cli mathis --mss 9000B --rtt 50ms --loss 4.5e-5
     python -m repro.cli upgrade
+    python -m repro.cli trace simple-science-dmz --fault linecard \
+        --at 30m --until 2h --out dmz.trace.json
 """
 
 from __future__ import annotations
@@ -171,6 +175,66 @@ def cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Fault factories for ``repro trace --fault``.
+TRACE_FAULTS = {
+    "linecard": "FailingLineCard",
+    "optics": "DirtyOptics",
+    "cpu": "ManagementCpuForwarding",
+    "duplex": "DuplexMismatch",
+}
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .devices import faults as fault_lib
+    from .scenario import Scenario
+    from .telemetry import write_chrome_trace, write_jsonl
+
+    bundle = _build(args.design)
+    hosts = list(bundle.perfsonar) or bundle.dtns[:1]
+    hosts = [h for h in hosts if h != bundle.remote_dtn]
+    hosts.append(bundle.remote_dtn)
+    if len(hosts) < 2:
+        raise ReproError(
+            f"design {args.design!r} has no host to mesh against the "
+            "remote DTN; cannot build a traced scenario")
+
+    node = args.node or bundle.border
+    fault = getattr(fault_lib, TRACE_FAULTS[args.fault])()
+    at = parse_time(args.at)
+    until = parse_time(args.until)
+    repair = parse_time(args.repair_at) if args.repair_at else None
+    for label, when in (("fault", at), ("repair", repair)):
+        if when is not None and when.s >= until.s:
+            raise ReproError(
+                f"{label} time {when.human()} is not before the horizon "
+                f"{until.human()}")
+
+    scenario = Scenario(bundle, seed=args.seed)
+    scenario.with_mesh(hosts)
+    scenario.inject(node, fault, at=at)
+    if repair is not None:
+        scenario.repair_at(repair)
+    outcome = scenario.run(until=until, trace=True)
+    tracer = outcome.trace
+
+    print(outcome.summary())
+    print()
+    out = args.out or f"{args.design}.trace.json"
+    path = write_chrome_trace(tracer.events(), out, metrics=tracer.metrics)
+    print(f"wrote {len(tracer.events())} events to {path} "
+          "(load in chrome://tracing or ui.perfetto.dev)")
+    if args.jsonl:
+        jsonl_path = write_jsonl(tracer.events(), args.jsonl)
+        print(f"wrote JSONL log to {jsonl_path}")
+    print()
+    print("metrics:")
+    print(tracer.metrics.render_text())
+    if args.tail > 0:
+        print()
+        print(tracer.recorder.render_tail(args.tail))
+    return 0
+
+
 def cmd_upgrade(args: argparse.Namespace) -> int:
     bundle = _build(args.design)
     hosts = bundle.dtns
@@ -259,6 +323,32 @@ def build_parser() -> argparse.ArgumentParser:
                       default="general-purpose-campus",
                       choices=sorted(DESIGNS))
     p_up.set_defaults(func=cmd_upgrade)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a traced soft-failure scenario and export the event log")
+    p_trace.add_argument("design", choices=sorted(DESIGNS))
+    p_trace.add_argument("--fault", default="linecard",
+                         choices=sorted(TRACE_FAULTS),
+                         help="soft failure to inject (default linecard)")
+    p_trace.add_argument("--node", default=None,
+                         help="node to fault (default: the design's border)")
+    p_trace.add_argument("--at", default="30m",
+                         help="fault onset time (default 30m)")
+    p_trace.add_argument("--repair-at", default=None,
+                         help="repair time (default: never)")
+    p_trace.add_argument("--until", default="2h",
+                         help="scenario horizon (default 2h)")
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--out", "-o", default=None,
+                         help="Chrome trace_event JSON path "
+                              "(default <design>.trace.json)")
+    p_trace.add_argument("--jsonl", default=None,
+                         help="also write the raw event log as JSONL here")
+    p_trace.add_argument("--tail", type=int, default=15,
+                         help="flight-recorder tail lines to print "
+                              "(0 to suppress; default 15)")
+    p_trace.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -26,6 +26,7 @@ from typing import List, Optional
 from ..errors import ConfigurationError
 from ..netsim.engine import Simulator
 from ..netsim.node import Node
+from ..telemetry.tracer import NULL_TRACER
 from ..units import DataRate, DataSize, Mbps, TimeDelta, bytes_, ms
 
 __all__ = [
@@ -181,9 +182,23 @@ class FaultInjector:
     against this record to measure time-to-detection.
     """
 
-    def __init__(self, simulator: Simulator) -> None:
+    def __init__(self, simulator: Simulator, *, tracer=None) -> None:
         self._sim = simulator
+        self._tracer = tracer
         self.history: List[InjectedFault] = []
+
+    @property
+    def tracer(self):
+        """The explicit tracer, else whatever the simulator carries.
+
+        Resolved lazily so a tracer attached to the simulator *after*
+        this injector was built (``Scenario.run(trace=...)``) is seen.
+        """
+        if self._tracer is not None:
+            return self._tracer
+        sim_tracer = getattr(self._sim, "tracer", None)
+        # Not `or NULL_TRACER`: an empty tracer is falsy (len 0).
+        return sim_tracer if sim_tracer is not None else NULL_TRACER
 
     def inject_now(self, node: Node, fault) -> InjectedFault:
         """Attach ``fault`` to ``node`` immediately."""
@@ -191,6 +206,17 @@ class FaultInjector:
         record = InjectedFault(node_name=node.name, fault=fault,
                                injected_at=self._sim.now)
         self.history.append(record)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.event(
+                "fault", "activate", t=self._sim.now,
+                node=node.name,
+                fault=getattr(fault, "description", type(fault).__name__),
+                visible_to_counters=getattr(fault, "visible_to_counters",
+                                            True),
+                loss_probability=fault.element_loss_probability(),
+            )
+            tracer.counter("injected", component="fault").inc()
         return record
 
     def inject_at(self, when: TimeDelta, node: Node, fault) -> None:
@@ -205,6 +231,15 @@ class FaultInjector:
             raise ConfigurationError("fault was already cleared")
         node.detach(record.fault)
         record.cleared_at = self._sim.now
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.event(
+                "fault", "clear", t=self._sim.now, node=node.name,
+                fault=getattr(record.fault, "description",
+                              type(record.fault).__name__),
+                active_s=record.cleared_at - record.injected_at,
+            )
+            tracer.counter("cleared", component="fault").inc()
 
     def clear_at(self, when: TimeDelta, record: InjectedFault,
                  node: Node) -> None:

@@ -146,6 +146,9 @@ class Firewall(Node):
     policy: FirewallPolicy = field(default_factory=FirewallPolicy)
     expected_burst: DataSize = field(default_factory=lambda: KB(256))
     expected_line_rate: DataRate = field(default_factory=lambda: Gbps(10))
+    #: Optional telemetry tracer (set via
+    #: :func:`repro.telemetry.instrument_topology`); None = untraced.
+    tracer: object = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -184,9 +187,23 @@ class Firewall(Node):
         queue = DropTailQueue(
             capacity=self.input_buffer, service_rate=self.processor_rate
         )
-        return queue.burst_loss_fraction(
+        loss = queue.burst_loss_fraction(
             self.expected_burst, self.expected_line_rate
         )
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled and loss > 0:
+            tracer.event(
+                "firewall", "burst-drop", node=self.name,
+                loss_fraction=loss,
+                burst_bytes=self.expected_burst.bytes,
+                buffer_bytes=self.input_buffer.bytes,
+                processor_rate_bps=self.processor_rate.bps,
+            )
+            tracer.counter("burst_drop_estimates",
+                           component="firewall").inc()
+            tracer.gauge("buffer_bytes", component="firewall").set(
+                self.input_buffer.bytes)
+        return loss
 
     def element_buffer(self) -> DataSize:
         """The shallow input buffer is the queue available at this
@@ -195,6 +212,12 @@ class Firewall(Node):
 
     def transform_flow(self, ctx: FlowContext) -> FlowContext:
         if self.sequence_checking:
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                tracer.event("firewall", "strip-window-scaling",
+                             node=self.name)
+                tracer.counter("window_scaling_strips",
+                               component="firewall").inc()
             return ctx.with_(window_scaling=False)
         return ctx
 

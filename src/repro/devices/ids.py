@@ -77,6 +77,9 @@ class IntrusionDetectionSystem:
     offered_load: DataRate = field(default_factory=lambda: DataRate(0.0))
     signatures: List[Signature] = field(default_factory=list)
     alerts: List[IdsAlert] = field(default_factory=list)
+    #: Optional telemetry tracer (set via
+    #: :func:`repro.telemetry.instrument_topology`); None = untraced.
+    tracer: object = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.inspection_capacity.bps <= 0:
@@ -93,12 +96,21 @@ class IntrusionDetectionSystem:
                 time: float = 0.0) -> List[IdsAlert]:
         """Inspect one connection event; returns (and records) any alerts."""
         raised = []
+        tracer = self.tracer
+        traced = tracer is not None and tracer.enabled
+        if traced:
+            tracer.counter("observed", component="ids").inc()
         for label, predicate in self.signatures:
             if predicate(src, dst, port):
                 alert = IdsAlert(time=time, signature=label,
                                  src=src, dst=dst, port=port)
                 self.alerts.append(alert)
                 raised.append(alert)
+                if traced:
+                    tracer.event("ids", "alert", t=time, ids=self.name,
+                                 signature=label, src=src, dst=dst,
+                                 port=port)
+                    tracer.counter("alerts", component="ids").inc()
         return raised
 
     @property

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..errors import ConfigurationError, TransferError
+from ..telemetry.tracer import NULL_TRACER
 from ..units import DataRate, DataSize, TimeDelta, bits, seconds
 from .transfer import TransferPlan, TransferReport
 
@@ -87,6 +88,10 @@ class TransferService:
         Maximum simultaneously active jobs reading from one source host.
     rng:
         Generator used for every executed plan (lossy paths need it).
+    tracer:
+        Optional :class:`~repro.telemetry.tracer.Tracer`: emits a span
+        per job anchored at its (service-clock) start/finish times with
+        queue-wait attrs, and per-outcome counters.
     """
 
     def __init__(
@@ -94,11 +99,13 @@ class TransferService:
         *,
         concurrency_per_source: int = 2,
         rng: Optional[np.random.Generator] = None,
+        tracer=None,
     ) -> None:
         if concurrency_per_source < 1:
             raise ConfigurationError("concurrency must be >= 1")
         self.concurrency = concurrency_per_source
         self._rng = rng
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._ids = itertools.count(1)
         self.jobs: List[TransferJob] = []
         self._clock = 0.0
@@ -134,6 +141,7 @@ class TransferService:
         )
         # Per-source slot free-times.
         slots: Dict[str, List[float]] = {}
+        tracer = self._tracer
         for job in queued:
             src = job.plan.src
             free = slots.setdefault(src, [0.0] * self.concurrency)
@@ -142,18 +150,35 @@ class TransferService:
             job.state = JobState.ACTIVE
             job.started_at = start
             try:
-                report = job.plan.execute(self._rng)
+                report = job.plan.execute(self._rng, tracer=tracer,
+                                          trace_offset=start)
             except TransferError as exc:
                 job.state = JobState.FAILED
                 job.error = str(exc)
                 job.finished_at = start
                 free[slot_idx] = start
+                if tracer.enabled:
+                    tracer.event("dtn", "job-failed", t=start,
+                                 job_id=job.job_id,
+                                 dataset=job.plan.dataset.name,
+                                 src=src, dst=job.plan.dst, error=str(exc))
+                    tracer.counter("jobs_failed", component="dtn").inc()
                 continue
             job.report = report
             job.finished_at = start + report.duration.s
             job.state = JobState.SUCCEEDED
             free[slot_idx] = job.finished_at
             self._clock = max(self._clock, job.finished_at)
+            if tracer.enabled:
+                tracer.span_at(
+                    "dtn", f"job-{job.job_id}", start, job.finished_at,
+                    dataset=job.plan.dataset.name, src=src,
+                    dst=job.plan.dst, queue_wait_s=job.queue_wait.s,
+                    slot=slot_idx,
+                )
+                tracer.counter("jobs_succeeded", component="dtn").inc()
+                tracer.histogram("job_queue_wait_s",
+                                 component="dtn").observe(job.queue_wait.s)
         return queued
 
     # -- reporting --------------------------------------------------------------------

@@ -26,6 +26,7 @@ from ..errors import ConfigurationError, TransferError
 from ..netsim.topology import PathProfile, Topology
 from ..tcp.congestion import algorithm_by_name
 from ..tcp.connection import TcpConnection, TransferResult
+from ..telemetry.tracer import NULL_TRACER
 from ..units import DataRate, DataSize, TimeDelta, bits, seconds
 from .host import HostSystemProfile
 from .tools import TransferTool, tool_by_name
@@ -170,8 +171,16 @@ class TransferPlan:
 
     # -- execution -----------------------------------------------------------------
     def execute(self, rng: Optional[np.random.Generator] = None,
-                *, max_rounds: int = 200_000) -> TransferReport:
-        """Run the transfer; returns the report with limiting factors."""
+                *, max_rounds: int = 200_000,
+                tracer=None, trace_offset: float = 0.0) -> TransferReport:
+        """Run the transfer; returns the report with limiting factors.
+
+        Pass a :class:`~repro.telemetry.tracer.Tracer` to get a span
+        for the whole transfer (wrapping the representative stream's
+        own span and loss events) plus counters for retried/corrupted
+        files; ``trace_offset`` anchors the stamps in a shared timeline.
+        """
+        tracer = tracer if tracer is not None else NULL_TRACER
         profile = self.path_profile()
         if profile.random_loss > 0 and rng is None:
             raise TransferError(
@@ -180,9 +189,18 @@ class TransferPlan:
         streams = self.tool.streams
         per_stream_size = DataSize(self.dataset.total_size.bits / streams)
 
+        if tracer.enabled:
+            tracer.event(
+                "dtn", "transfer", t=trace_offset, phase="B",
+                dataset=self.dataset.name, src=self.src, dst=self.dst,
+                tool=self.tool.name, streams=streams,
+                size_bytes=self.dataset.total_size.bytes,
+                files=self.dataset.file_count,
+            )
         # Simulate one representative stream moving its share.
         conn = TcpConnection(profile, algorithm=self._congestion_algorithm(),
-                             rng=rng)
+                             rng=rng, tracer=tracer,
+                             trace_offset=trace_offset)
         stream_result = conn.transfer(per_stream_size, max_rounds=max_rounds)
         stream_rate = stream_result.mean_throughput
 
@@ -234,6 +252,24 @@ class TransferPlan:
         else:
             corrupt = self.dataset.file_count * p_corrupt
         duration = seconds(transfer_time + overhead)
+
+        if tracer.enabled:
+            tracer.event("dtn", "transfer", phase="E",
+                         t=trace_offset + duration.s)
+            tracer.event(
+                "dtn", "transfer-done", t=trace_offset + duration.s,
+                dataset=self.dataset.name, limiting_factor=limiting_factor,
+                effective_rate_bps=effective, duration_s=duration.s,
+                retried_files=retried, corrupt_files=corrupt,
+            )
+            tracer.counter("transfers", component="dtn").inc()
+            tracer.counter("files_moved", component="dtn").inc(
+                self.dataset.file_count)
+            if retried:
+                tracer.counter("files_retried", component="dtn").inc(retried)
+            if corrupt:
+                tracer.counter("files_corrupted",
+                               component="dtn").inc(corrupt)
 
         return TransferReport(
             dataset=self.dataset,

@@ -52,3 +52,7 @@ class MeasurementError(ReproError):
 
 class AuditError(ReproError):
     """Raised when a strict design audit fails."""
+
+
+class TelemetryError(ReproError):
+    """Tracing, metrics or trace-export misuse (bad phase, bad capacity)."""

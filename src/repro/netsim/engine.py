@@ -22,9 +22,19 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
-from ..errors import SimulationError
+from ..errors import ReproError, SimulationError
+from ..telemetry.tracer import NULL_TRACER, Tracer
 
 __all__ = ["Event", "Simulator"]
+
+
+def _action_label(action: Callable[[], None]) -> str:
+    """Deterministic display name for a scheduled callback (no ids/addresses)."""
+    name = getattr(action, "__qualname__", None)
+    if name:
+        # Strip the "<locals>" noise from closure factories.
+        return name.replace(".<locals>", "")
+    return type(action).__name__
 
 
 @dataclass(order=True)
@@ -50,6 +60,13 @@ class Simulator:
         Root seed.  Every named stream's generator is derived from this
         seed combined with the stream name, so results are reproducible
         and streams are independent.
+    tracer:
+        Optional :class:`~repro.telemetry.tracer.Tracer`.  When enabled
+        the engine emits a span per dispatched event, counts scheduled/
+        cancelled/dispatched events and per-stream RNG acquisitions, and
+        attaches the flight-recorder tail to any
+        :class:`~repro.errors.ReproError` escaping an event callback.
+        Defaults to the zero-overhead null tracer.
 
     Examples
     --------
@@ -62,7 +79,8 @@ class Simulator:
     [1.0, 2.0]
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, *,
+                 tracer: Optional[Tracer] = None) -> None:
         self._now: float = 0.0
         self._heap: list[Event] = []
         self._seq = itertools.count()
@@ -70,6 +88,18 @@ class Simulator:
         self._streams: Dict[str, np.random.Generator] = {}
         self._event_count = 0
         self._running = False
+        self.tracer = NULL_TRACER
+        # Not `tracer or NULL_TRACER`: an empty tracer is falsy (len 0).
+        self.set_tracer(tracer if tracer is not None else NULL_TRACER)
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Attach a tracer (binds its clock to this simulator's)."""
+        if not isinstance(tracer, Tracer):
+            raise SimulationError("set_tracer() expects a Tracer")
+        self.tracer = tracer
+        if tracer.enabled:
+            tracer.bind_clock(lambda: self._now)
+            tracer.event("engine", "attached", seed=self._seed)
 
     # -- clock ---------------------------------------------------------------
     @property
@@ -104,6 +134,11 @@ class Simulator:
                 spawn_key=tuple(stream.encode("utf-8")),
             )
             self._streams[stream] = np.random.default_rng(child)
+            if self.tracer.enabled:
+                self.tracer.event("engine", "rng-stream", stream=stream)
+        if self.tracer.enabled:
+            self.tracer.counter(f"rng.{stream}.acquisitions",
+                                component="engine").inc()
         return self._streams[stream]
 
     # -- scheduling ------------------------------------------------------------
@@ -121,6 +156,8 @@ class Simulator:
             )
         event = Event(time=float(when), seq=next(self._seq), action=action)
         heapq.heappush(self._heap, event)
+        if self.tracer.enabled:
+            self.tracer.counter("events.scheduled", component="engine").inc()
         return event
 
     def schedule_periodic(
@@ -152,15 +189,32 @@ class Simulator:
     # -- execution ------------------------------------------------------------
     def step(self) -> bool:
         """Run the single next event.  Returns False if none remain."""
+        tracer = self.tracer
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                if tracer.enabled:
+                    tracer.counter("events.cancelled",
+                                   component="engine").inc()
                 continue
             if event.time < self._now:  # pragma: no cover - invariant guard
                 raise SimulationError("event heap yielded an event in the past")
             self._now = event.time
             self._event_count += 1
-            event.action()
+            if not tracer.enabled:
+                event.action()
+                return True
+            tracer.counter("events.dispatched", component="engine").inc()
+            with tracer.span("engine", "dispatch", seq=event.seq,
+                             action=_action_label(event.action)):
+                try:
+                    event.action()
+                except ReproError as exc:
+                    # Attach the tail of history so the failure explains
+                    # itself; the first raiser wins (innermost context).
+                    if not hasattr(exc, "trace_tail"):
+                        exc.trace_tail = tracer.recorder.render_tail()
+                    raise
             return True
         return False
 
@@ -197,6 +251,9 @@ class Simulator:
                 head = self._heap[0]
                 if head.cancelled:
                     heapq.heappop(self._heap)
+                    if self.tracer.enabled:
+                        self.tracer.counter("events.cancelled",
+                                            component="engine").inc()
                     continue
                 if head.time > when:
                     break

@@ -59,6 +59,11 @@ class MeshSchedule:
         Cadence configuration.
     policy:
         Routing-policy kwargs so tests follow the science path.
+    tracer:
+        Optional explicit tracer; by default the mesh emits through
+        whatever tracer the shared simulator carries (resolved per
+        probe, so attaching one later — e.g. from
+        ``Scenario.run(trace=...)`` — is picked up).
     """
 
     def __init__(
@@ -70,7 +75,9 @@ class MeshSchedule:
         *,
         config: MeshConfig = MeshConfig(),
         policy: Optional[dict] = None,
+        tracer=None,
     ) -> None:
+        self._tracer = tracer
         hosts = list(hosts)
         if len(hosts) < 2:
             raise MeasurementError("a mesh needs at least two hosts")
@@ -128,6 +135,10 @@ class MeshSchedule:
                 start=bwctl_offset,
             )
 
+    def tracer(self):
+        """The tracer probes emit through (explicit, else the sim's)."""
+        return self._tracer if self._tracer is not None else self.sim.tracer
+
     def _owamp_runner(self, pair: Tuple[str, str]):
         from ..errors import RoutingError
         probe = self._owamp[pair]
@@ -135,6 +146,7 @@ class MeshSchedule:
 
         def run() -> None:
             now = self.sim.now
+            tracer = self.tracer()
             try:
                 result = probe.run(rng)
             except RoutingError:
@@ -144,12 +156,27 @@ class MeshSchedule:
                 self.unreachable_events.append((now, pair))
                 self.archive.record_value(now, pair[0], pair[1],
                                           Metric.LOSS_RATE, 1.0)
+                if tracer.enabled:
+                    tracer.event("perfsonar", "unreachable", t=now,
+                                 probe="owamp", src=pair[0], dst=pair[1])
+                    tracer.counter("unreachable",
+                                   component="perfsonar").inc()
                 return
             self.archive.record_value(now, result.src, result.dst,
                                       Metric.LOSS_RATE, result.loss_rate)
             self.archive.record_value(now, result.src, result.dst,
                                       Metric.ONE_WAY_LATENCY_S,
                                       result.one_way_latency.s)
+            if tracer.enabled:
+                tracer.event("perfsonar", "owamp", t=now,
+                             src=result.src, dst=result.dst,
+                             loss_rate=result.loss_rate,
+                             latency_s=result.one_way_latency.s)
+                tracer.counter("owamp_sessions",
+                               component="perfsonar").inc()
+                tracer.histogram("owamp_loss_rate",
+                                 component="perfsonar").observe(
+                    result.loss_rate)
         return run
 
     def _bwctl_runner(self, pair: Tuple[str, str]):
@@ -159,16 +186,28 @@ class MeshSchedule:
 
         def run() -> None:
             now = self.sim.now
+            tracer = self.tracer()
             try:
                 result = test.run(rng)
             except RoutingError:
                 self.unreachable_events.append((now, pair))
                 self.archive.record_value(now, pair[0], pair[1],
                                           Metric.THROUGHPUT_BPS, 0.0)
+                if tracer.enabled:
+                    tracer.event("perfsonar", "unreachable", t=now,
+                                 probe="bwctl", src=pair[0], dst=pair[1])
+                    tracer.counter("unreachable",
+                                   component="perfsonar").inc()
                 return
             self.archive.record_value(now, result.src, result.dst,
                                       Metric.THROUGHPUT_BPS,
                                       result.throughput.bps)
+            if tracer.enabled:
+                tracer.event("perfsonar", "bwctl", t=now,
+                             src=result.src, dst=result.dst,
+                             throughput_bps=result.throughput.bps)
+                tracer.counter("bwctl_tests",
+                               component="perfsonar").inc()
         return run
 
     # -- one-shot conveniences ----------------------------------------------------

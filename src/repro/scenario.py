@@ -32,6 +32,7 @@ from .netsim.engine import Simulator
 from .perfsonar.alerts import Alert, AlertRule, ThresholdAlerter
 from .perfsonar.archive import MeasurementArchive
 from .perfsonar.mesh import MeshConfig, MeshSchedule
+from .telemetry import Tracer, ensure_tracer, instrument_topology
 from .units import TimeDelta, minutes
 
 __all__ = ["Scenario", "ScenarioOutcome"]
@@ -47,6 +48,9 @@ class ScenarioOutcome:
     duration: TimeDelta
     detection_delays: Dict[int, Optional[float]] = field(default_factory=dict)
     # fault index -> seconds from injection to first alert (None = missed)
+    #: The tracer the run emitted through (None when tracing was off).
+    #: ``trace.events()`` / ``trace.metrics`` / exporters apply directly.
+    trace: Optional[Tracer] = None
 
     def first_alert(self) -> Optional[Alert]:
         return self.alerts[0] if self.alerts else None
@@ -145,15 +149,38 @@ class Scenario:
 
         def cut() -> None:
             topo.remove_link(a, b)
+            if self.sim.tracer.enabled:
+                self.sim.tracer.event("fault", "link-cut", a=a, b=b)
         self.sim.schedule_at(at.s, cut)
         return self
 
     # -- execution ------------------------------------------------------------------
-    def run(self, *, until: TimeDelta) -> ScenarioOutcome:
-        """Execute the timeline and evaluate the outcome."""
+    def run(self, *, until: TimeDelta, trace=None) -> ScenarioOutcome:
+        """Execute the timeline and evaluate the outcome.
+
+        Parameters
+        ----------
+        until:
+            Scenario horizon.
+        trace:
+            ``True`` for a fresh :class:`~repro.telemetry.Tracer`, or an
+            existing tracer (e.g. one with a bounded flight recorder).
+            The tracer is attached to the simulator, to every traceable
+            device in the design, and rides along on the outcome as
+            ``outcome.trace`` for export.
+        """
         if self._ran:
             raise ConfigurationError("a Scenario can only run once")
         self._ran = True
+        tracer = ensure_tracer(trace)
+        if tracer.enabled:
+            self.sim.set_tracer(tracer)
+            instrument_topology(self.bundle.topology, tracer)
+            tracer.event("scenario", "start", t=self.sim.now,
+                         design=self.bundle.description,
+                         seed=self.sim.seed, until_s=until.s,
+                         faults=len(self._pending_faults),
+                         repairs=len(self._repairs))
         if self._mesh is None:
             raise ConfigurationError(
                 "scenario has no measurement mesh; call with_mesh() — "
@@ -181,10 +208,22 @@ class Scenario:
                 else until.s
             hits = [a.time for a in alerts if onset <= a.time <= horizon]
             delays[idx] = (min(hits) - onset) if hits else None
+        if tracer.enabled:
+            for alert in alerts:
+                tracer.event("scenario", "alert", t=alert.time,
+                             message=alert.message)
+            tracer.counter("alerts", component="scenario").inc(len(alerts))
+            tracer.event("scenario", "end", t=until.s,
+                         measurements=self.archive.count(),
+                         alerts=len(alerts),
+                         faults=len(self.injector.history),
+                         detected=sum(1 for d in delays.values()
+                                      if d is not None))
         return ScenarioOutcome(
             archive=self.archive,
             alerts=alerts,
             faults=list(self.injector.history),
             duration=until,
             detection_delays=delays,
+            trace=tracer if tracer.enabled else None,
         )

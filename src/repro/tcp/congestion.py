@@ -68,6 +68,13 @@ class CongestionControl(ABC):
             )
         return max(1.0, cwnd * beta)
 
+    def trace_attrs(self) -> Dict[str, float]:
+        """Algorithm parameters attached to trace events (loss episodes,
+        transfer spans) so a trace is self-describing.  Subclasses extend
+        with their tuning constants."""
+        return {"algorithm": self.name,
+                "slow_start_factor": self.slow_start_factor}
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
 
@@ -101,6 +108,11 @@ class HTcp(CongestionControl):
     name = "htcp"
     delta_l: float = 1.0  # seconds of Reno-compatible low-speed regime
 
+    def trace_attrs(self) -> Dict[str, float]:
+        attrs = super().trace_attrs()
+        attrs["delta_l"] = self.delta_l
+        return attrs
+
     def increase(self, cwnd: float, time_since_loss: float, rtt: float) -> float:
         delta = max(0.0, time_since_loss)
         if delta <= self.delta_l:
@@ -130,6 +142,12 @@ class Cubic(CongestionControl):
     name = "cubic"
     c: float = 0.4
     beta_cubic: float = 0.3  # fraction *removed* on loss
+
+    def trace_attrs(self) -> Dict[str, float]:
+        attrs = super().trace_attrs()
+        attrs["c"] = self.c
+        attrs["beta_cubic"] = self.beta_cubic
+        return attrs
 
     def increase(self, cwnd: float, time_since_loss: float, rtt: float) -> float:
         # Reconstruct W_max from the invariant W(t) = C (t-K)^3 + W_max.

@@ -35,6 +35,7 @@ import numpy as np
 
 from ..errors import ConfigurationError, SimulationError
 from ..netsim.topology import PathProfile
+from ..telemetry.tracer import NULL_TRACER, Tracer
 from ..units import DataRate, DataSize, TimeDelta, bits, seconds
 from .congestion import CongestionControl, Reno
 
@@ -115,6 +116,14 @@ class TcpConnection:
         gear.  Shallow values reproduce cheap-switch behaviour.
     initial_cwnd:
         Initial window in segments (RFC 6928 default of 10).
+    tracer:
+        Optional :class:`~repro.telemetry.tracer.Tracer`.  When enabled
+        the connection emits a span per transfer, an event per loss
+        episode (congestion / random / timeout, with the window before
+        and after) and decimated cwnd/throughput counter samples.
+        Event stamps are seconds since transfer start plus
+        ``trace_offset`` (pass the simulation time at which the
+        transfer began to anchor events in a shared timeline).
     """
 
     def __init__(
@@ -125,10 +134,14 @@ class TcpConnection:
         rng: Optional[np.random.Generator] = None,
         bottleneck_buffer: Optional[DataSize] = None,
         initial_cwnd: float = INITIAL_WINDOW_SEGMENTS,
+        tracer: Optional[Tracer] = None,
+        trace_offset: float = 0.0,
     ) -> None:
         self.profile = profile
         self.algorithm = algorithm if algorithm is not None else Reno()
         self._rng = rng
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace_t0 = float(trace_offset)
         if profile.random_loss > 0 and rng is None:
             raise ConfigurationError(
                 "path has random loss; TcpConnection requires an rng "
@@ -241,6 +254,18 @@ class TcpConnection:
         rng = self._rng
         log1mp = math.log1p(-p) if 0 < p < 1 else 0.0
 
+        tracer = self._tracer
+        trace_on = tracer.enabled  # hoisted: one branch per use in the loop
+        t0 = self._trace_t0
+        if trace_on:
+            tracer.event(
+                "tcp", "transfer", t=t0, phase="B",
+                target_bits=target_bits, duration_s=duration_s,
+                capacity_bps=self.capacity_bps, base_rtt_s=self.base_rtt,
+                loss_p=p, rwnd_segments=self.rwnd_segments,
+                **self.algorithm.trace_attrs(),
+            )
+
         while True:
             if target_bits is not None and delivered_bits >= target_bits:
                 break
@@ -295,6 +320,13 @@ class TcpConnection:
                     cwnd_segments=cwnd,
                     throughput_bps=delivered_this_round * mss / rtt_eff,
                 ))
+                if trace_on:
+                    # Counter tracks, decimated in lockstep with samples.
+                    tracer.sample("cwnd_segments", cwnd, t=t0 + elapsed,
+                                  category="tcp")
+                    tracer.sample("throughput_bps",
+                                  delivered_this_round * mss / rtt_eff,
+                                  t=t0 + elapsed, category="tcp")
                 if len(samples) >= 8192:
                     samples = samples[::2]
                     stride *= 2
@@ -313,11 +345,23 @@ class TcpConnection:
                     elapsed += rto
                     ssthresh = max(2.0, inflight / 2.0)
                     cwnd = 1.0
+                    if trace_on:
+                        tracer.event("tcp", "loss", t=t0 + elapsed,
+                                     kind="timeout", rto_s=rto,
+                                     cwnd_before=inflight, cwnd_after=cwnd)
+                        tracer.counter("timeouts", component="tcp").inc()
                 else:
                     cwnd = self.algorithm.on_loss(
                         inflight, self.base_rtt, rtt_eff
                     )
                     ssthresh = cwnd
+                    if trace_on:
+                        tracer.event(
+                            "tcp", "loss", t=t0 + elapsed,
+                            kind="congestion" if congestion_loss else "random",
+                            cwnd_before=inflight, cwnd_after=cwnd)
+                if trace_on:
+                    tracer.counter("loss_events", component="tcp").inc()
                 time_since_loss = 0.0
                 steady_rounds = 0
             else:
@@ -370,6 +414,14 @@ class TcpConnection:
             remaining = target_bits - delivered_bits
             elapsed += remaining / rate
             delivered_bits = target_bits
+
+        if trace_on:
+            tracer.counter("rounds", component="tcp").inc(rounds)
+            tracer.event("tcp", "transfer", t=t0 + elapsed, phase="E")
+            tracer.event("tcp", "transfer-done", t=t0 + elapsed,
+                         delivered_bits=delivered_bits, duration_s=elapsed,
+                         rounds=rounds, loss_events=loss_events,
+                         timeouts=timeouts, extrapolated=extrapolated)
 
         return TransferResult(
             bytes_delivered=bits(delivered_bits),

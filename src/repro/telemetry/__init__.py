@@ -1,0 +1,64 @@
+"""Telemetry: structured tracing, metrics and a flight recorder.
+
+The observability layer of the simulator.  perfSONAR exists because
+"the network is slow" is undiagnosable from the endpoints alone (§5);
+this package exists because "the shape check failed" is undiagnosable
+from a benchmark table alone.  Every instrumented subsystem — the
+event engine, TCP connections, firewalls/IDS, fault injection, the
+measurement mesh, transfer plans — emits through one
+:class:`~repro.telemetry.tracer.Tracer`:
+
+* :mod:`repro.telemetry.tracer` — :class:`Tracer` / :class:`NullTracer`
+  and the :class:`TraceEvent` record;
+* :mod:`repro.telemetry.recorder` — the bounded
+  :class:`FlightRecorder` ring buffer (failure reports dump its tail);
+* :mod:`repro.telemetry.metrics` — :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` aggregated per component;
+* :mod:`repro.telemetry.export` — JSONL, text timeline and Chrome
+  ``trace_event`` exporters.
+
+Quick start::
+
+    from repro.scenario import Scenario
+    from repro.telemetry import write_chrome_trace
+
+    outcome = scenario.run(until=minutes(120), trace=True)
+    write_chrome_trace(outcome.trace.events(), "scenario.trace.json",
+                       metrics=outcome.trace.metrics)
+
+The default everywhere is :data:`NULL_TRACER` — a shared no-op whose
+cost in hot loops is a single predictable branch.
+"""
+
+from .export import (
+    event_to_dict,
+    render_timeline,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .instrument import instrument_topology
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .recorder import FlightRecorder
+from .tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer, ensure_tracer
+
+__all__ = [
+    "instrument_topology",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceEvent",
+    "ensure_tracer",
+    "FlightRecorder",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "event_to_dict",
+    "to_jsonl",
+    "write_jsonl",
+    "render_timeline",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

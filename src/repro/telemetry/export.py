@@ -1,0 +1,161 @@
+"""Trace exporters: JSONL, text timeline, Chrome ``trace_event`` JSON.
+
+Three consumers, three formats:
+
+* **JSONL** — one JSON object per line, sorted keys, no whitespace:
+  the machine-diffable archival format.  Byte-identical across runs
+  with the same seed (provided the tracer has no wall clock).
+* **Text timeline** — the human `tail -f` view; this is what flight
+  recorder dumps and the ``repro trace`` console output use.
+* **Chrome trace_event** — the profiling view: load the file in
+  ``chrome://tracing`` or https://ui.perfetto.dev and see per-category
+  lanes of spans, instants and counter tracks over simulation time.
+  Format reference: the "Trace Event Format" document (Google).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "event_to_dict",
+    "to_jsonl",
+    "write_jsonl",
+    "render_timeline",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def _json_safe(value: object) -> object:
+    """Coerce attribute values to something JSON-serializable."""
+    if isinstance(value, _JSON_SCALARS):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    human = getattr(value, "human", None)
+    if callable(human):
+        return human()
+    return str(value)
+
+
+def event_to_dict(event) -> Dict[str, object]:
+    """Flatten one TraceEvent into a JSON-ready mapping."""
+    data: Dict[str, object] = {
+        "seq": event.seq,
+        "t": event.t,
+        "ph": event.phase,
+        "cat": event.category,
+        "name": event.name,
+        "args": {str(k): _json_safe(v) for k, v in event.attrs.items()},
+    }
+    if event.wall is not None:
+        data["wall"] = event.wall
+    return data
+
+
+# -- JSONL ---------------------------------------------------------------------
+def to_jsonl(events: Iterable) -> str:
+    """Render events as newline-delimited JSON (deterministic)."""
+    lines = [
+        json.dumps(event_to_dict(e), sort_keys=True, separators=(",", ":"))
+        for e in events
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(events: Iterable, path) -> pathlib.Path:
+    """Write the JSONL log to ``path``; returns the written path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_jsonl(events), encoding="utf-8")
+    return path
+
+
+# -- text timeline -------------------------------------------------------------
+def render_timeline(events: Iterable, *, indent_spans: bool = True) -> str:
+    """Human-readable event listing, one event per line.
+
+    Span begin/end pairs indent their interior so nesting reads like a
+    call tree; pass ``indent_spans=False`` for a flat listing.
+    """
+    lines: List[str] = []
+    depth = 0
+    for event in events:
+        if indent_spans and event.phase == "E" and depth > 0:
+            depth -= 1
+        pad = "  " * depth if indent_spans else ""
+        lines.append(pad + event.describe())
+        if indent_spans and event.phase == "B":
+            depth += 1
+    return "\n".join(lines)
+
+
+# -- Chrome trace_event --------------------------------------------------------
+def to_chrome_trace(events: Iterable, *, metrics=None) -> Dict[str, object]:
+    """Build a Chrome ``trace_event`` document from events.
+
+    One process (pid 1) with one thread lane per category, named via
+    ``M``-phase metadata records.  Timestamps are simulation time in
+    microseconds.  Counter samples ("C" events) become counter tracks.
+    When a :class:`~repro.telemetry.metrics.MetricsRegistry` is given,
+    its final values are attached as process metadata under
+    ``otherData`` so the numbers travel with the trace.
+    """
+    events = list(events)
+    categories = sorted({e.category for e in events})
+    tids = {cat: i + 1 for i, cat in enumerate(categories)}
+
+    records: List[Dict[str, object]] = []
+    for cat in categories:
+        records.append({
+            "ph": "M", "pid": 1, "tid": tids[cat],
+            "name": "thread_name", "args": {"name": cat},
+        })
+    for event in events:
+        record: Dict[str, object] = {
+            "pid": 1,
+            "tid": tids[event.category],
+            "ts": event.t * 1e6,
+            "name": event.name,
+            "cat": event.category,
+        }
+        args = {str(k): _json_safe(v) for k, v in event.attrs.items()}
+        if event.phase == "C":
+            record["ph"] = "C"
+            record["args"] = {event.name: args.get("value", 0.0)}
+        elif event.phase in ("B", "E"):
+            record["ph"] = event.phase
+            if event.phase == "B" and args:
+                record["args"] = args
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"  # thread-scoped instant
+            if args:
+                record["args"] = args
+        records.append(record)
+
+    doc: Dict[str, object] = {
+        "traceEvents": records,
+        "displayTimeUnit": "ms",
+    }
+    if metrics is not None and len(metrics):
+        doc["otherData"] = {"metrics": metrics.as_dict()}
+    return doc
+
+
+def write_chrome_trace(events: Iterable, path, *,
+                       metrics=None) -> pathlib.Path:
+    """Write a ``chrome://tracing``-loadable JSON file; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = to_chrome_trace(events, metrics=metrics)
+    path.write_text(json.dumps(doc, sort_keys=True, indent=1) + "\n",
+                    encoding="utf-8")
+    return path

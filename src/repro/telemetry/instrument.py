@@ -1,0 +1,28 @@
+"""Attach a tracer to everything in a topology that can emit.
+
+Devices opt in to telemetry by exposing a ``tracer`` attribute
+(:class:`~repro.devices.firewall.Firewall`,
+:class:`~repro.devices.ids.IntrusionDetectionSystem`).  This helper
+walks a topology — nodes and their attached transit elements — and
+points every such slot at one shared tracer, so a whole design is
+instrumented with one call.  Duck-typed on purpose: the telemetry
+layer stays import-free of the device zoo.
+"""
+
+from __future__ import annotations
+
+from .tracer import Tracer
+
+__all__ = ["instrument_topology"]
+
+
+def instrument_topology(topology, tracer: Tracer) -> int:
+    """Set ``obj.tracer = tracer`` on every node/element that has the
+    slot; returns how many objects were instrumented."""
+    count = 0
+    for node in topology.nodes():
+        for obj in (node, *getattr(node, "elements", ())):
+            if hasattr(obj, "tracer"):
+                obj.tracer = tracer
+                count += 1
+    return count

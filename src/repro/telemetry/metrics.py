@@ -1,0 +1,229 @@
+"""Aggregated metric primitives: counters, gauges, histograms.
+
+Trace events answer "what happened, when"; metrics answer "how much,
+in total".  A :class:`MetricsRegistry` keys every instrument by
+``(component, name)`` so the same metric name can exist per component
+("tcp" loss events vs "firewall" loss events) and renders a
+deterministic summary table.
+
+The instruments are deliberately tiny — a float and a few bookkeeping
+fields — because instrumented hot loops increment them per event.  The
+histogram keeps moments plus power-of-two magnitude buckets rather
+than raw samples, so memory stays O(1) per instrument.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import TelemetryError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "NULL_METRIC"]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "component", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, component: str = "") -> None:
+        self.name = name
+        self.component = component
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "value": self.value}
+
+    def describe(self) -> str:
+        return f"{self.value:g}"
+
+
+class Gauge:
+    """Last-observed value (buffer occupancy, active flows, ...)."""
+
+    __slots__ = ("name", "component", "value", "updates")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, component: str = "") -> None:
+        self.name = name
+        self.component = component
+        self.value: Optional[float] = None
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updates += 1
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "value": self.value,
+                "updates": self.updates}
+
+    def describe(self) -> str:
+        if self.value is None:
+            return "unset"
+        return f"{self.value:g} ({self.updates} updates)"
+
+
+class Histogram:
+    """Streaming distribution summary.
+
+    Keeps count/sum/min/max plus counts per power-of-two magnitude
+    bucket (bucket *k* holds values in ``[2^k, 2^(k+1))``; zeros and
+    negatives land in dedicated buckets).  Enough to render a shape and
+    compute a mean without retaining samples.
+    """
+
+    __slots__ = ("name", "component", "count", "total", "vmin", "vmax",
+                 "buckets")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, component: str = "") -> None:
+        self.name = name
+        self.component = component
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+        if value > 0:
+            bucket = math.frexp(value)[1] - 1  # floor(log2(value))
+        elif value == 0:
+            bucket = -(10 ** 6)
+        else:
+            bucket = -(10 ** 6) - 1
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin if self.count else None,
+            "max": self.vmax if self.count else None,
+            "mean": self.mean,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+    def describe(self) -> str:
+        if not self.count:
+            return "empty"
+        return (f"n={self.count} mean={self.mean:g} "
+                f"min={self.vmin:g} max={self.vmax:g}")
+
+
+class _NullMetric:
+    """Accepts every instrument operation and does nothing.
+
+    Returned by :class:`~repro.telemetry.tracer.NullTracer` so call
+    sites never branch on tracer type.
+    """
+
+    __slots__ = ()
+
+    value = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+NULL_METRIC = _NullMetric()
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create store of instruments keyed by (component, name)."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, str], object] = {}
+
+    def _get(self, kind: str, name: str, component: str):
+        if not name:
+            raise TelemetryError("metric needs a non-empty name")
+        key = (component, name)
+        existing = self._metrics.get(key)
+        if existing is not None:
+            if existing.kind != kind:
+                raise TelemetryError(
+                    f"metric {component}/{name} already registered as "
+                    f"{existing.kind}, requested {kind}")
+            return existing
+        metric = _KINDS[kind](name, component)
+        self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, *, component: str = "") -> Counter:
+        return self._get("counter", name, component)
+
+    def gauge(self, name: str, *, component: str = "") -> Gauge:
+        return self._get("gauge", name, component)
+
+    def histogram(self, name: str, *, component: str = "") -> Histogram:
+        return self._get("histogram", name, component)
+
+    # -- reading --------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator:
+        for key in sorted(self._metrics):
+            yield self._metrics[key]
+
+    def get(self, name: str, *, component: str = ""):
+        """Look up an instrument; None if it was never created."""
+        return self._metrics.get((component, name))
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """Deterministic nested mapping: ``component/name`` -> summary."""
+        out: Dict[str, Dict[str, object]] = {}
+        for (component, name) in sorted(self._metrics):
+            metric = self._metrics[(component, name)]
+            label = f"{component}/{name}" if component else name
+            out[label] = metric.as_dict()
+        return out
+
+    def render_text(self) -> str:
+        """Aligned per-component summary table."""
+        if not self._metrics:
+            return "no metrics recorded"
+        rows: List[Tuple[str, str, str]] = []
+        for (component, name) in sorted(self._metrics):
+            metric = self._metrics[(component, name)]
+            rows.append((component or "-", f"{name} ({metric.kind})",
+                         metric.describe()))
+        w0 = max(len(r[0]) for r in rows)
+        w1 = max(len(r[1]) for r in rows)
+        lines = [f"{c:<{w0}}  {n:<{w1}}  {v}" for c, n, v in rows]
+        return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Bounded flight recorder: the last N trace events, always on hand.
+
+Aviation flight recorders exist because the interesting part of a
+failure is the minutes *before* it.  Simulations are the same: when a
+shape check fails or the engine raises
+:class:`~repro.errors.SimulationError`, the question is "what did the
+simulator just do?", and the answer is the tail of the event log.
+
+:class:`FlightRecorder` is a ring buffer of
+:class:`~repro.telemetry.tracer.TraceEvent` records.  With
+``capacity=None`` it retains everything (what exporters want); with an
+integer capacity it holds the most recent N events and counts what it
+evicted, so a week-long scenario still fails with a useful tail.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..errors import TelemetryError
+
+__all__ = ["FlightRecorder"]
+
+#: Default retention when a bound is requested without a size.
+DEFAULT_CAPACITY = 4096
+
+
+class FlightRecorder:
+    """Ring buffer over trace events.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained events; ``None`` = unbounded.  Must be >= 0.
+    """
+
+    def __init__(self, capacity: Optional[int] = DEFAULT_CAPACITY) -> None:
+        if capacity is not None:
+            capacity = int(capacity)
+            if capacity < 0:
+                raise TelemetryError(
+                    f"recorder capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._ring: Deque = deque(maxlen=capacity)
+        #: Events evicted from the ring so far (0 while unbounded).
+        self.dropped = 0
+
+    # -- writing --------------------------------------------------------------
+    def append(self, event) -> None:
+        if self.capacity is not None and len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(event)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.dropped = 0
+
+    # -- reading --------------------------------------------------------------
+    def events(self) -> List:
+        """Retained events, oldest first."""
+        return list(self._ring)
+
+    def tail(self, n: int = 50) -> List:
+        """The most recent ``n`` retained events, oldest first."""
+        if n <= 0:
+            return []
+        ring = self._ring
+        return list(ring)[-n:] if n < len(ring) else list(ring)
+
+    def render_tail(self, n: int = 50) -> str:
+        """Human-readable dump of the tail — what error reports attach."""
+        from .export import render_timeline
+
+        events = self.tail(n)
+        if not events:
+            return "flight recorder: no events recorded"
+        omitted = (len(self._ring) - len(events)) + self.dropped
+        header = (f"flight recorder: last {len(events)} of "
+                  f"{len(self._ring) + self.dropped} events"
+                  + (f" ({omitted} earlier omitted)" if omitted else ""))
+        return header + "\n" + render_timeline(events)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self):
+        return iter(self._ring)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        bound = "unbounded" if self.capacity is None else f"cap={self.capacity}"
+        return (f"FlightRecorder({len(self._ring)} events, {bound}, "
+                f"dropped={self.dropped})")

@@ -1,0 +1,318 @@
+"""Structured event tracing for the simulation stack.
+
+The paper's operational argument (§5, §6.4) is that soft failures are
+invisible without continuous measurement; the same is true of the
+simulator itself.  :class:`Tracer` is the library's single emission
+point for structured events: every instrumented component (the event
+engine, TCP connections, firewalls, fault injectors, the perfSONAR
+mesh, transfer plans) writes :class:`TraceEvent` records through it.
+
+Design constraints, in order:
+
+1. **Zero overhead when off.**  The default everywhere is the shared
+   :data:`NULL_TRACER`, whose ``enabled`` flag is False; hot loops hoist
+   that flag into a local and skip all emission with one branch.
+2. **Determinism.**  Events are stamped with *simulation* time and a
+   strictly increasing sequence number.  Wall-clock stamps are opt-in
+   (pass ``wall_clock=time.perf_counter``) precisely because they would
+   break the byte-identical-log guarantee the benchmarks rely on.
+3. **Bounded memory.**  Storage is a :class:`~repro.telemetry.recorder.
+   FlightRecorder`; by default a tracer keeps everything (exports need
+   the full log), but long-running scenarios can cap it and still dump
+   the tail of history on failure.
+
+>>> tracer = Tracer()
+>>> tracer.event("demo", "hello", t=1.5, answer=42).name
+'hello'
+>>> with tracer.span("demo", "work", t=2.0):
+...     tracer.counter("steps", component="demo").inc()
+>>> [e.phase for e in tracer.events()]
+['I', 'B', 'E']
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+from ..errors import TelemetryError
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, NULL_METRIC
+from .recorder import FlightRecorder
+
+__all__ = ["TraceEvent", "Tracer", "NullTracer", "NULL_TRACER",
+           "ensure_tracer"]
+
+#: Trace-event phases (a subset of the Chrome trace_event vocabulary):
+#: "I" instant, "B" span begin, "E" span end, "C" counter sample.
+PHASES = ("I", "B", "E", "C")
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One structured event.
+
+    Attributes
+    ----------
+    seq:
+        Strictly increasing emission order (the determinism tie-breaker).
+    t:
+        Simulation time in seconds.
+    phase:
+        "I" (instant), "B"/"E" (span begin/end) or "C" (counter sample).
+    category:
+        Coarse component label ("engine", "tcp", "perfsonar", ...).
+        Exporters group events into per-category lanes.
+    name:
+        What happened ("dispatch", "loss", "owamp", ...).
+    attrs:
+        Key/value payload.  Values should be JSON-representable;
+        exporters coerce anything else with ``str()``.
+    wall:
+        Optional wall-clock stamp (seconds, opaque epoch).  ``None``
+        unless the tracer was built with a ``wall_clock`` — kept out of
+        the default path so logs stay byte-identical across runs.
+    """
+
+    seq: int
+    t: float
+    phase: str
+    category: str
+    name: str
+    attrs: Dict[str, object] = field(default_factory=dict)
+    wall: Optional[float] = None
+
+    def describe(self) -> str:
+        """One-line rendering used by the text timeline."""
+        kv = " ".join(f"{k}={_short(v)}" for k, v in self.attrs.items())
+        body = f"{self.phase} {self.category}/{self.name}"
+        return f"t={self.t:14.6f}  {body}" + (f"  {kv}" if kv else "")
+
+
+def _short(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+class Tracer:
+    """Collects structured events, spans and metrics from the simulator.
+
+    Parameters
+    ----------
+    capacity:
+        Flight-recorder bound.  ``None`` (default) retains every event —
+        right for exports; pass an int to keep only the last N for
+        long-running scenarios where the tail is what matters.
+    clock:
+        Zero-argument callable returning current *simulation* time.
+        Components that own a clock (the event engine) bind it via
+        :meth:`bind_clock`; explicit ``t=`` always wins.
+    wall_clock:
+        Optional zero-argument wall-time source (e.g.
+        ``time.perf_counter``).  Off by default for determinism.
+    """
+
+    #: Hot loops test this once and skip emission entirely when False.
+    enabled: bool = True
+
+    def __init__(
+        self,
+        *,
+        capacity: Optional[int] = None,
+        clock: Optional[Callable[[], float]] = None,
+        wall_clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.recorder = FlightRecorder(capacity)
+        self.metrics = MetricsRegistry()
+        self._clock = clock
+        self._wall = wall_clock
+        self._seq = itertools.count()
+
+    # -- clock ----------------------------------------------------------------
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Adopt a simulation-time source (the engine calls this)."""
+        if not callable(clock):
+            raise TelemetryError("tracer clock must be callable")
+        self._clock = clock
+
+    def now(self) -> float:
+        """Current simulation time as the tracer sees it (0.0 unbound)."""
+        return self._clock() if self._clock is not None else 0.0
+
+    # -- emission -------------------------------------------------------------
+    def event(
+        self,
+        category: str,
+        name: str,
+        *,
+        t: Optional[float] = None,
+        phase: str = "I",
+        **attrs: object,
+    ) -> TraceEvent:
+        """Emit one event; returns it (callers normally ignore that)."""
+        if phase not in PHASES:
+            raise TelemetryError(
+                f"unknown trace phase {phase!r}; expected one of {PHASES}")
+        ev = TraceEvent(
+            seq=next(self._seq),
+            t=self.now() if t is None else float(t),
+            phase=phase,
+            category=category,
+            name=name,
+            attrs=attrs,
+            wall=self._wall() if self._wall is not None else None,
+        )
+        self.recorder.append(ev)
+        return ev
+
+    @contextmanager
+    def span(
+        self,
+        category: str,
+        name: str,
+        *,
+        t: Optional[float] = None,
+        **attrs: object,
+    ) -> Iterator["Tracer"]:
+        """Context manager emitting a begin/end pair around a block.
+
+        The end stamp comes from the bound clock, so spans measure
+        simulation time elapsed inside the block (both stamps equal
+        when time does not advance, as in one dispatch).
+        """
+        begin = self.event(category, name, t=t, phase="B", **attrs)
+        try:
+            yield self
+        finally:
+            # A span can never end before it began; clamps the case of
+            # an explicit begin stamp with no bound clock.
+            self.event(category, name, t=max(begin.t, self.now()), phase="E")
+
+    def span_at(
+        self,
+        category: str,
+        name: str,
+        t0: float,
+        t1: float,
+        **attrs: object,
+    ) -> None:
+        """Emit a begin/end pair with explicit stamps (retrospective
+        spans: a finished file transfer, a completed job)."""
+        if t1 < t0:
+            raise TelemetryError(f"span ends before it starts ({t1} < {t0})")
+        self.event(category, name, t=t0, phase="B", **attrs)
+        self.event(category, name, t=t1, phase="E")
+
+    def sample(self, name: str, value: float, *,
+               t: Optional[float] = None, category: str = "metric") -> None:
+        """Emit a counter sample ("C") — a point on a value-over-time
+        track in the Chrome trace view (buffer occupancy, cwnd, ...)."""
+        self.event(category, name, t=t, phase="C", value=float(value))
+
+    # -- metrics --------------------------------------------------------------
+    def counter(self, name: str, *, component: str = "") -> Counter:
+        """Get or create a per-component monotonic counter."""
+        return self.metrics.counter(name, component=component)
+
+    def gauge(self, name: str, *, component: str = "") -> Gauge:
+        return self.metrics.gauge(name, component=component)
+
+    def histogram(self, name: str, *, component: str = "") -> Histogram:
+        return self.metrics.histogram(name, component=component)
+
+    # -- access ---------------------------------------------------------------
+    def events(self) -> List[TraceEvent]:
+        """All retained events, in emission order."""
+        return self.recorder.events()
+
+    def __len__(self) -> int:
+        return len(self.recorder)
+
+    def __bool__(self) -> bool:
+        # Without this, an *empty* tracer would be falsy via __len__ and
+        # `tracer or NULL_TRACER` fallbacks would silently discard it.
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{type(self).__name__}({len(self.recorder)} events, "
+                f"{len(self.metrics)} metrics)")
+
+
+class _NullSpan:
+    """Reusable no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullTracer":
+        return NULL_TRACER
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """The do-nothing tracer: the default everywhere.
+
+    Every method is a no-op; ``enabled`` is False so instrumented hot
+    loops skip emission with a single branch.  One shared instance
+    (:data:`NULL_TRACER`) serves the whole process — it holds no state.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=0)
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        return None
+
+    def event(self, category: str, name: str, *, t: Optional[float] = None,
+              phase: str = "I", **attrs: object) -> Optional[TraceEvent]:
+        return None
+
+    def span(self, category: str, name: str, *, t: Optional[float] = None,
+             **attrs: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def span_at(self, category: str, name: str, t0: float, t1: float,
+                **attrs: object) -> None:
+        return None
+
+    def sample(self, name: str, value: float, *, t: Optional[float] = None,
+               category: str = "metric") -> None:
+        return None
+
+    def counter(self, name: str, *, component: str = ""):
+        return NULL_METRIC
+
+    def gauge(self, name: str, *, component: str = ""):
+        return NULL_METRIC
+
+    def histogram(self, name: str, *, component: str = ""):
+        return NULL_METRIC
+
+
+#: Shared process-wide no-op tracer; use as the default for every
+#: ``tracer`` parameter instead of allocating per call site.
+NULL_TRACER = NullTracer()
+
+
+def ensure_tracer(trace: object) -> Tracer:
+    """Normalize a user-facing ``trace`` argument into a tracer.
+
+    ``None``/``False`` → :data:`NULL_TRACER`; ``True`` → a fresh
+    :class:`Tracer`; a :class:`Tracer` instance passes through.
+    """
+    if trace is None or trace is False:
+        return NULL_TRACER
+    if trace is True:
+        return Tracer()
+    if isinstance(trace, Tracer):
+        return trace
+    raise TelemetryError(
+        f"trace must be a bool, None or a Tracer, got {type(trace).__name__}")

@@ -49,6 +49,29 @@ class TestSweep:
         table = result.table()
         assert "error:" in table.render_text()
 
+    def test_on_error_raise_propagates(self):
+        def boom(x):
+            raise ValueError("nope")
+        with pytest.raises(ValueError):
+            sweep(boom, {"x": [1]}, on_error="raise")
+        # on_error="raise" wins even when catch_errors says otherwise.
+        with pytest.raises(ValueError):
+            sweep(boom, {"x": [1]}, catch_errors=True, on_error="raise")
+
+    def test_on_error_record_collects_failures(self):
+        def sometimes(x):
+            if x % 2 == 0:
+                raise ValueError(f"{x} is even")
+            return x
+        result = sweep(sometimes, {"x": [1, 2, 3, 4]}, on_error="record")
+        assert result.values() == [1, 3]
+        assert len(result.failures()) == 2
+        assert "2 is even" in result.failures()[0].error
+
+    def test_on_error_rejects_unknown_mode(self):
+        with pytest.raises(ConfigurationError):
+            sweep(lambda x: x, {"x": [1]}, on_error="ignore")
+
     def test_best_requires_success(self):
         def boom(x):
             raise ValueError("nope")

@@ -96,7 +96,25 @@ def test_section_6_monitoring():
     assert culprits and "border" in culprits[0][0]
 
 
-def test_section_7_upgrade():
+def test_section_7_tracing(tmp_path):
+    from repro.scenario import Scenario
+    from repro.telemetry import write_chrome_trace, write_jsonl
+
+    scenario = (Scenario(simple_science_dmz(), seed=7)
+                .with_mesh(["dmz-perfsonar", "remote-dtn"])
+                .inject("border", FailingLineCard(), at=minutes(30)))
+    outcome = scenario.run(until=minutes(120), trace=True)
+    tracer = outcome.trace
+    assert "perfsonar" in tracer.metrics.render_text()
+    assert "flight recorder" in tracer.recorder.render_tail(10)
+    trace_path = write_chrome_trace(tracer.events(),
+                                    tmp_path / "dmz.trace.json",
+                                    metrics=tracer.metrics)
+    jsonl_path = write_jsonl(tracer.events(), tmp_path / "dmz.jsonl")
+    assert trace_path.exists() and jsonl_path.exists()
+
+
+def test_section_8_upgrade():
     baseline = general_purpose_campus()
     plan = plan_upgrade(baseline.topology, science_hosts=baseline.dtns,
                         border=baseline.border, wan=baseline.wan)

@@ -41,6 +41,7 @@ def test_example_runs(script):
     ("campus_upgrade.py", "vendor fix"),
     ("lhc_tier1.py", "aggregate"),
     ("troubleshoot_softfail.py", "culprit"),
+    ("trace_softfail.py", "same-seed rerun byte-identical: True"),
     ("future_tech.py", "bypass rule installed"),
     ("upgrade_campus.py", "speedup"),
     ("detection_study.py", "fastest configuration"),

@@ -66,6 +66,80 @@ class TestScheduling:
         assert sim.events_processed == 0
 
 
+class TestCancelSemantics:
+    def test_cancelled_event_at_same_timestamp_does_not_fire(self):
+        """Cancelling one of several same-time events must skip exactly
+        that one while the others fire in insertion order."""
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("a"))
+        victim = sim.schedule(1.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("c"))
+        victim.cancel()
+        sim.run()
+        assert fired == ["a", "c"]
+        assert sim.events_processed == 2
+
+    def test_cancel_preserves_seq_ordering_of_survivors(self):
+        """Cancellations leave holes in the seq sequence; survivors must
+        still fire in their original insertion order."""
+        sim = Simulator()
+        fired = []
+        events = [sim.schedule(1.0, lambda i=i: fired.append(i))
+                  for i in range(10)]
+        for event in events[::2]:
+            event.cancel()
+        sim.run()
+        assert fired == [1, 3, 5, 7, 9]
+
+    def test_cancel_from_earlier_event_callback(self):
+        """An event firing at t may cancel a later same-t event before
+        the engine reaches it."""
+        sim = Simulator()
+        fired = []
+        victim = [None]
+
+        def canceller():
+            fired.append("canceller")
+            victim[0].cancel()
+
+        sim.schedule(2.0, canceller)
+        victim[0] = sim.schedule(2.0, lambda: fired.append("victim"))
+        sim.run()
+        assert fired == ["canceller"]
+
+    def test_cancel_after_firing_is_harmless(self):
+        """Same-t insertion order is seq order, so a cancel scheduled
+        after its target runs too late — the target already fired."""
+        sim = Simulator()
+        fired = []
+        target = sim.schedule(2.0, lambda: fired.append("target"))
+        sim.schedule(2.0, lambda: target.cancel())
+        sim.run()
+        assert fired == ["target"]
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+        assert sim.events_processed == 0
+
+    def test_cancelled_events_counted_when_traced(self):
+        from repro.telemetry import Tracer
+        sim = Simulator(tracer=Tracer())
+        kept = []
+        sim.schedule(1.0, lambda: kept.append(1))
+        sim.schedule(1.0, lambda: kept.append(2)).cancel()
+        sim.schedule(2.0, lambda: kept.append(3)).cancel()
+        sim.run()
+        assert kept == [1]
+        metrics = sim.tracer.metrics.as_dict()
+        assert metrics["engine/events.cancelled"]["value"] == 2
+        assert metrics["engine/events.dispatched"]["value"] == 1
+
+
 class TestRunUntil:
     def test_run_until_stops_at_time(self):
         sim = Simulator()

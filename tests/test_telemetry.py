@@ -1,0 +1,269 @@
+"""Tests for the repro.telemetry subsystem."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    NULL_TRACER,
+    FlightRecorder,
+    NullTracer,
+    Tracer,
+    ensure_tracer,
+    event_to_dict,
+    render_timeline,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+class TestTracer:
+    def test_events_get_increasing_seq(self):
+        tracer = Tracer()
+        a = tracer.event("demo", "one")
+        b = tracer.event("demo", "two")
+        assert b.seq == a.seq + 1
+
+    def test_explicit_time_wins_over_clock(self):
+        tracer = Tracer(clock=lambda: 5.0)
+        assert tracer.event("demo", "x").t == 5.0
+        assert tracer.event("demo", "x", t=1.25).t == 1.25
+
+    def test_unbound_clock_stamps_zero(self):
+        tracer = Tracer()
+        assert tracer.event("demo", "x").t == 0.0
+
+    def test_bind_clock_requires_callable(self):
+        with pytest.raises(TelemetryError):
+            Tracer().bind_clock(42)
+
+    def test_bad_phase_rejected(self):
+        with pytest.raises(TelemetryError):
+            Tracer().event("demo", "x", phase="Z")
+
+    def test_span_emits_begin_end_pair(self):
+        tracer = Tracer(clock=lambda: 3.0)
+        with tracer.span("demo", "work", answer=42):
+            tracer.event("demo", "inner")
+        phases = [e.phase for e in tracer.events()]
+        assert phases == ["B", "I", "E"]
+        assert tracer.events()[0].attrs == {"answer": 42}
+
+    def test_span_never_ends_before_it_begins(self):
+        tracer = Tracer()  # unbound clock: now() == 0.0
+        with tracer.span("demo", "work", t=7.5):
+            pass
+        begin, end = tracer.events()
+        assert begin.t == 7.5
+        assert end.t >= begin.t
+
+    def test_span_at_validates_order(self):
+        tracer = Tracer()
+        tracer.span_at("demo", "job", 1.0, 4.0, slot=0)
+        with pytest.raises(TelemetryError):
+            tracer.span_at("demo", "job", 4.0, 1.0)
+
+    def test_sample_emits_counter_phase(self):
+        tracer = Tracer()
+        tracer.sample("cwnd", 17.0, t=2.0, category="tcp")
+        (ev,) = tracer.events()
+        assert ev.phase == "C"
+        assert ev.attrs == {"value": 17.0}
+
+    def test_metrics_shortcuts(self):
+        tracer = Tracer()
+        tracer.counter("hits", component="c").inc(3)
+        tracer.gauge("depth", component="c").set(9)
+        tracer.histogram("lat", component="c").observe(0.5)
+        summary = tracer.metrics.as_dict()
+        assert summary["c/hits"]["value"] == 3
+        assert summary["c/depth"]["value"] == 9
+        assert summary["c/lat"]["count"] == 1
+
+    def test_metric_kind_conflict_rejected(self):
+        tracer = Tracer()
+        tracer.counter("x")
+        with pytest.raises(TelemetryError):
+            tracer.gauge("x")
+
+    def test_empty_tracer_is_still_truthy(self):
+        # len() == 0 must not make a tracer falsy, or `tracer or
+        # NULL_TRACER` fallbacks would silently discard it.
+        tracer = Tracer()
+        assert len(tracer) == 0 and bool(tracer)
+
+    def test_wall_clock_is_opt_in(self):
+        assert Tracer().event("d", "x").wall is None
+        ticks = iter([10.0, 20.0])
+        traced = Tracer(wall_clock=lambda: next(ticks))
+        assert traced.event("d", "x").wall == 10.0
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.event("d", "x") is None
+        with NULL_TRACER.span("d", "x"):
+            pass
+        NULL_TRACER.sample("v", 1.0)
+        NULL_TRACER.span_at("d", "x", 0.0, 1.0)
+        NULL_TRACER.counter("c").inc()
+        NULL_TRACER.gauge("g").set(1)
+        NULL_TRACER.histogram("h").observe(1)
+        assert len(NULL_TRACER) == 0
+        assert len(NULL_TRACER.metrics) == 0
+
+    def test_ensure_tracer_mapping(self):
+        assert ensure_tracer(None) is NULL_TRACER
+        assert ensure_tracer(False) is NULL_TRACER
+        fresh = ensure_tracer(True)
+        assert isinstance(fresh, Tracer) and fresh.enabled
+        existing = Tracer()
+        assert ensure_tracer(existing) is existing
+        assert isinstance(ensure_tracer(NullTracer()), NullTracer)
+        with pytest.raises(TelemetryError):
+            ensure_tracer("yes")
+
+
+class TestFlightRecorder:
+    def test_ring_drops_oldest(self):
+        tracer = Tracer(capacity=3)
+        for i in range(5):
+            tracer.event("demo", f"e{i}")
+        names = [e.name for e in tracer.events()]
+        assert names == ["e2", "e3", "e4"]
+        assert tracer.recorder.dropped == 2
+
+    def test_tail(self):
+        rec = FlightRecorder(capacity=None)
+        tracer = Tracer()
+        for i in range(10):
+            rec.append(tracer.event("demo", f"e{i}"))
+        assert [e.name for e in rec.tail(3)] == ["e7", "e8", "e9"]
+
+    def test_render_tail_mentions_omitted(self):
+        tracer = Tracer()
+        for i in range(10):
+            tracer.event("demo", f"e{i}")
+        text = tracer.recorder.render_tail(4)
+        assert "last 4 of 10" in text
+        assert "6 earlier omitted" in text
+        assert "e9" in text and "e5" not in text
+
+    def test_invalid_capacity(self):
+        with pytest.raises(TelemetryError):
+            FlightRecorder(capacity=-1)
+
+
+class TestExporters:
+    def _tracer(self):
+        tracer = Tracer()
+        tracer.event("alpha", "hello", t=1.0, n=1)
+        with tracer.span("beta", "work", t=2.0):
+            tracer.sample("depth", 3.0, t=2.5, category="beta")
+        return tracer
+
+    def test_jsonl_is_one_json_object_per_line(self):
+        lines = to_jsonl(self._tracer().events()).splitlines()
+        assert len(lines) == 4
+        first = json.loads(lines[0])
+        assert first["cat"] == "alpha" and first["name"] == "hello"
+        assert first["args"] == {"n": 1}
+        assert "wall" not in first  # determinism: no wall stamp by default
+
+    def test_event_to_dict_coerces_exotic_values(self):
+        tracer = Tracer()
+        ev = tracer.event("d", "x", obj=object())
+        assert isinstance(event_to_dict(ev)["args"]["obj"], str)
+
+    def test_write_jsonl_roundtrip(self, tmp_path):
+        path = write_jsonl(self._tracer().events(),
+                           tmp_path / "sub" / "log.jsonl")
+        assert path.exists()
+        rows = [json.loads(line) for line in
+                path.read_text().splitlines()]
+        assert [r["ph"] for r in rows] == ["I", "B", "C", "E"]
+
+    def test_chrome_trace_shape(self):
+        tracer = self._tracer()
+        doc = to_chrome_trace(tracer.events(), metrics=tracer.metrics)
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        # Metadata rows name one lane per category.
+        lanes = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert lanes == {"alpha", "beta"}
+        spans = [e for e in events if e["ph"] in ("B", "E")]
+        assert spans[0]["ts"] == pytest.approx(2.0 * 1e6)
+        counters = [e for e in events if e["ph"] == "C"]
+        assert counters[0]["args"] == {"depth": 3.0}
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        tracer = self._tracer()
+        path = write_chrome_trace(tracer.events(), tmp_path / "t.json",
+                                  metrics=tracer.metrics)
+        doc = json.loads(path.read_text())
+        assert "traceEvents" in doc
+
+    def test_render_timeline_indents_spans(self):
+        text = render_timeline(self._tracer().events())
+        lines = text.splitlines()
+        assert any("beta/work" in line for line in lines)
+        inner = next(line for line in lines if "depth" in line)
+        assert inner.startswith("  ")  # inside the span
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        """A small traced scenario; returns its JSONL log."""
+        from repro.core import simple_science_dmz
+        from repro.devices.faults import FailingLineCard
+        from repro.scenario import Scenario
+        from repro.units import minutes
+
+        scenario = (Scenario(simple_science_dmz(), seed=seed)
+                    .with_mesh(["dmz-perfsonar", "remote-dtn"])
+                    .inject("border", FailingLineCard(), at=minutes(10)))
+        outcome = scenario.run(until=minutes(30), trace=True)
+        assert outcome.trace is not None
+        return to_jsonl(outcome.trace.events())
+
+    def test_same_seed_identical_event_log(self):
+        assert self._run(seed=7) == self._run(seed=7)
+
+    def test_different_seed_differs(self):
+        assert self._run(seed=7) != self._run(seed=8)
+
+
+class TestEngineIntegration:
+    def test_dispatch_spans_and_counters(self):
+        from repro.netsim.engine import Simulator
+
+        tracer = Tracer()
+        sim = Simulator(seed=0, tracer=tracer)
+        sim.schedule(1.0, lambda: None)
+        sim.rng("loss")
+        sim.run()
+        names = {(e.category, e.name) for e in tracer.events()}
+        assert ("engine", "attached") in names
+        assert ("engine", "dispatch") in names
+        assert ("engine", "rng-stream") in names
+        metrics = tracer.metrics.as_dict()
+        assert metrics["engine/events.dispatched"]["value"] == 1
+        assert metrics["engine/rng.loss.acquisitions"]["value"] == 1
+
+    def test_failure_attaches_flight_recorder_tail(self):
+        from repro.errors import SimulationError
+        from repro.netsim.engine import Simulator
+
+        def boom():
+            raise SimulationError("deliberate")
+
+        sim = Simulator(tracer=Tracer())
+        sim.schedule(1.0, boom)
+        with pytest.raises(SimulationError) as excinfo:
+            sim.run()
+        assert hasattr(excinfo.value, "trace_tail")
+        assert "flight recorder" in excinfo.value.trace_tail
