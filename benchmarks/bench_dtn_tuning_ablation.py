@@ -28,7 +28,10 @@ from repro.dtn.transfer import Dataset, TransferPlan
 from repro.netsim import Link, Topology
 from repro.units import GB, Gbps, MB, bytes_, ms
 
-from _common import assert_record, emit
+from _common import assert_record, emit, quick
+
+# Smoke mode moves a smaller sample so the ablation stays O(seconds).
+DATASET_GB = quick(100, 10)
 
 STEPS = [
     "1 stock host + scp",
@@ -69,7 +72,7 @@ def run_ablation(loss: float = 0.0):
                                congestion_algorithm="htcp"),
          tool_by_name("gridftp").with_streams(8)),
     ]
-    ds = Dataset("tuning-sample", GB(100), 100)
+    ds = Dataset("tuning-sample", GB(DATASET_GB), 100)
     results = {}
     rng = np.random.default_rng(21) if loss > 0 else None
     for label, profile, tool in stages:

@@ -21,15 +21,20 @@ import numpy as np
 
 from repro.analysis import ResultTable, ascii_chart
 from repro.analysis.report import ExperimentRecord
+from repro.analysis.sweep import sweep
 from repro.netsim import Link, Topology
 from repro.tcp import HTcp, Reno, TcpConnection
 from repro.tcp.mathis import mathis_throughput_array
 from repro.units import Gbps, MB, bytes_, ms, seconds
 
-from _common import assert_record, emit
+from _common import assert_record, emit, quick, sweep_kwargs
 
 LOSS_RATE = 1.0 / 22_000.0
-RTTS_MS = (1, 2, 5, 10, 20, 40, 60, 80, 100)
+RTTS_MS = quick((1, 2, 5, 10, 20, 40, 60, 80, 100), (1, 10, 100))
+SEEDS = quick((1, 2, 3), (1,))
+MAX_ROUNDS = quick(200_000, 20_000)
+
+ALGORITHMS = {"reno": Reno, "htcp": HTcp}
 
 
 def path_profile(rtt_ms: float, loss: float):
@@ -50,22 +55,43 @@ def measure(algorithm_cls, rtt_ms: float, loss: float, seed: int) -> float:
     profile = path_profile(rtt_ms, loss)
     rng = np.random.default_rng(seed) if loss > 0 else None
     conn = TcpConnection(profile, algorithm=algorithm_cls(), rng=rng)
-    return conn.measure(seconds(30), max_rounds=200_000).mean_throughput.bps
+    return conn.measure(seconds(30),
+                        max_rounds=MAX_ROUNDS).mean_throughput.bps
+
+
+def measure_point(algorithm: str, rtt_ms: float, loss: float,
+                  rep: int) -> float:
+    """Grid-point wrapper for :func:`sweep` (module-level: picklable)."""
+    return measure(ALGORITHMS[algorithm], rtt_ms, loss, rep)
 
 
 def generate_figure():
+    """Regenerate the four Figure 1 series through the sweep engine.
+
+    The measured curves fan out over ``REPRO_WORKERS`` processes and
+    reuse ``REPRO_CACHE`` entries when set — with results identical to
+    a serial, uncached run (see docs/execution.md).
+    """
     mss = path_profile(10, 0).flow.mss
     rtts_s = np.array(RTTS_MS) / 1e3
     mathis = mathis_throughput_array(mss, rtts_s, LOSS_RATE)
-    lossfree = np.array([measure(HTcp, r, 0.0, 0) for r in RTTS_MS])
-    reno = np.array([
-        np.mean([measure(Reno, r, LOSS_RATE, seed) for seed in (1, 2, 3)])
-        for r in RTTS_MS
-    ])
-    htcp = np.array([
-        np.mean([measure(HTcp, r, LOSS_RATE, seed) for seed in (1, 2, 3)])
-        for r in RTTS_MS
-    ])
+    lossfree_result = sweep(
+        measure_point,
+        {"algorithm": ["htcp"], "rtt_ms": list(RTTS_MS),
+         "loss": [0.0], "rep": [0]},
+        **sweep_kwargs())
+    lossfree = np.array(lossfree_result.values())
+    lossy = sweep(
+        measure_point,
+        {"algorithm": ["reno", "htcp"], "rtt_ms": list(RTTS_MS),
+         "loss": [LOSS_RATE], "rep": list(SEEDS)},
+        **sweep_kwargs())
+    by_point = {}
+    for record in lossy.records:
+        key = (record.params["algorithm"], record.params["rtt_ms"])
+        by_point.setdefault(key, []).append(record.value)
+    reno = np.array([np.mean(by_point[("reno", r)]) for r in RTTS_MS])
+    htcp = np.array([np.mean(by_point[("htcp", r)]) for r in RTTS_MS])
     return mathis, lossfree, reno, htcp
 
 

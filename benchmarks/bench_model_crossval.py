@@ -24,7 +24,12 @@ from repro.netsim.packetsim import BurstySource, simulate_fan_in
 from repro.tcp import Reno, TcpConnection
 from repro.units import GB, Gbps, KB, MB, Mbps, bytes_, ms, seconds
 
-from _common import assert_record, emit
+from _common import assert_record, emit, quick
+
+# Smoke-mode knobs: shorter packet/fluid horizons, one seed.
+FANIN_SECONDS = quick(10.0, 1.0)
+MEASURE_SECONDS = quick(60, 10)
+SEEDS = quick((1, 2, 3), (1,))
 
 
 def burst_agreement():
@@ -47,7 +52,7 @@ def fanin_conservation():
     # Long run so the (bounded) standing backlog is an ignorable share of
     # "delivered" — accepted-into-queue converges on drained-at-egress.
     result = simulate_fan_in(sources, egress_rate=Gbps(4),
-                             buffer_size=MB(64), duration=seconds(10.0),
+                             buffer_size=MB(64), duration=seconds(FANIN_SECONDS),
                              rng=np.random.default_rng(2))
     return result.offered_rate.bps, result.delivered_rate.bps
 
@@ -83,10 +88,11 @@ def mathis_rtt_scaling():
                           flow=profile.flow.with_(max_receive_window=MB(512)))
         conn = TcpConnection(profile, algorithm=Reno(),
                              rng=np.random.default_rng(seed))
-        return conn.measure(seconds(60), max_rounds=200_000).mean_throughput.bps
+        return conn.measure(seconds(MEASURE_SECONDS),
+                            max_rounds=200_000).mean_throughput.bps
 
-    r20 = np.mean([rate_at(20, s) for s in (1, 2, 3)])
-    r80 = np.mean([rate_at(80, s) for s in (1, 2, 3)])
+    r20 = np.mean([rate_at(20, s) for s in SEEDS])
+    r80 = np.mean([rate_at(80, s) for s in SEEDS])
     return r20, r80
 
 

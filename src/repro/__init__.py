@@ -23,6 +23,8 @@ whole stack as a deterministic simulation substrate:
 - :mod:`repro.workloads` — science and enterprise traffic generators;
 - :mod:`repro.analysis` — result tables, ASCII figures, paper-vs-measured
   experiment records;
+- :mod:`repro.exec` — parallel sweep execution with deterministic
+  seeding and a content-addressed result cache;
 - :mod:`repro.core` — the Science DMZ patterns, builder, notional designs
   (paper Figures 3-7) and the compliance audit.
 

@@ -9,7 +9,9 @@ Gives operators the library's main workflows without writing Python:
 * ``upgrade``  — plan + apply the Science DMZ upgrade to the baseline
   campus and show the before/after audits;
 * ``trace``    — run a traced soft-failure scenario and export the
-  event log (Chrome ``trace_event`` JSON + optional JSONL).
+  event log (Chrome ``trace_event`` JSON + optional JSONL);
+* ``sweep``    — parallel, cacheable parameter studies (Figure 1's
+  loss×RTT grid from the command line).
 
 Examples
 --------
@@ -22,6 +24,8 @@ Examples
     python -m repro.cli upgrade
     python -m repro.cli trace simple-science-dmz --fault linecard \
         --at 30m --until 2h --out dmz.trace.json
+    python -m repro.cli sweep mathis --rtt 1,10,50,100 \
+        --loss 4.5e-5,1e-4 --workers 4 --cache --stats
 """
 
 from __future__ import annotations
@@ -235,6 +239,89 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def mathis_grid_point(rtt_ms: float, loss: float, mss_bytes: int) -> float:
+    """Mathis ceiling in Gbps for one (RTT, loss) grid point.
+
+    Module-level on purpose: ``repro sweep --workers N`` ships it to a
+    process pool, which requires an importable, picklable function.
+    """
+    from .units import bytes_, seconds
+    rate = mathis_throughput(bytes_(mss_bytes), seconds(rtt_ms / 1e3), loss)
+    return round(rate.bps / 1e9, 6)
+
+
+#: Swept functions for ``repro sweep <target>``.
+SWEEP_TARGETS: Dict[str, Callable[..., object]] = {
+    "mathis": mathis_grid_point,
+}
+
+
+def _csv_floats(text: str, option: str) -> list:
+    try:
+        return [float(v) for v in text.split(",") if v.strip() != ""]
+    except ValueError:
+        raise ReproError(f"{option} expects comma-separated numbers, "
+                         f"got {text!r}")
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .analysis.sweep import sweep
+    from .exec import ResultCache
+
+    fn = SWEEP_TARGETS[args.target]
+    rtts = _csv_floats(args.rtt, "--rtt")
+    losses = _csv_floats(args.loss, "--loss")
+    if not rtts or not losses:
+        raise ReproError("sweep needs at least one --rtt and one --loss")
+    if any(l <= 0 for l in losses):
+        raise ReproError("--loss values must be positive (the Mathis "
+                         "model diverges at zero loss)")
+    grid = {
+        "rtt_ms": rtts,
+        "loss": losses,
+        "mss_bytes": [int(parse_size(args.mss).bytes)],
+    }
+
+    workers = args.workers
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS", "")
+        workers = int(env) if env else 1
+    cache = None
+    if args.cache or args.cache_dir is not None:
+        cache = ResultCache(args.cache_dir or
+                            os.environ.get("REPRO_CACHE_DIR",
+                                           ".repro-cache"))
+
+    result = sweep(fn, grid, value_label="gbps", workers=workers,
+                   cache=cache)
+    table = result.table(
+        f"{args.target} sweep — {len(result.records)} points, "
+        f"workers={workers}, cache={'on' if cache else 'off'}")
+    print(table.render_text())
+
+    stats = result.stats or {}
+    if args.stats:
+        print()
+        print("execution stats:")
+        registry = (cache.metrics if cache is not None else None)
+        if registry is not None:
+            print(registry.render_text())
+        else:
+            for key in sorted(stats):
+                print(f"  {key}: {stats[key]}")
+    if args.stats_json:
+        with open(args.stats_json, "w", encoding="utf-8") as handle:
+            json.dump({"target": args.target, "grid_points":
+                       len(result.records), **stats},
+                      handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote execution stats to {args.stats_json}")
+    return 0
+
+
 def cmd_upgrade(args: argparse.Namespace) -> int:
     bundle = _build(args.design)
     hosts = bundle.dtns
@@ -349,6 +436,34 @@ def build_parser() -> argparse.ArgumentParser:
                          help="flight-recorder tail lines to print "
                               "(0 to suppress; default 15)")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a parameter sweep (parallel, with a result cache)")
+    p_sweep.add_argument("target", choices=sorted(SWEEP_TARGETS),
+                         help="what to sweep (mathis: Eq 1 over "
+                              "loss x RTT, the Figure 1 grid)")
+    p_sweep.add_argument("--rtt", default="1,2,5,10,20,40,60,80,100",
+                         help="comma-separated RTTs in ms "
+                              "(default: the Figure 1 sweep)")
+    p_sweep.add_argument("--loss", default="4.5455e-5",
+                         help="comma-separated loss probabilities "
+                              "(default: the paper's 1/22000)")
+    p_sweep.add_argument("--mss", default="9000B",
+                         help="segment size (default 9000B jumbo)")
+    p_sweep.add_argument("--workers", type=int, default=None,
+                         help="process-pool size (default: "
+                              "$REPRO_WORKERS or 1)")
+    p_sweep.add_argument("--cache", action="store_true",
+                         help="cache grid points under .repro-cache/")
+    p_sweep.add_argument("--cache-dir", default=None,
+                         help="cache directory (implies --cache)")
+    p_sweep.add_argument("--stats", action="store_true",
+                         help="print execution/cache telemetry counters")
+    p_sweep.add_argument("--stats-json", default=None,
+                         help="also write the counters as JSON here "
+                              "(CI artifact)")
+    p_sweep.set_defaults(func=cmd_sweep)
     return parser
 
 

@@ -56,3 +56,8 @@ class AuditError(ReproError):
 
 class TelemetryError(ReproError):
     """Tracing, metrics or trace-export misuse (bad phase, bad capacity)."""
+
+
+class ExecError(ReproError):
+    """Parallel execution / result-cache failure (lost point, bad entry,
+    or a cached failure replayed outside ``on_error='record'``)."""

@@ -68,6 +68,39 @@ class TestSweep:
         assert len(result.failures()) == 2
         assert "2 is even" in result.failures()[0].error
 
+    def test_error_like_string_value_is_not_marked_failed(self):
+        """Regression: a legitimate value starting with "error:" used to
+        be indistinguishable from a failed cell in the rendered table;
+        rendering is now driven by the record's ``ok`` flag."""
+        result = sweep(lambda x: f"error: {x} (a legit string)",
+                       {"x": [1, 2]})
+        assert all(r.ok for r in result.records)
+        table = result.table("legit")
+        # No failures -> no status column, values rendered verbatim.
+        assert table.columns == ["x", "value"]
+        assert "error: 1 (a legit string)" in table.render_text()
+
+    def test_status_column_distinguishes_failures_from_error_strings(self):
+        def tricky(x):
+            if x == 2:
+                raise ValueError("actual failure")
+            return "error: just data"
+
+        result = sweep(tricky, {"x": [1, 2]}, on_error="record")
+        table = result.table("tricky")
+        assert table.columns == ["x", "value", "status"]
+        assert table.column("status") == ["ok", "error: actual failure"]
+        # The legit string stays in the value column; the failed cell
+        # carries a placeholder, not a fake value.
+        assert table.column("value") == ["error: just data", "-"]
+
+    def test_status_column_can_be_forced(self):
+        result = sweep(lambda x: x, {"x": [1]})
+        assert result.table("t", status=True).columns == \
+            ["x", "value", "status"]
+        failing = sweep(lambda x: 1 // 0, {"x": [1]}, catch_errors=True)
+        assert failing.table("t", status=False).columns == ["x", "value"]
+
     def test_on_error_rejects_unknown_mode(self):
         with pytest.raises(ConfigurationError):
             sweep(lambda x: x, {"x": [1]}, on_error="ignore")

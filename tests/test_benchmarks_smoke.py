@@ -1,0 +1,102 @@
+"""Smoke tests: every benchmark script must import and run.
+
+The 21 ``benchmarks/bench_*.py`` scripts are only exercised when
+someone regenerates figures, so API drift used to rot them silently.
+This suite runs each one inside tier-1 with:
+
+* ``REPRO_BENCH_QUICK=1`` — benches shrink grids/durations via
+  ``_common.quick()`` and shape checks are rendered but not asserted
+  (tiny grids aren't statistically meaningful — this suite catches
+  *breakage*, not regressions in reproduced numbers);
+* ``REPRO_RESULTS_DIR`` pointed at a temp dir, so quick-mode tables
+  never overwrite the real ``benchmarks/results/``;
+* a stub ``benchmark`` fixture that calls the measured function once
+  (pytest-benchmark's repeated-rounds timing is not what we're here
+  to test).
+
+Module-level pytest fixtures defined by a bench (e.g.
+``lossy_profile``) are resolved by unwrapping the fixture function —
+benches only use zero-argument fixtures, which the harness asserts.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import inspect
+import pathlib
+import sys
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+BENCH_FILES = sorted(BENCH_DIR.glob("bench_*.py"))
+
+
+class StubBenchmark:
+    """The slice of pytest-benchmark's fixture API the benches use."""
+
+    def __call__(self, fn, *args, **kwargs):
+        return fn(*args, **kwargs)
+
+    def pedantic(self, fn, args=(), kwargs=None, rounds=1, iterations=1):
+        return fn(*args, **(kwargs or {}))
+
+
+def _load_bench(path: pathlib.Path):
+    name = f"_bench_smoke_{path.stem}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+    except Exception:
+        sys.modules.pop(name, None)
+        raise
+    return module
+
+
+def _resolve_fixture(module, name: str):
+    if name == "benchmark":
+        return StubBenchmark()
+    candidate = getattr(module, name, None)
+    if candidate is None or not hasattr(candidate, "__wrapped__"):
+        raise AssertionError(
+            f"bench test wants fixture {name!r} which the smoke harness "
+            "cannot supply; keep bench fixtures module-local and "
+            "zero-argument")
+    raw = candidate.__wrapped__
+    if inspect.signature(raw).parameters:
+        raise AssertionError(
+            f"bench fixture {name!r} takes arguments; the smoke harness "
+            "only supports zero-argument fixtures")
+    return raw()
+
+
+def test_benchmarks_discovered():
+    """The glob must keep finding the scripts it is guarding."""
+    assert len(BENCH_FILES) >= 20, (
+        f"only found {len(BENCH_FILES)} bench scripts under {BENCH_DIR}")
+
+
+@pytest.mark.parametrize("bench_path", BENCH_FILES,
+                         ids=lambda p: p.stem)
+def test_bench_runs_quick(bench_path, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.syspath_prepend(str(BENCH_DIR))
+
+    module = _load_bench(bench_path)
+    try:
+        tests = [(name, fn) for name, fn in vars(module).items()
+                 if name.startswith("test_") and callable(fn)]
+        assert tests, f"{bench_path.name} defines no test functions"
+        for name, fn in tests:
+            kwargs = {
+                param: _resolve_fixture(module, param)
+                for param in inspect.signature(fn).parameters
+            }
+            fn(**kwargs)
+    finally:
+        sys.modules.pop(module.__name__, None)

@@ -110,3 +110,54 @@ class TestLintCommand:
         out = capsys.readouterr().out
         assert "firewall-in-path" in out
         assert "critical" in out
+
+
+class TestSweepCommand:
+    def test_mathis_sweep_renders_table(self, capsys):
+        assert main(["sweep", "mathis", "--rtt", "10,50",
+                     "--loss", "4.5e-5"]) == 0
+        out = capsys.readouterr().out
+        assert "mathis sweep" in out and "gbps" in out
+        assert "workers=1" in out and "cache=off" in out
+
+    def test_parallel_cached_rerun_hits(self, capsys, tmp_path):
+        args = ["sweep", "mathis", "--rtt", "5,20", "--loss", "1e-4",
+                "--workers", "2", "--cache-dir", str(tmp_path / "c"),
+                "--stats"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        # identical table, but the rerun is served from the cache
+        def table(text):
+            return text.split("execution stats:")[0]
+
+        def counter(text, name):
+            line = next(l for l in text.splitlines()
+                        if f"{name} (counter)" in l)
+            return float(line.split()[-1])
+
+        assert table(first) == table(second)
+        assert counter(first, "misses") == 2 and counter(first, "hits") == 0
+        assert counter(second, "hits") == 2
+        assert counter(second, "evaluated") == 0
+
+    def test_stats_json_artifact(self, tmp_path, capsys):
+        import json
+        out_path = tmp_path / "stats.json"
+        assert main(["sweep", "mathis", "--rtt", "10", "--loss", "1e-4",
+                     "--cache-dir", str(tmp_path / "c"),
+                     "--stats-json", str(out_path)]) == 0
+        capsys.readouterr()
+        stats = json.loads(out_path.read_text())
+        assert stats["target"] == "mathis"
+        assert stats["grid_points"] == 1
+        assert stats["cache_misses"] == 1 and stats["cache_hits"] == 0
+
+    def test_zero_loss_rejected(self, capsys):
+        assert main(["sweep", "mathis", "--loss", "0"]) == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_bad_rtt_rejected(self, capsys):
+        assert main(["sweep", "mathis", "--rtt", "ten"]) == 2
+        assert "comma-separated" in capsys.readouterr().err

@@ -1,0 +1,123 @@
+"""Property-based invariants for the exec subsystem (hypothesis).
+
+For *random* grids and seeds — not just the hand-picked ones in the
+determinism suite — assert that:
+
+* serial, parallel and cached ``sweep()`` runs return identical
+  records in identical order (and render identical tables);
+* per-point derived seeds are unique across distinct grid points and
+  stable across repeated derivations.
+
+Pool spin-up per example is real time, so the parallel property keeps
+``max_examples`` modest; the pure-function seed properties run the
+full default budget.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.sweep import sweep
+from repro.exec import ResultCache, canonical_json, derive_seed
+
+#: Grid values: JSON-exact scalars (the cacheable value domain), no
+#: NaN (breaks equality) and no -0.0/+0.0 aliasing (two params that
+#: compare equal must be allowed to share a seed).
+grid_values = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.text(alphabet="abcxyz:error ", max_size=8),
+    st.floats(min_value=-1e6, max_value=1e6,
+              allow_nan=False, allow_infinity=False).filter(lambda v: v != 0),
+)
+
+grids = st.dictionaries(
+    keys=st.text(alphabet="pqrst", min_size=1, max_size=4),
+    values=st.lists(grid_values, min_size=1, max_size=3, unique=True),
+    min_size=1, max_size=3,
+)
+
+param_dicts = st.dictionaries(
+    keys=st.text(alphabet="pqrst", min_size=1, max_size=4),
+    values=grid_values,
+    min_size=1, max_size=4,
+)
+
+
+def fingerprint(**params):
+    """Deterministic, order-insensitive function of the grid point."""
+    return canonical_json(params)
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(grid=grids)
+def test_serial_parallel_cached_identical(grid):
+    serial = sweep(fingerprint, grid)
+    parallel = sweep(fingerprint, grid, workers=2)
+    assert parallel.records == serial.records
+    assert (parallel.table("t").render_text()
+            == serial.table("t").render_text())
+
+    tmp = tempfile.mkdtemp(prefix="repro-exec-prop-")
+    try:
+        cache = ResultCache(tmp)
+        populated = sweep(fingerprint, grid, cache=cache)
+        replayed = sweep(fingerprint, grid, cache=cache)
+        assert populated.records == serial.records
+        assert replayed.records == serial.records
+        assert replayed.stats["evaluated"] == 0
+        assert (replayed.table("t").render_text()
+                == serial.table("t").render_text())
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(grid=grids, base_seed=st.integers(min_value=0, max_value=2**32))
+def test_seeded_runs_identical_and_ordered(grid, base_seed):
+    assert "seed" not in grid  # alphabet keeps the name free
+
+    serial = sweep(fingerprint, grid, base_seed=base_seed,
+                   seed_param="seed")
+    parallel = sweep(fingerprint, grid, base_seed=base_seed,
+                     seed_param="seed", workers=2)
+    assert parallel.records == serial.records
+    # Grid order is the cartesian-product order, regardless of pool.
+    assert [r.params for r in parallel.records] == \
+        [r.params for r in serial.records]
+
+
+@settings(deadline=None)
+@given(points=st.lists(param_dicts, min_size=1, max_size=10,
+                       unique_by=canonical_json),
+       base_seed=st.integers(min_value=0, max_value=2**63 - 1))
+def test_derived_seeds_unique_and_stable(points, base_seed):
+    seeds = [derive_seed(base_seed, p) for p in points]
+    again = [derive_seed(base_seed, p) for p in points]
+    assert seeds == again, "seed derivation must be pure"
+    assert len(set(seeds)) == len(points), \
+        "distinct grid points must get distinct seeds"
+    assert all(0 <= s < 2**64 for s in seeds)
+
+
+@settings(deadline=None)
+@given(params=param_dicts,
+       seed_a=st.integers(min_value=0, max_value=2**32),
+       seed_b=st.integers(min_value=0, max_value=2**32))
+def test_base_seed_changes_derived_seed(params, seed_a, seed_b):
+    if seed_a == seed_b:
+        assert derive_seed(seed_a, params) == derive_seed(seed_b, params)
+    else:
+        assert derive_seed(seed_a, params) != derive_seed(seed_b, params)
+
+
+@settings(deadline=None)
+@given(params=param_dicts)
+def test_canonical_json_is_order_insensitive(params):
+    reordered = dict(reversed(list(params.items())))
+    assert canonical_json(params) == canonical_json(reordered)
