@@ -11,7 +11,9 @@ Gives operators the library's main workflows without writing Python:
 * ``trace``    — run a traced soft-failure scenario and export the
   event log (Chrome ``trace_event`` JSON + optional JSONL);
 * ``sweep``    — parallel, cacheable parameter studies (Figure 1's
-  loss×RTT grid from the command line).
+  loss×RTT grid from the command line);
+* ``bench``    — time the simulator's hot paths and gate against the
+  committed performance baseline (``benchmarks/baseline.json``).
 
 Examples
 --------
@@ -322,6 +324,59 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from . import bench
+
+    names = None
+    if args.only:
+        names = [n.strip() for n in args.only.split(",") if n.strip()]
+
+    def progress(name: str, seconds: float) -> None:
+        print(f"  {name:<24s} {seconds * 1000:10.1f} ms")
+
+    print("running bench suite"
+          + (" (quick mode)" if args.quick else "") + ":")
+    payload = bench.run_suite(names, repeats=args.repeats,
+                              quick=args.quick, progress=progress)
+    print(f"  {'calibration':<24s} "
+          f"{payload['calibration'] * 1000:10.1f} ms")
+
+    if args.out:
+        bench.write_json(payload, args.out)
+        print(f"wrote results to {args.out}")
+    if args.write_baseline:
+        bench.write_json(payload, args.write_baseline)
+        print(f"wrote baseline to {args.write_baseline}")
+
+    if not args.compare:
+        return 0
+    baseline = bench.load_baseline(args.compare)
+    rows = bench.compare(payload, baseline, tolerance=args.tolerance)
+    if not rows:
+        print(f"no shared scenarios between this run and {args.compare}")
+        return 0
+    table = ResultTable(
+        f"vs baseline {args.compare} (tolerance {args.tolerance:.0%})",
+        ["scenario", "baseline", "current", "ratio", "status"])
+    regressions = 0
+    for row in rows:
+        regressed = bool(row["regressed"])
+        regressions += regressed
+        table.add_row([
+            row["name"],
+            f"{row['baseline_s'] * 1000:.1f}ms",
+            f"{row['current_s'] * 1000:.1f}ms",
+            f"{row['ratio']:.2f}x",
+            "REGRESSED" if regressed else "ok",
+        ])
+    print(table.render_text())
+    if regressions:
+        print(f"{regressions} scenario(s) regressed beyond "
+              f"{args.tolerance:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_upgrade(args: argparse.Namespace) -> int:
     bundle = _build(args.design)
     hosts = bundle.dtns
@@ -464,6 +519,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the counters as JSON here "
                               "(CI artifact)")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="time the simulator hot paths and gate against a baseline")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="shrunk workloads (CI smoke; compare only "
+                              "against a --quick baseline)")
+    p_bench.add_argument("--repeats", type=int, default=3,
+                         help="timed runs per scenario; best is kept "
+                              "(default 3)")
+    p_bench.add_argument("--only", default=None,
+                         help="comma-separated scenario names "
+                              "(default: all)")
+    p_bench.add_argument("--out", "-o", default=None,
+                         help="write this run's results JSON here")
+    p_bench.add_argument("--compare", default=None, metavar="BASELINE",
+                         help="compare against a baseline JSON; exit 1 "
+                              "on regression")
+    p_bench.add_argument("--write-baseline", default=None, metavar="PATH",
+                         help="write this run as the new baseline JSON")
+    p_bench.add_argument("--tolerance", type=float, default=0.30,
+                         help="allowed normalized slowdown before "
+                              "--compare fails (default 0.30)")
+    p_bench.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -45,10 +45,19 @@ class Event:
     seq: int
     action: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    # Book-keeping so Simulator.pending stays O(1): the owning simulator
+    # decrements its live-event count exactly once per event, either when
+    # the event fires or when it is first cancelled.
+    _owner: Optional["Simulator"] = field(default=None, compare=False, repr=False)
+    _fired: bool = field(default=False, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
+        if self.cancelled or self._fired:
+            return
         self.cancelled = True
+        if self._owner is not None:
+            self._owner._live_events -= 1
 
 
 class Simulator:
@@ -87,8 +96,15 @@ class Simulator:
         self._seed = int(seed)
         self._streams: Dict[str, np.random.Generator] = {}
         self._event_count = 0
+        self._live_events = 0
         self._running = False
         self.tracer = NULL_TRACER
+        # Hot-path counter objects, cached once in set_tracer() so the
+        # per-event/per-draw paths skip the tracer's registry lookup.
+        self._ctr_scheduled = None
+        self._ctr_cancelled = None
+        self._ctr_dispatched = None
+        self._ctr_rng: Dict[str, object] = {}
         # Not `tracer or NULL_TRACER`: an empty tracer is falsy (len 0).
         self.set_tracer(tracer if tracer is not None else NULL_TRACER)
 
@@ -97,9 +113,20 @@ class Simulator:
         if not isinstance(tracer, Tracer):
             raise SimulationError("set_tracer() expects a Tracer")
         self.tracer = tracer
+        self._ctr_rng = {}
         if tracer.enabled:
             tracer.bind_clock(lambda: self._now)
             tracer.event("engine", "attached", seed=self._seed)
+            self._ctr_scheduled = tracer.counter(
+                "events.scheduled", component="engine")
+            self._ctr_cancelled = tracer.counter(
+                "events.cancelled", component="engine")
+            self._ctr_dispatched = tracer.counter(
+                "events.dispatched", component="engine")
+        else:
+            self._ctr_scheduled = None
+            self._ctr_cancelled = None
+            self._ctr_dispatched = None
 
     # -- clock ---------------------------------------------------------------
     @property
@@ -117,8 +144,8 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-fired, not-cancelled events (O(1))."""
+        return self._live_events
 
     # -- randomness ------------------------------------------------------------
     def rng(self, stream: str) -> np.random.Generator:
@@ -137,8 +164,12 @@ class Simulator:
             if self.tracer.enabled:
                 self.tracer.event("engine", "rng-stream", stream=stream)
         if self.tracer.enabled:
-            self.tracer.counter(f"rng.{stream}.acquisitions",
-                                component="engine").inc()
+            ctr = self._ctr_rng.get(stream)
+            if ctr is None:
+                ctr = self.tracer.counter(f"rng.{stream}.acquisitions",
+                                          component="engine")
+                self._ctr_rng[stream] = ctr
+            ctr.inc()
         return self._streams[stream]
 
     # -- scheduling ------------------------------------------------------------
@@ -154,10 +185,12 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={when} before current time t={self._now}"
             )
-        event = Event(time=float(when), seq=next(self._seq), action=action)
+        event = Event(time=float(when), seq=next(self._seq), action=action,
+                      _owner=self)
         heapq.heappush(self._heap, event)
-        if self.tracer.enabled:
-            self.tracer.counter("events.scheduled", component="engine").inc()
+        self._live_events += 1
+        if self._ctr_scheduled is not None:
+            self._ctr_scheduled.inc()
         return event
 
     def schedule_periodic(
@@ -193,18 +226,19 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
-                if tracer.enabled:
-                    tracer.counter("events.cancelled",
-                                   component="engine").inc()
+                if self._ctr_cancelled is not None:
+                    self._ctr_cancelled.inc()
                 continue
             if event.time < self._now:  # pragma: no cover - invariant guard
                 raise SimulationError("event heap yielded an event in the past")
+            event._fired = True
+            self._live_events -= 1
             self._now = event.time
             self._event_count += 1
             if not tracer.enabled:
                 event.action()
                 return True
-            tracer.counter("events.dispatched", component="engine").inc()
+            self._ctr_dispatched.inc()
             with tracer.span("engine", "dispatch", seq=event.seq,
                              action=_action_label(event.action)):
                 try:
@@ -251,9 +285,8 @@ class Simulator:
                 head = self._heap[0]
                 if head.cancelled:
                     heapq.heappop(self._heap)
-                    if self.tracer.enabled:
-                        self.tracer.counter("events.cancelled",
-                                            component="engine").inc()
+                    if self._ctr_cancelled is not None:
+                        self._ctr_cancelled.inc()
                     continue
                 if head.time > when:
                     break

@@ -22,6 +22,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Dict, Type
 
+import numpy as np
+
 from ..errors import ConfigurationError
 
 __all__ = [
@@ -68,6 +70,47 @@ class CongestionControl(ABC):
             )
         return max(1.0, cwnd * beta)
 
+    # -- batch (array) API --------------------------------------------------
+    # The multi-flow simulator updates many streams per tick, so each
+    # algorithm also exposes elementwise ndarray versions of its update
+    # rules.  numpy routes array arithmetic (notably ``**``) through SIMD
+    # loops whose last-bit rounding can differ from libm scalar calls, so
+    # the batch methods are the *canonical* arithmetic for the multi-flow
+    # model: both its backends call these (the scalar reference on
+    # length-1 arrays), which keeps the backends bit-identical.  The
+    # scalar methods above remain the canonical path for the single
+    # connection model.  The defaults fall back to the scalar methods so
+    # third-party subclasses keep working unmodified.
+
+    def increase_batch(self, cwnd: np.ndarray, time_since_loss: np.ndarray,
+                       rtt: np.ndarray) -> np.ndarray:
+        """Elementwise :meth:`increase` over stream-state arrays."""
+        return np.array([
+            self.increase(float(c), float(t), float(r))
+            for c, t, r in zip(cwnd, time_since_loss, rtt)
+        ], dtype=np.float64)
+
+    def decrease_factor_batch(self, cwnd: np.ndarray, rtt_min: np.ndarray,
+                              rtt_max: np.ndarray) -> np.ndarray:
+        """Elementwise :meth:`decrease_factor` over stream-state arrays."""
+        return np.array([
+            self.decrease_factor(float(c), float(lo), float(hi))
+            for c, lo, hi in zip(cwnd, rtt_min, rtt_max)
+        ], dtype=np.float64)
+
+    def on_loss_batch(self, cwnd: np.ndarray, rtt_min: np.ndarray,
+                      rtt_max: np.ndarray) -> np.ndarray:
+        """Elementwise :meth:`on_loss` over stream-state arrays."""
+        beta = np.asarray(
+            self.decrease_factor_batch(cwnd, rtt_min, rtt_max),
+            dtype=np.float64)
+        if np.any((beta <= 0.0) | (beta >= 1.0)):
+            bad = beta[(beta <= 0.0) | (beta >= 1.0)][0]
+            raise ConfigurationError(
+                f"{self.name}: decrease factor must be in (0,1), got {bad}"
+            )
+        return np.maximum(1.0, cwnd * beta)
+
     def trace_attrs(self) -> Dict[str, float]:
         """Algorithm parameters attached to trace events (loss episodes,
         transfer spans) so a trace is self-describing.  Subclasses extend
@@ -89,6 +132,14 @@ class Reno(CongestionControl):
 
     def decrease_factor(self, cwnd: float, rtt_min: float, rtt_max: float) -> float:
         return 0.5
+
+    def increase_batch(self, cwnd: np.ndarray, time_since_loss: np.ndarray,
+                       rtt: np.ndarray) -> np.ndarray:
+        return np.ones_like(cwnd)
+
+    def decrease_factor_batch(self, cwnd: np.ndarray, rtt_min: np.ndarray,
+                              rtt_max: np.ndarray) -> np.ndarray:
+        return np.full_like(cwnd, 0.5)
 
 
 class HTcp(CongestionControl):
@@ -125,6 +176,20 @@ class HTcp(CongestionControl):
             return 0.5
         beta = rtt_min / rtt_max
         return min(0.8, max(0.5, beta))
+
+    def increase_batch(self, cwnd: np.ndarray, time_since_loss: np.ndarray,
+                       rtt: np.ndarray) -> np.ndarray:
+        delta = np.maximum(0.0, time_since_loss)
+        excess = delta - self.delta_l
+        high = 1.0 + 10.0 * excess + (excess / 2.0) ** 2
+        return np.where(delta <= self.delta_l, 1.0, high)
+
+    def decrease_factor_batch(self, cwnd: np.ndarray, rtt_min: np.ndarray,
+                              rtt_max: np.ndarray) -> np.ndarray:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            beta = np.where(rtt_max > 0, rtt_min / np.where(rtt_max > 0,
+                                                            rtt_max, 1.0), 0.5)
+        return np.minimum(0.8, np.maximum(0.5, beta))
 
 
 class Cubic(CongestionControl):
@@ -176,6 +241,19 @@ class Cubic(CongestionControl):
     def decrease_factor(self, cwnd: float, rtt_min: float, rtt_max: float) -> float:
         return 1.0 - self.beta_cubic
 
+    def increase_batch(self, cwnd: np.ndarray, time_since_loss: np.ndarray,
+                       rtt: np.ndarray) -> np.ndarray:
+        w_max = cwnd / (1.0 - self.beta_cubic)
+        k = (w_max * self.beta_cubic / self.c) ** (1.0 / 3.0)
+        t = np.maximum(0.0, time_since_loss)
+        w_now = self.c * (t - k) ** 3 + w_max
+        w_next = self.c * (t + rtt - k) ** 3 + w_max
+        return np.maximum(1.0, w_next - w_now)
+
+    def decrease_factor_batch(self, cwnd: np.ndarray, rtt_min: np.ndarray,
+                              rtt_max: np.ndarray) -> np.ndarray:
+        return np.full_like(cwnd, 1.0 - self.beta_cubic)
+
 
 class LossFreeIdeal(CongestionControl):
     """Reference algorithm for the loss-free environment of Figure 1.
@@ -194,6 +272,14 @@ class LossFreeIdeal(CongestionControl):
 
     def decrease_factor(self, cwnd: float, rtt_min: float, rtt_max: float) -> float:
         return 0.5
+
+    def increase_batch(self, cwnd: np.ndarray, time_since_loss: np.ndarray,
+                       rtt: np.ndarray) -> np.ndarray:
+        return np.maximum(1.0, cwnd * 0.5)
+
+    def decrease_factor_batch(self, cwnd: np.ndarray, rtt_min: np.ndarray,
+                              rtt_max: np.ndarray) -> np.ndarray:
+        return np.full_like(cwnd, 0.5)
 
 
 _REGISTRY: Dict[str, Type[CongestionControl]] = {}

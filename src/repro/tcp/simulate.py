@@ -22,6 +22,28 @@ The approximation is standard fluid-model fare: it will not reproduce
 packet-level synchronization artifacts, but it preserves the relationships
 the paper's experiments rely on (who wins, how throughput scales with flow
 count and buffering, how badly loss hurts at high RTT).
+
+Backends
+--------
+The tick loop exists twice:
+
+* ``backend="numpy"`` (default) keeps all stream state as flat
+  struct-of-arrays (cwnd/ssthresh/rtt-clock/remaining-bits indexed by a
+  flow map) and advances every stream per tick with array ops.  This is
+  the production path — the many-flow paper scenarios are one to two
+  orders of magnitude faster on it.
+* ``backend="python"`` is the scalar reference: one
+  :class:`_StreamState` object per stream, a plain per-stream loop.
+
+Both backends are **bit-identical**: random variates are drawn in the
+exact per-flow, per-stream order of the scalar loop (a single
+``Generator.random(n)`` call consumes the PCG64 stream exactly like *n*
+scalar calls), per-flow reductions use sequential-accumulation numpy
+primitives (``np.bincount``), and transcendental arithmetic is routed
+through numpy's array loops on both paths (SIMD ``**`` can differ from
+libm's scalar ``pow`` in the last bit).  ``tests/test_vectorized_equivalence``
+asserts the equivalence property over random topologies, seeds and
+stream counts.
 """
 
 from __future__ import annotations
@@ -36,15 +58,196 @@ from ..netsim.flow import FlowSpec
 from ..netsim.link import Link
 from ..netsim.topology import Path, PathProfile, Topology
 from ..units import DataRate, DataSize, TimeDelta, bits, seconds
+from ..vectorize import SIM_BACKENDS, check_backend, pow_elementwise
 from .congestion import CongestionControl, Reno, algorithm_by_name
 
-__all__ = ["FlowProgress", "MultiFlowSimulation", "max_min_fair_allocation"]
+__all__ = ["FlowProgress", "MultiFlowSimulation", "max_min_fair_allocation",
+           "SIM_BACKENDS"]
+
+
+class _ProgressiveFiller:
+    """Progressive-filling max-min allocator for a fixed (usage, capacities).
+
+    The flow/link incidence never changes across a simulation, so the
+    structural work — ``np.nonzero`` of the usage matrix, per-flow segment
+    boundaries for ``np.minimum.reduceat``, the initial active-flow count
+    per link — is done once here and the per-tick :meth:`allocate` call
+    only touches O(F + L + nnz) arrays per round.
+
+    Both backends walk the same round structure; they differ only in how
+    each round's per-flow limits and per-link capacity deltas are
+    evaluated.  Bit-identity notes: per-flow limits are plain minima
+    (order-independent and exact); per-link deltas are accumulated in
+    flow order via ``np.bincount`` over the row-major flat incidence,
+    matching the scalar loop's association, and the zero weights
+    contributed by unaffected flows are exact no-ops because every
+    partial sum is non-negative.
+    """
+
+    def __init__(self, usage: np.ndarray, capacities: np.ndarray) -> None:
+        usage = np.asarray(usage, dtype=bool)
+        capacities = np.asarray(capacities, dtype=np.float64)
+        self.n_flows, self.n_links = usage.shape
+        if capacities.shape != (self.n_links,):
+            raise ConfigurationError("max_min_fair_allocation: shape mismatch")
+        self.usage = usage
+        self.capacities = capacities
+        self._flat_rows, self._flat_cols = np.nonzero(usage)
+        counts = np.bincount(self._flat_rows, minlength=self.n_flows)
+        has_links = counts > 0
+        seg_ptr = np.cumsum(counts) - counts
+        self._flows_with_links = np.nonzero(has_links)[0]
+        self._seg_starts = seg_ptr[has_links]
+        self._links_per_flow_active0 = usage.sum(axis=0).astype(np.float64)
+        self._finite_caps = bool(np.isfinite(capacities).all())
+
+    def allocate(self, demands: np.ndarray,
+                 backend: str = "numpy") -> np.ndarray:
+        demands = np.asarray(demands, dtype=np.float64)
+        if demands.shape != (self.n_flows,):
+            raise ConfigurationError("max_min_fair_allocation: shape mismatch")
+        if backend == "numpy":
+            return self._allocate_numpy(demands)
+        return self._allocate_python(demands)
+
+    def _allocate_numpy(self, demands: np.ndarray) -> np.ndarray:
+        n_flows, n_links = self.n_flows, self.n_links
+        flat_rows, flat_cols = self._flat_rows, self._flat_cols
+        alloc = np.zeros(n_flows)
+        frozen = demands <= 0.0
+        n_frozen = int(np.count_nonzero(frozen))
+        remaining_cap = self.capacities.copy()
+        # Active-flow count per link, maintained incrementally (the counts
+        # are small exact integers, so float bookkeeping is lossless).
+        apl = self._links_per_flow_active0.copy()
+        if n_frozen:
+            apl -= np.bincount(flat_cols, weights=frozen[flat_rows],
+                               minlength=n_links)
+        limit = np.empty(n_flows)
+        for _ in range(n_flows + n_links + 1):
+            if n_frozen >= n_flows:
+                break
+            active = ~frozen
+            # Fair share on each link among its active flows.
+            with np.errstate(divide="ignore", invalid="ignore"):
+                share = np.where(apl > 0.0,
+                                 remaining_cap / np.maximum(apl, 1.0),
+                                 np.inf)
+            # Each flow is limited by the tightest link it crosses:
+            # a segmented min over the flat incidence list.
+            limit.fill(np.inf)
+            if self._seg_starts.size:
+                limit[self._flows_with_links] = np.minimum.reduceat(
+                    share[flat_cols], self._seg_starts)
+            # Flows whose demand is below their limit are satisfied; freeze
+            # them and recompute shares with the released capacity.
+            headroom = demands - alloc
+            satisfied = active & (headroom <= limit + 1e-9)
+            n_sat = int(np.count_nonzero(satisfied))
+            if n_sat:
+                grant = np.where(satisfied, headroom, 0.0)
+                alloc = alloc + grant
+                remaining_cap = remaining_cap - np.bincount(
+                    flat_cols, weights=grant[flat_rows], minlength=n_links)
+                apl -= np.bincount(flat_cols, weights=satisfied[flat_rows],
+                                   minlength=n_links)
+                frozen = frozen | satisfied
+                n_frozen += n_sat
+                continue
+            # No flow is demand-satisfied: saturate the tightest link only.
+            apl_pos = apl > 0.0
+            finite_links = share[apl_pos]
+            if self._finite_caps:
+                # remaining_cap stays finite, so every busy link's share
+                # is finite — the defensive isfinite scans are no-ops.
+                if finite_links.size == 0:
+                    alloc[active] = demands[active]
+                    break
+                min_share = finite_links.min()
+            elif (finite_links.size == 0
+                    or not np.isfinite(finite_links).any()):
+                alloc[active] = demands[active]
+                break
+            else:
+                min_share = finite_links[np.isfinite(finite_links)].min()
+            bottleneck = apl_pos & (share <= min_share + 1e-9)
+            to_freeze = np.zeros(n_flows, dtype=bool)
+            to_freeze[flat_rows[bottleneck[flat_cols]]] = True
+            to_freeze &= active
+            taken_per_flow = np.where(to_freeze, limit, 0.0)
+            alloc = alloc + taken_per_flow
+            remaining_cap = np.maximum(
+                remaining_cap - np.bincount(
+                    flat_cols, weights=taken_per_flow[flat_rows],
+                    minlength=n_links),
+                0.0)
+            apl -= np.bincount(flat_cols, weights=to_freeze[flat_rows],
+                               minlength=n_links)
+            frozen = frozen | to_freeze
+            n_frozen += int(np.count_nonzero(to_freeze))
+        return np.minimum(alloc, demands)
+
+    def _allocate_python(self, demands: np.ndarray) -> np.ndarray:
+        """Scalar reference: per-flow loops for limits and capacity deltas."""
+        usage = self.usage
+        n_flows, n_links = self.n_flows, self.n_links
+        alloc = np.zeros(n_flows)
+        frozen = demands <= 0
+        alloc[frozen] = 0.0
+        remaining_cap = self.capacities.copy()
+        for _ in range(n_flows + n_links + 1):
+            active = ~frozen
+            if not active.any():
+                break
+            active_per_link = usage[active].sum(axis=0)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                share = np.where(
+                    active_per_link > 0,
+                    remaining_cap / np.maximum(active_per_link, 1),
+                    np.inf,
+                )
+            limit = np.full(n_flows, np.inf)
+            for f in range(n_flows):
+                links = usage[f]
+                if links.any():
+                    limit[f] = share[links].min()
+            headroom = demands - alloc
+            satisfied = active & (headroom <= limit + 1e-9)
+            if satisfied.any():
+                grant = headroom[satisfied]
+                alloc[satisfied] += grant
+                released = np.zeros(n_links)
+                for f, g in zip(np.nonzero(satisfied)[0], grant):
+                    for link in np.nonzero(usage[f])[0]:
+                        released[link] += g
+                remaining_cap = remaining_cap - released
+                frozen |= satisfied
+                continue
+            finite_links = share[active_per_link > 0]
+            if finite_links.size == 0 or not np.isfinite(finite_links).any():
+                alloc[active] = demands[active]
+                break
+            min_share = finite_links[np.isfinite(finite_links)].min()
+            bottleneck_links = ((active_per_link > 0)
+                                & (share <= min_share + 1e-9))
+            to_freeze = active & usage[:, bottleneck_links].any(axis=1)
+            taken = np.zeros(n_links)
+            for f in np.nonzero(to_freeze)[0]:
+                alloc[f] += limit[f]
+                for link in np.nonzero(usage[f])[0]:
+                    taken[link] += limit[f]
+            remaining_cap = remaining_cap - taken
+            remaining_cap = np.maximum(remaining_cap, 0.0)
+            frozen |= to_freeze
+        return np.minimum(alloc, demands)
 
 
 def max_min_fair_allocation(
     demands: np.ndarray,
     usage: np.ndarray,
     capacities: np.ndarray,
+    *,
+    backend: str = "numpy",
 ) -> np.ndarray:
     """Max-min fair rates for flows over shared links.
 
@@ -56,70 +259,22 @@ def max_min_fair_allocation(
         Shape (F, L) boolean — flow f crosses link l.
     capacities:
         Shape (L,) — link capacities (bps).
+    backend:
+        ``"numpy"`` (default) computes each round's per-flow limits and
+        capacity releases with masked matrix ops; ``"python"`` is the
+        per-flow scalar reference.  Both are bit-identical.
 
     Returns
     -------
     Shape (F,) allocated rates; each flow gets at most its demand and links
     are never oversubscribed.  Classic progressive-filling algorithm.
+
+    Callers allocating repeatedly over a fixed topology (the multi-flow
+    tick loop) hold a :class:`_ProgressiveFiller` instead, which hoists
+    the structural precomputation out of the per-tick call.
     """
-    demands = np.asarray(demands, dtype=np.float64)
-    usage = np.asarray(usage, dtype=bool)
-    capacities = np.asarray(capacities, dtype=np.float64)
-    n_flows, n_links = usage.shape
-    if demands.shape != (n_flows,) or capacities.shape != (n_links,):
-        raise ConfigurationError("max_min_fair_allocation: shape mismatch")
-
-    alloc = np.zeros(n_flows)
-    frozen = demands <= 0
-    alloc[frozen] = 0.0
-    remaining_cap = capacities.astype(np.float64).copy()
-
-    # Progressive filling: each round either satisfies some flows' demands
-    # or saturates the currently tightest link, freezing only the flows
-    # that cross it.  Terminates within n_flows + n_links rounds.
-    for _ in range(n_flows + n_links + 1):
-        active = ~frozen
-        if not active.any():
-            break
-        # Fair share on each link among its active flows.
-        active_per_link = usage[active].sum(axis=0)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            share = np.where(
-                active_per_link > 0,
-                remaining_cap / np.maximum(active_per_link, 1),
-                np.inf,
-            )
-        # Each active flow is limited by the tightest link it crosses.
-        limit = np.full(n_flows, np.inf)
-        for f in np.nonzero(active)[0]:
-            links = usage[f]
-            if links.any():
-                limit[f] = share[links].min()
-        # Flows whose demand is below their limit are satisfied; freeze them
-        # and recompute shares with the released capacity.
-        headroom = demands - alloc
-        satisfied = active & (headroom <= limit + 1e-9)
-        if satisfied.any():
-            grant = headroom[satisfied]
-            alloc[satisfied] += grant
-            for f, g in zip(np.nonzero(satisfied)[0], grant):
-                remaining_cap[usage[f]] -= g
-            frozen |= satisfied
-            continue
-        # No flow is demand-satisfied: saturate the tightest link only.
-        finite_links = share[active_per_link > 0]
-        if finite_links.size == 0 or not np.isfinite(finite_links).any():
-            alloc[active] = demands[active]
-            break
-        min_share = finite_links[np.isfinite(finite_links)].min()
-        bottleneck_links = (active_per_link > 0) & (share <= min_share + 1e-9)
-        to_freeze = active & usage[:, bottleneck_links].any(axis=1)
-        for f in np.nonzero(to_freeze)[0]:
-            alloc[f] += limit[f]
-            remaining_cap[usage[f]] -= limit[f]
-        remaining_cap = np.maximum(remaining_cap, 0.0)
-        frozen |= to_freeze
-    return np.minimum(alloc, demands)
+    check_backend(backend)
+    return _ProgressiveFiller(usage, capacities).allocate(demands, backend)
 
 
 @dataclass
@@ -132,7 +287,11 @@ class FlowProgress:
     loss_events: int = 0
     started: bool = False
     time_series: List[Tuple[float, float]] = field(default_factory=list)
-    # (time_s, rate_bps) decimated samples
+    # (time_s, rate_bps) decimated samples; a flow that finishes
+    # mid-interval appends one final sample at its finish time carrying
+    # the final tick's allocation, so consumers integrating the series
+    # never extrapolate a stale boundary rate over the last partial
+    # interval.
 
     @property
     def done(self) -> bool:
@@ -178,6 +337,10 @@ class MultiFlowSimulation:
     buffer_rtt_fraction:
         Virtual-queue depth per link, in units of that link's
         capacity x 100 ms (approximating "one WAN RTT of buffer").
+    backend:
+        ``"numpy"`` (default) — vectorized struct-of-arrays tick loop;
+        ``"python"`` — the scalar per-stream reference loop.  Both
+        produce bit-identical results; see the module docstring.
     """
 
     def __init__(
@@ -189,12 +352,14 @@ class MultiFlowSimulation:
         algorithm=None,
         buffer_rtt_fraction: float = 1.0,
         initial_cwnd: float = 10.0,
+        backend: str = "numpy",
     ) -> None:
         if not specs:
             raise ConfigurationError("MultiFlowSimulation needs at least one flow")
         labels = [s.label or f"flow{i}" for i, s in enumerate(specs)]
         if len(set(labels)) != len(labels):
             raise ConfigurationError("flow labels must be unique")
+        self.backend = check_backend(backend)
         self.topology = topology
         self._rng = rng
         self._buffer_frac = buffer_rtt_fraction
@@ -240,6 +405,7 @@ class MultiFlowSimulation:
         self._capacities = np.array([l.rate.bps for l in self._links])
         self._queues = np.zeros(n_links)
         self._buffers = self._capacities * 0.1 * buffer_rtt_fraction  # bits
+        self._filler = _ProgressiveFiller(self._usage, self._capacities)
 
         self.progress: Dict[str, FlowProgress] = {
             label: FlowProgress(spec=spec)
@@ -263,17 +429,13 @@ class MultiFlowSimulation:
         sample_interval: TimeDelta = seconds(1.0),
     ) -> Dict[str, FlowProgress]:
         """Advance until all sized flows finish (or ``until`` elapses)."""
-        rtts = np.array([max(p.base_rtt.s, 1e-6) for p in self._profiles])
-        dt = float(min(rtts.min() / 2.0, 0.05))
-        horizon = until.s if until is not None else float("inf")
         if until is None and all(s.size is None for s in self._specs):
             raise ConfigurationError(
                 "all flows are unbounded; an explicit until= horizon is required"
             )
-        now = 0.0
-        next_sample = 0.0
-        rng = self._rng
-        n_flows = len(self._specs)
+        rtts = np.array([max(p.base_rtt.s, 1e-6) for p in self._profiles])
+        dt = float(min(rtts.min() / 2.0, 0.05))
+        horizon = until.s if until is not None else float("inf")
         mss_bits = np.array([p.flow.mss.bits for p in self._profiles])
         rwnd_pkts = np.array([
             max(1.0, p.flow.effective_receive_window().bits / m)
@@ -283,6 +445,46 @@ class MultiFlowSimulation:
         rate_caps = np.array([
             (s.rate_limit.bps if s.rate_limit else np.inf) for s in self._specs
         ])
+        if self.backend == "numpy":
+            now = self._run_numpy(
+                until, max_ticks, sample_interval, rtts=rtts, dt=dt,
+                horizon=horizon, mss_bits=mss_bits, rwnd_pkts=rwnd_pkts,
+                loss_p=loss_p, rate_caps=rate_caps)
+        else:
+            now = self._run_python(
+                until, max_ticks, sample_interval, rtts=rtts, dt=dt,
+                horizon=horizon, mss_bits=mss_bits, rwnd_pkts=rwnd_pkts,
+                loss_p=loss_p, rate_caps=rate_caps)
+
+        # A flow's delivered total is the sum of its streams' counters,
+        # accumulated in stream order (both backends share this
+        # association; `np.bincount` in the vectorized path accumulates
+        # sequentially exactly like this loop).
+        for label, streams in zip(self._labels, self._streams):
+            prog = self.progress[label]
+            prog.delivered = bits(sum(st.delivered_bits for st in streams))
+        self.finished_at = seconds(now)
+        return self.progress
+
+    # -- scalar reference loop -------------------------------------------------
+    def _run_python(
+        self,
+        until: Optional[TimeDelta],
+        max_ticks: int,
+        sample_interval: TimeDelta,
+        *,
+        rtts: np.ndarray,
+        dt: float,
+        horizon: float,
+        mss_bits: np.ndarray,
+        rwnd_pkts: np.ndarray,
+        loss_p: np.ndarray,
+        rate_caps: np.ndarray,
+    ) -> float:
+        now = 0.0
+        next_sample = 0.0
+        rng = self._rng
+        n_flows = len(self._specs)
 
         for tick in range(max_ticks):
             if now >= horizon:
@@ -317,18 +519,9 @@ class MultiFlowSimulation:
                 now = min(horizon, now + dt)
                 continue
 
-            alloc = max_min_fair_allocation(demands, self._usage, self._capacities)
+            alloc = self._filler.allocate(demands, backend="python")
 
-            # Virtual queues: links where offered demand exceeds capacity.
-            offered_per_link = (demands[:, None] * self._usage).sum(axis=0)
-            overload = offered_per_link - self._capacities
-            self._queues += np.maximum(overload, 0.0) * dt
-            drained = overload < 0
-            self._queues[drained] = np.maximum(
-                0.0, self._queues[drained] + overload[drained] * dt
-            )
-            overflowing = self._queues > self._buffers
-            self._queues = np.minimum(self._queues, self._buffers)
+            overflowing = self._advance_queues(demands, dt)
 
             # Loss events: congestion overflow + random path loss.
             for f in range(n_flows):
@@ -349,7 +542,6 @@ class MultiFlowSimulation:
                         got = min(got, st.remaining_bits)
                         st.remaining_bits -= got
                     st.delivered_bits += got
-                    prog.delivered = bits(prog.delivered.bits + got)
                     if congested and rng is not None:
                         # Probability scaled by the flow's share of overload.
                         if rng.random() < min(1.0, dt / rtts[f]):
@@ -358,7 +550,7 @@ class MultiFlowSimulation:
                         st.loss_flag = True
                     if loss_p[f] > 0:
                         pkts = got / mss_bits[f]
-                        p_evt = 1.0 - (1.0 - loss_p[f]) ** pkts
+                        p_evt = 1.0 - pow_elementwise(1.0 - loss_p[f], pkts)
                         if rng.random() < p_evt:
                             st.loss_flag = True
 
@@ -374,22 +566,31 @@ class MultiFlowSimulation:
                             # Reduce from what was actually in flight
                             # (RFC 2861), not an inflated cwnd.
                             inflight = min(st.cwnd, rwnd_pkts[f])
-                            st.cwnd = algo.on_loss(inflight, rtts[f], rtts[f])
+                            st.cwnd = float(algo.on_loss_batch(
+                                np.array([inflight]),
+                                np.array([rtts[f]]),
+                                np.array([rtts[f]]))[0])
                             st.ssthresh = st.cwnd
                             st.time_since_loss = 0.0
                         elif st.cwnd < st.ssthresh:
                             st.cwnd = min(st.cwnd * algo.slow_start_factor,
                                           rwnd_pkts[f] * 1.25)
                         elif st.cwnd <= rwnd_pkts[f]:
-                            st.cwnd = min(
-                                st.cwnd + algo.increase(
-                                    st.cwnd, st.time_since_loss, rtts[f]),
-                                rwnd_pkts[f] * 1.25,
-                            )
+                            grow = float(algo.increase_batch(
+                                np.array([st.cwnd]),
+                                np.array([st.time_since_loss]),
+                                np.array([rtts[f]]))[0])
+                            st.cwnd = min(st.cwnd + grow,
+                                          rwnd_pkts[f] * 1.25)
 
                 if all(st.remaining_bits is not None and st.remaining_bits <= 0
                        for st in streams):
                     prog.finish_time = seconds(now + dt)
+                    # Final-tick sample: close the series at the finish
+                    # time so the last partial interval is not silently
+                    # extrapolated from the previous sample boundary.
+                    if prog.started:
+                        prog.time_series.append((now + dt, float(alloc[f])))
 
             now += dt
             if now >= next_sample:
@@ -402,9 +603,279 @@ class MultiFlowSimulation:
             raise SimulationError(
                 f"multi-flow simulation did not settle within {max_ticks} ticks"
             )
+        return now
 
-        self.finished_at = seconds(now)
-        return self.progress
+    # -- vectorized loop -------------------------------------------------------
+    def _run_numpy(
+        self,
+        until: Optional[TimeDelta],
+        max_ticks: int,
+        sample_interval: TimeDelta,
+        *,
+        rtts: np.ndarray,
+        dt: float,
+        horizon: float,
+        mss_bits: np.ndarray,
+        rwnd_pkts: np.ndarray,
+        loss_p: np.ndarray,
+        rate_caps: np.ndarray,
+    ) -> float:
+        rng = self._rng
+        has_rng = rng is not None
+        n_flows = len(self._specs)
+        usage = self._usage
+
+        # Struct-of-arrays stream state, flow-major like self._streams.
+        k = np.array([s.parallel_streams for s in self._specs], dtype=np.int64)
+        flow_of = np.repeat(np.arange(n_flows, dtype=np.int64), k)
+        n_streams = int(k.sum())
+        flat = [st for streams in self._streams for st in streams]
+        cwnd = np.array([st.cwnd for st in flat], dtype=np.float64)
+        ssthresh = np.array([st.ssthresh for st in flat], dtype=np.float64)
+        tsl = np.array([st.time_since_loss for st in flat], dtype=np.float64)
+        rtt_clock = np.array([st.rtt_clock for st in flat], dtype=np.float64)
+        loss_flag = np.array([st.loss_flag for st in flat], dtype=bool)
+        delivered = np.array([st.delivered_bits for st in flat],
+                             dtype=np.float64)
+        bounded = np.array([st.remaining_bits is not None for st in flat],
+                           dtype=bool)
+        remaining = np.array([
+            st.remaining_bits if st.remaining_bits is not None else np.inf
+            for st in flat], dtype=np.float64)
+
+        # Per-stream constants gathered once.
+        mss_s = mss_bits[flow_of]
+        rtt_s = rtts[flow_of]
+        rwnd_s = rwnd_pkts[flow_of]
+        rwnd_cap_s = rwnd_s * 1.25
+        lossp_s = loss_p[flow_of]
+        has_loss_s = lossp_s > 0.0
+        cong_thresh_s = np.minimum(1.0, dt / rtt_s)
+
+        # Per-flow bookkeeping mirrored from/into FlowProgress so repeated
+        # run() calls resume exactly like the scalar backend.
+        progresses = [self.progress[label] for label in self._labels]
+        start_f = np.array([s.start.s for s in self._specs])
+        done_f = np.array([p.done for p in progresses], dtype=bool)
+        started_f = np.array([p.started for p in progresses], dtype=bool)
+        loss_events_f = np.zeros(n_flows, dtype=np.int64)
+
+        # Streams grouped by congestion-control *behaviour* for batch
+        # updates.  Algorithms are stateless by contract, so instances of
+        # the same class with equal attributes are interchangeable — the
+        # common ``algorithm=None`` path builds one Reno() per flow, which
+        # must collapse into a single group rather than one per flow.
+        groups: List[Tuple[CongestionControl, np.ndarray]] = []
+        seen: Dict[object, int] = {}
+        for f, algo in enumerate(self._algos):
+            try:
+                key = (type(algo), tuple(sorted(vars(algo).items())))
+            except TypeError:
+                key = id(algo)
+            if key not in seen:
+                seen[key] = len(groups)
+                groups.append((algo, np.zeros(n_streams, dtype=bool)))
+            groups[seen[key]][1][flow_of == f] = True
+
+        now = 0.0
+        next_sample = 0.0
+        sample_s = sample_interval.s
+        allocate = self._filler._allocate_numpy
+        any_loss = bool(has_loss_s.any())
+        single_algo = groups[0][0] if len(groups) == 1 else None
+        n_finished_prev = int(np.count_nonzero(remaining <= 0.0))
+
+        # Per-tick numpy traffic is kept to full-array elementwise ops:
+        # masked streams ride along with zero weights/deltas, which is
+        # exact because every partial sum and running counter here is
+        # non-negative, so `x + 0.0 == x` and `x - 0.0 == x` bitwise.
+        for tick in range(max_ticks):
+            if now >= horizon:
+                break
+            active_f = ~done_f & (start_f <= now)
+            if not active_f.any():
+                pending = ~done_f & (start_f > now)
+                if pending.any():
+                    now = min(float(start_f[pending].min()), horizon)
+                    continue
+                if until is None:
+                    break
+                now = min(horizon, now + dt)
+                continue
+            started_f |= active_f
+
+            live = remaining > 0.0
+            ps = live & active_f[flow_of]
+            dem_w = np.where(ps, np.minimum(cwnd, rwnd_s) * mss_s / rtt_s, 0.0)
+            raw = np.bincount(flow_of, weights=dem_w, minlength=n_flows)
+            demands = np.where(active_f, np.minimum(raw, rate_caps), 0.0)
+
+            alloc = allocate(demands)
+            overflowing = self._advance_queues(demands, dt)
+
+            # n_live is a small exact integer per flow; float bookkeeping
+            # is lossless and the scalar loop's ``alloc / len(live)``
+            # divides by the same value bit-for-bit.
+            n_live = np.bincount(flow_of, weights=live, minlength=n_flows)
+            proc_f = active_f & (demands > 0.0) & (n_live > 0.0)
+            if proc_f.any():
+                rate_ps = np.where(proc_f, alloc / np.maximum(n_live, 1.0),
+                                   0.0)
+                ps &= proc_f[flow_of]
+                got = np.where(ps, rate_ps[flow_of] * dt, 0.0)
+                np.minimum(got, remaining, out=got)
+                remaining -= got
+                delivered += got
+
+                # Random draws, consumed in the scalar loop's order: flows
+                # ascending, streams in flow order, the congestion draw
+                # before the path-loss draw within a stream.  A single
+                # Generator.random(n) call consumes the PCG64 stream
+                # identically to n scalar calls.
+                cong_draw = None
+                if overflowing.any():
+                    congested_f = (usage & overflowing[None, :]).any(axis=1)
+                    cong_s = ps & congested_f[flow_of]
+                    if has_rng:
+                        cong_draw = cong_s
+                    else:
+                        loss_flag |= cong_s
+                n_cong = (int(np.count_nonzero(cong_draw))
+                          if cong_draw is not None else 0)
+                loss_draw = (ps & has_loss_s) if any_loss else None
+                n_loss = (int(np.count_nonzero(loss_draw))
+                          if loss_draw is not None else 0)
+                if n_cong and n_loss:
+                    counts = cong_draw.astype(np.int64) + loss_draw
+                    offsets = np.cumsum(counts) - counts
+                    u = rng.random(n_cong + n_loss)
+                    hit = u[offsets[cong_draw]] < cong_thresh_s[cong_draw]
+                    loss_flag[np.nonzero(cong_draw)[0][hit]] = True
+                    u_loss = u[offsets[loss_draw] + cong_draw[loss_draw]]
+                    pkts = got[loss_draw] / mss_s[loss_draw]
+                    p_evt = 1.0 - (1.0 - lossp_s[loss_draw]) ** pkts
+                    hit = u_loss < p_evt
+                    loss_flag[np.nonzero(loss_draw)[0][hit]] = True
+                elif n_cong:
+                    # Compressed draw order == stream order == scalar order.
+                    hit = rng.random(n_cong) < cong_thresh_s[cong_draw]
+                    loss_flag[np.nonzero(cong_draw)[0][hit]] = True
+                elif n_loss:
+                    pkts = got[loss_draw] / mss_s[loss_draw]
+                    p_evt = 1.0 - (1.0 - lossp_s[loss_draw]) ** pkts
+                    hit = rng.random(n_loss) < p_evt
+                    loss_flag[np.nonzero(loss_draw)[0][hit]] = True
+
+                # Per-RTT congestion-control updates, batched per algorithm.
+                rtt_clock += ps * dt
+                tsl += ps * dt
+                upd = ps & (rtt_clock >= rtt_s)
+                if upd.any():
+                    rtt_clock[upd] = 0.0
+                    lossy = upd & loss_flag
+                    n_lossy = int(np.count_nonzero(lossy))
+                    below = cwnd < ssthresh
+                    if n_lossy:
+                        grow = upd & ~lossy
+                        ss = grow & below
+                        ca = grow & ~below & (cwnd <= rwnd_s)
+                        loss_flag[lossy] = False
+                        loss_events_f += np.bincount(flow_of[lossy],
+                                                     minlength=n_flows)
+                        for algo, smask in groups:
+                            sel = lossy & smask if len(groups) > 1 else lossy
+                            if sel.any():
+                                inflight = np.minimum(cwnd[sel], rwnd_s[sel])
+                                new_cwnd = algo.on_loss_batch(
+                                    inflight, rtt_s[sel], rtt_s[sel])
+                                cwnd[sel] = new_cwnd
+                                ssthresh[sel] = new_cwnd
+                        tsl[lossy] = 0.0
+                    else:
+                        ss = upd & below
+                        ca = upd & ~below & (cwnd <= rwnd_s)
+                    if single_algo is not None:
+                        # Full-array update: batch arithmetic is
+                        # elementwise-consistent, so computing discarded
+                        # lanes and selecting with np.where matches the
+                        # gather/scatter form bit-for-bit.
+                        algo = single_algo
+                        cwnd = np.where(
+                            ss,
+                            np.minimum(cwnd * algo.slow_start_factor,
+                                       rwnd_cap_s),
+                            cwnd)
+                        inc = algo.increase_batch(cwnd, tsl, rtt_s)
+                        cwnd = np.where(
+                            ca, np.minimum(cwnd + inc, rwnd_cap_s), cwnd)
+                    else:
+                        for algo, smask in groups:
+                            sel = ss & smask
+                            if sel.any():
+                                cwnd[sel] = np.minimum(
+                                    cwnd[sel] * algo.slow_start_factor,
+                                    rwnd_cap_s[sel])
+                            sel = ca & smask
+                            if sel.any():
+                                inc = algo.increase_batch(cwnd[sel], tsl[sel],
+                                                          rtt_s[sel])
+                                cwnd[sel] = np.minimum(cwnd[sel] + inc,
+                                                       rwnd_cap_s[sel])
+
+                fin = remaining <= 0.0
+                n_finished = int(np.count_nonzero(fin))
+                if n_finished != n_finished_prev:
+                    n_finished_prev = n_finished
+                    finished_streams = np.bincount(flow_of, weights=fin,
+                                                   minlength=n_flows)
+                    newly_done = proc_f & (finished_streams == k)
+                    if newly_done.any():
+                        done_f |= newly_done
+                        for f in np.nonzero(newly_done)[0]:
+                            prog = progresses[f]
+                            prog.finish_time = seconds(now + dt)
+                            # Final-tick sample (see _run_python).
+                            prog.time_series.append((now + dt, float(alloc[f])))
+
+            now += dt
+            if now >= next_sample:
+                next_sample = now + sample_s
+                for f in np.nonzero(started_f & ~done_f)[0]:
+                    progresses[f].time_series.append((now, float(alloc[f])))
+        else:
+            raise SimulationError(
+                f"multi-flow simulation did not settle within {max_ticks} ticks"
+            )
+
+        # Mirror the struct-of-arrays state back into the object model.
+        for i, st in enumerate(flat):
+            st.cwnd = float(cwnd[i])
+            st.ssthresh = float(ssthresh[i])
+            st.time_since_loss = float(tsl[i])
+            st.rtt_clock = float(rtt_clock[i])
+            st.loss_flag = bool(loss_flag[i])
+            st.delivered_bits = float(delivered[i])
+            if bounded[i]:
+                st.remaining_bits = float(remaining[i])
+        for f, prog in enumerate(progresses):
+            prog.started = bool(started_f[f] or prog.started)
+            prog.loss_events += int(loss_events_f[f])
+        return now
+
+    def _advance_queues(self, demands: np.ndarray, dt: float) -> np.ndarray:
+        """Advance the per-link virtual queues one tick; return the
+        boolean overflow mask.  Shared verbatim by both backends.
+
+        Growing links add ``overload * dt`` and draining links subtract
+        it with a clamp at empty; since queues are non-negative, both
+        branches are exactly ``max(0, q + overload * dt)``.
+        """
+        offered_per_link = (demands[:, None] * self._usage).sum(axis=0)
+        overload = offered_per_link - self._capacities
+        queues = np.maximum(0.0, self._queues + overload * dt)
+        overflowing = queues > self._buffers
+        self._queues = np.minimum(queues, self._buffers)
+        return overflowing
 
     # -- conveniences ---------------------------------------------------------------
     def profile_of(self, label: str) -> PathProfile:

@@ -1,0 +1,52 @@
+"""Shared plumbing for the dual-backend vectorized kernels.
+
+The three hot paths (the multi-flow fluid tick loop, the fan-in Lindley
+sweep, and max-min fair allocation) each ship a vectorized numpy kernel
+and a scalar Python reference selected with ``backend="numpy"`` /
+``backend="python"``.  The two implementations of each kernel are
+bit-identical; this module holds the tiny pieces they share so the
+contract is stated once.
+
+Rules the kernels follow to stay bit-identical:
+
+* per-group reductions use sequential-accumulation primitives
+  (``np.cumsum`` / ``np.bincount``), which numpy evaluates in array
+  order exactly like the scalar loop;
+* random variates are drawn in the scalar loop's order — one
+  ``Generator.random(n)`` call consumes the PCG64 stream identically to
+  *n* scalar ``random()`` calls;
+* transcendental arithmetic (``**``) is routed through numpy's array
+  loops on *both* paths, because numpy's SIMD ``pow`` may differ from
+  libm's scalar ``pow`` in the final bit (see :func:`pow_elementwise`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+__all__ = ["SIM_BACKENDS", "check_backend", "pow_elementwise"]
+
+#: Supported kernel implementations.
+SIM_BACKENDS = ("numpy", "python")
+
+
+def check_backend(backend: str) -> str:
+    """Validate a ``backend=`` argument, returning it unchanged."""
+    if backend not in SIM_BACKENDS:
+        known = ", ".join(SIM_BACKENDS)
+        raise ConfigurationError(
+            f"unknown simulation backend {backend!r}; known: {known}")
+    return backend
+
+
+def pow_elementwise(base: float, exponent: float) -> float:
+    """``base ** exponent`` evaluated through numpy's array power loop.
+
+    numpy's vectorized ``**`` may differ from libm's scalar ``pow`` in
+    the final bit; scalar reference backends route their powers through
+    the same array loop as the vectorized kernels so the two stay
+    bit-identical.
+    """
+    return float(np.power(np.array([base]), np.array([exponent]))[0])

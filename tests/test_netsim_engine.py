@@ -237,3 +237,71 @@ class TestRunawayProtection:
         sim.schedule(2.0, lambda: None)
         e1.cancel()
         assert sim.pending == 1
+
+
+class TestPendingCounter:
+    """`pending` is a live O(1) counter; it must survive every
+    schedule/cancel/fire interleaving without drifting."""
+
+    def test_decrements_as_events_fire(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None)
+        assert sim.pending == 3
+        sim.step()
+        assert sim.pending == 2
+        sim.run()
+        assert sim.pending == 0
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending == 1
+
+    def test_cancel_after_fire_is_a_noop(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.step()
+        event.cancel()
+        assert sim.pending == 1
+
+    def test_cancel_from_inside_a_callback(self):
+        sim = Simulator()
+        later = sim.schedule(2.0, lambda: None)
+        sim.schedule(1.0, later.cancel)
+        assert sim.pending == 2
+        sim.run()
+        assert sim.pending == 0
+
+    def test_run_until_with_cancelled_heads(self):
+        sim = Simulator()
+        doomed = [sim.schedule(0.5 + i, lambda: None) for i in range(3)]
+        sim.schedule(5.0, lambda: None)
+        for event in doomed:
+            event.cancel()
+        assert sim.pending == 1
+        sim.run_until(4.0)
+        assert sim.pending == 1
+        sim.run_until(6.0)
+        assert sim.pending == 0
+
+    def test_matches_heap_scan_under_churn(self):
+        sim = Simulator(seed=3)
+        rng = sim.rng("churn")
+        events = []
+        for _ in range(200):
+            choice = rng.random()
+            if choice < 0.5 or not events:
+                events.append(sim.schedule(float(rng.random() * 10),
+                                           lambda: None))
+            elif choice < 0.8:
+                events.pop(int(rng.integers(len(events)))).cancel()
+            else:
+                sim.run_until(sim.now + float(rng.random()))
+            expected = sum(1 for e in sim._heap
+                           if not e.cancelled and not e._fired)
+            assert sim.pending == expected
