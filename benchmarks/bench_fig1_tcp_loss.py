@@ -13,6 +13,11 @@ continental), and check the figure's shape:
 * loss-free stays at ~line rate at every RTT;
 * lossy curves fall roughly as 1/RTT (Mathis);
 * H-TCP sits above Reno at high RTT but both sit far below loss-free.
+
+The measured series run as :class:`repro.experiment.SweepSpec` grids
+over the registered ``fig1_tcp`` target — the full-resolution lossy
+spec is committed as ``specs/fig1_tcp_loss.json``, so ``repro run``
+reproduces this bench's numbers from the JSON alone.
 """
 
 from __future__ import annotations
@@ -21,71 +26,65 @@ import numpy as np
 
 from repro.analysis import ResultTable, ascii_chart
 from repro.analysis.report import ExperimentRecord
-from repro.analysis.sweep import sweep
+from repro.experiment import RunContext, SweepSpec, run_experiment
 from repro.netsim import Link, Topology
-from repro.tcp import HTcp, Reno, TcpConnection
 from repro.tcp.mathis import mathis_throughput_array
-from repro.units import Gbps, MB, bytes_, ms, seconds
+from repro.units import Gbps, bytes_, ms
 
-from _common import assert_record, emit, quick, sweep_kwargs
+from _common import assert_record, emit, quick
 
 LOSS_RATE = 1.0 / 22_000.0
 RTTS_MS = quick((1, 2, 5, 10, 20, 40, 60, 80, 100), (1, 10, 100))
 SEEDS = quick((1, 2, 3), (1,))
 MAX_ROUNDS = quick(200_000, 20_000)
 
-ALGORITHMS = {"reno": Reno, "htcp": HTcp}
+
+def lossfree_spec() -> SweepSpec:
+    """The topmost (purple) line: H-TCP with zero loss at every RTT."""
+    return SweepSpec.from_grid(
+        {"algorithm": ["htcp"], "rtt_ms": list(RTTS_MS), "loss": [0.0],
+         "rep": [0], "max_rounds": [MAX_ROUNDS]},
+        name="fig1-lossfree", target="fig1_tcp", value_label="bps",
+        description="Figure 1 loss-free ceiling: tuned H-TCP at 10 Gbps, "
+                    "9 KB MTU, across the RTT sweep")
 
 
-def path_profile(rtt_ms: float, loss: float):
+def lossy_spec() -> SweepSpec:
+    """Both measured curves at the §2 loss rate, three seeds each."""
+    return SweepSpec.from_grid(
+        {"algorithm": ["reno", "htcp"], "rtt_ms": list(RTTS_MS),
+         "loss": [LOSS_RATE], "rep": list(SEEDS),
+         "max_rounds": [MAX_ROUNDS]},
+        name="fig1-tcp-loss", target="fig1_tcp", value_label="bps",
+        description="Figure 1 measured grid: Reno and H-TCP at the "
+                    "paper's 1/22000 loss, 10 Gbps hosts, 9 KB MTU")
+
+
+def path_mss():
+    """The swept path's MSS (9 KB MTU minus headers) for the Mathis line."""
     topo = Topology("fig1")
     topo.add_host("a", nic_rate=Gbps(10))
     topo.add_host("b", nic_rate=Gbps(10))
-    topo.connect("a", "b", Link(rate=Gbps(10), delay=ms(rtt_ms / 2),
-                                mtu=bytes_(9000), loss_probability=loss))
-    profile = topo.profile_between("a", "b")
-    from dataclasses import replace
-    # Figure 1's hosts are tuned: windows big enough for every RTT swept.
-    return replace(profile,
-                   flow=profile.flow.with_(max_receive_window=MB(512)))
-
-
-def measure(algorithm_cls, rtt_ms: float, loss: float, seed: int) -> float:
-    """Mean throughput (bps) of a 30 s test at the given working point."""
-    profile = path_profile(rtt_ms, loss)
-    rng = np.random.default_rng(seed) if loss > 0 else None
-    conn = TcpConnection(profile, algorithm=algorithm_cls(), rng=rng)
-    return conn.measure(seconds(30),
-                        max_rounds=MAX_ROUNDS).mean_throughput.bps
-
-
-def measure_point(algorithm: str, rtt_ms: float, loss: float,
-                  rep: int) -> float:
-    """Grid-point wrapper for :func:`sweep` (module-level: picklable)."""
-    return measure(ALGORITHMS[algorithm], rtt_ms, loss, rep)
+    topo.connect("a", "b", Link(rate=Gbps(10), delay=ms(5),
+                                mtu=bytes_(9000)))
+    return topo.profile_between("a", "b").flow.mss
 
 
 def generate_figure():
-    """Regenerate the four Figure 1 series through the sweep engine.
+    """Regenerate the four Figure 1 series through the experiment layer.
 
     The measured curves fan out over ``REPRO_WORKERS`` processes and
     reuse ``REPRO_CACHE`` entries when set — with results identical to
-    a serial, uncached run (see docs/execution.md).
+    a serial, uncached run (see docs/execution.md and
+    docs/experiments.md).
     """
-    mss = path_profile(10, 0).flow.mss
     rtts_s = np.array(RTTS_MS) / 1e3
-    mathis = mathis_throughput_array(mss, rtts_s, LOSS_RATE)
-    lossfree_result = sweep(
-        measure_point,
-        {"algorithm": ["htcp"], "rtt_ms": list(RTTS_MS),
-         "loss": [0.0], "rep": [0]},
-        **sweep_kwargs())
+    mathis = mathis_throughput_array(path_mss(), rtts_s, LOSS_RATE)
+    ctx = RunContext.from_env()
+    lossfree_result = run_experiment(lossfree_spec(), ctx,
+                                     persist=False).value
     lossfree = np.array(lossfree_result.values())
-    lossy = sweep(
-        measure_point,
-        {"algorithm": ["reno", "htcp"], "rtt_ms": list(RTTS_MS),
-         "loss": [LOSS_RATE], "rep": list(SEEDS)},
-        **sweep_kwargs())
+    lossy = run_experiment(lossy_spec(), ctx, persist=False).value
     by_point = {}
     for record in lossy.records:
         key = (record.params["algorithm"], record.params["rtt_ms"])

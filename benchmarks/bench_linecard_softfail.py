@@ -7,6 +7,11 @@ packets/s — only ~450 Kbps at the device — yet end-to-end TCP collapses
 (Figure 1), and "this packet loss was not being reported by the router's
 internal error monitoring, and was only noticed using the owamp active
 packet loss monitoring tool".
+
+The monitoring timeline runs as a :class:`repro.experiment.ScenarioSpec`
+(committed as ``specs/linecard_softfail.json``), so the same incident
+replays via ``repro run specs/linecard_softfail.json`` and its detection
+numbers are golden-gated in CI.
 """
 
 from __future__ import annotations
@@ -17,19 +22,35 @@ from repro.analysis import ResultTable
 from repro.analysis.report import ExperimentRecord
 from repro.core import simple_science_dmz
 from repro.devices.faults import FailingLineCard, FaultInjector
-from repro.netsim import Simulator
-from repro.perfsonar import (
-    AlertRule,
-    MeasurementArchive,
-    MeshConfig,
-    MeshSchedule,
-    ThresholdAlerter,
+from repro.experiment import (
+    FaultSpec,
+    MeshSpec,
+    RunContext,
+    ScenarioSpec,
+    run_experiment,
 )
+from repro.netsim import Simulator
 from repro.tcp import Reno, TcpConnection
 from repro.tcp.mathis import packets_lost_per_second, packets_per_second
 from repro.units import Gbps, bytes_, minutes, seconds
 
 from _common import assert_record, emit
+
+
+def incident_spec() -> ScenarioSpec:
+    """The §2 incident as data: fault at T+30 min, 90-minute watch."""
+    return ScenarioSpec(
+        name="linecard-softfail",
+        seed=5,
+        description="§2 failing line card on the border router: 1/22000 "
+                    "loss, OWAMP mesh every minute, 90-minute watch",
+        design="simple-science-dmz",
+        until_s=minutes(90).s,
+        mesh=MeshSpec(hosts=("dmz-perfsonar", "remote-dtn"),
+                      owamp_interval_s=60.0, bwctl_interval_s=600.0,
+                      owamp_packets=20_000),
+        faults=(FaultSpec(kind="linecard", at_s=minutes(30).s),),
+    )
 
 
 def run_incident():
@@ -47,29 +68,23 @@ def run_incident():
     clean = TcpConnection(profile, algorithm=Reno()).measure(
         seconds(30)).mean_throughput.bps
 
-    sim = Simulator(seed=5)
-    archive = MeasurementArchive()
-    mesh = MeshSchedule(topo, ["dmz-perfsonar", "remote-dtn"], sim, archive,
-                        config=MeshConfig(owamp_interval=minutes(1),
-                                          bwctl_interval=minutes(10),
-                                          owamp_packets=20_000),
-                        policy=policy)
-    mesh.start()
-    injector = FaultInjector(sim)
-    onset = minutes(30)
-    injector.inject_at(onset, topo.node("border"), FailingLineCard())
-    sim.run_until(minutes(90).s)
+    # The monitoring timeline itself: one spec, one run, cacheable.
+    result = run_experiment(incident_spec(), RunContext.from_env(),
+                            persist=False)
+    delay_s = result.payload["detection_delays_s"]["0"]
+    delay_min = None if delay_s is None else delay_s / 60
 
+    # End-to-end impact while the card is failing: same fault, applied
+    # to a fresh copy of the design (the spec run owns its own bundle).
+    fault = FailingLineCard()
+    FaultInjector(Simulator(seed=0)).inject_now(topo.node("border"), fault)
     degraded_profile = topo.profile_between("dtn1", bundle.remote_dtn,
                                             **policy)
     degraded = TcpConnection(degraded_profile, algorithm=Reno(),
                              rng=np.random.default_rng(8)).measure(
         seconds(30), max_rounds=100_000).mean_throughput.bps
 
-    counter_visible = not injector.invisible_faults()
-    alerter = ThresholdAlerter(archive, AlertRule(loss_rate_threshold=1e-5))
-    alerts = [a for a in alerter.scan() if a.time >= onset.s]
-    delay_min = (min(a.time for a in alerts) - onset.s) / 60 if alerts else None
+    counter_visible = bool(fault.visible_to_counters)
     return fps, lost, device_kbps, clean, degraded, counter_visible, delay_min
 
 

@@ -1,14 +1,20 @@
 #!/usr/bin/env python
-"""A campus Science DMZ upgrade, CU-Boulder style (paper §6.1, Figs 6/7).
+"""A campus Science DMZ upgrade, start to finish (paper §2 and §6.1).
 
-Walks the University of Colorado story:
+One campus story in two acts:
 
-1. the physics (CMS) cluster pushes ~5 Gbps aggregate through a 10G
-   uplink whose aggregation switch hides a cut-through -> store-and-
-   forward flip bug with shallow buffers;
-2. perfSONAR monitoring shows the loss and the throughput collapse;
-3. the vendor fix (plus architecture changes) is applied;
-4. per-host throughput returns to near line rate.
+1. **Plan and apply** (§2, CC-NIE style): start from a general-purpose
+   campus whose science servers live behind the firewall, let the
+   planner derive the upgrade actions, apply them, and measure what the
+   scientists gained on their weekly 500 GB pull.
+2. **Debug the fabric** (§6.1, CU-Boulder): the physics (CMS) cluster
+   pushes ~5 Gbps aggregate through a 10G uplink whose aggregation
+   switch hides a cut-through -> store-and-forward flip bug; perfSONAR
+   shows the loss, the vendor fix lands, per-host throughput returns to
+   near line rate.  The before/after measurement runs as a serializable
+   :class:`repro.experiment.SweepSpec` over the registered
+   ``cu_host_throughput`` target, so the same experiment replays from a
+   JSON file via ``repro run``.
 
 Run:  python examples/campus_upgrade.py
 """
@@ -16,10 +22,56 @@ Run:  python examples/campus_upgrade.py
 import numpy as np
 
 from repro.analysis import ResultTable
-from repro.core import campus_with_rcnet
+from repro.core import apply_upgrade, campus_with_rcnet, general_purpose_campus, \
+    plan_upgrade
+from repro.dtn import Dataset, TransferPlan
+from repro.dtn.storage import ParallelFilesystem
+from repro.experiment import RunContext, SweepSpec, run_experiment
 from repro.netsim.packetsim import BurstySource, simulate_fan_in
-from repro.tcp import TcpConnection, algorithm_by_name
-from repro.units import Gbps, KB, Mbps, seconds
+from repro.units import GB, Gbps, KB, Mbps, seconds
+
+
+def plan_and_apply() -> None:
+    """Act 1 — the §2 upgrade: audit, plan, apply, measure the payoff."""
+    bundle = general_purpose_campus()
+    topo = bundle.topology
+    dataset = Dataset("weekly-results", GB(500), 400)
+    rng = np.random.default_rng(99)
+
+    print("BEFORE — the audit that motivates the grant proposal:")
+    print(bundle.audit().render_text())
+    before = TransferPlan(topo, bundle.remote_dtn, "lab-server1",
+                          dataset, "scp").execute(rng)
+    print(f"\nweekly 500 GB pull today: {before.summary()}\n")
+
+    plan = plan_upgrade(topo, science_hosts=bundle.dtns,
+                        border=bundle.border, wan=bundle.wan)
+    print(plan.render_text())
+    print()
+
+    result = apply_upgrade(
+        topo, science_hosts=bundle.dtns,
+        border=bundle.border, wan=bundle.wan,
+        allowed_peers=[bundle.remote_dtn],
+        storage_factory=lambda h: ParallelFilesystem(name=f"{h}-pfs"))
+    print("AFTER — the post-deployment audit:")
+    print(result.after.render_text())
+
+    dtn = result.dtn_map["lab-server1"]
+    after = TransferPlan(topo, bundle.remote_dtn, dtn, dataset, "globus",
+                         policy={"forbid_node_kinds": ("firewall",)}
+                         ).execute()
+
+    table = ResultTable("the scientist's view: weekly 500 GB pull",
+                        ["configuration", "rate", "elapsed"])
+    table.add_row(["before (scp to lab server)",
+                   before.mean_throughput.human(), before.duration.human()])
+    table.add_row([f"after (globus to {dtn})",
+                   after.mean_throughput.human(), after.duration.human()])
+    print()
+    print(table.render_text())
+    print(f"\nspeedup: {before.duration.s / after.duration.s:.0f}x; "
+          "the enterprise network and its firewall were not touched.")
 
 
 def cms_sources(n=9):
@@ -29,58 +81,57 @@ def cms_sources(n=9):
             for i in range(n)]
 
 
-def host_throughput(bundle, rng_seed):
-    """Measured TCP throughput from one cluster host to the remote site."""
-    profile = bundle.topology.profile_between(
-        "cms1", bundle.remote_dtn, **bundle.science_policy)
-    conn = TcpConnection(profile, algorithm=algorithm_by_name("htcp"),
-                         rng=np.random.default_rng(rng_seed))
-    return conn.measure(seconds(20), max_rounds=100_000).mean_throughput
+def fabric_spec() -> SweepSpec:
+    """§6.1 before/after as data: one grid axis, the vendor fix."""
+    return SweepSpec.from_grid(
+        {"fixed_fabric": [False, True], "rep": [1]},
+        name="cu-fabric-fix", target="cu_host_throughput",
+        value_label="bps",
+        description="CU-Boulder §6.1: per-host H-TCP throughput through "
+                    "the fan-in fabric, before and after the vendor fix")
 
 
-def main() -> None:
+def debug_the_fabric() -> None:
+    """Act 2 — the §6.1 fan-in bug, measured through the spec layer."""
     sources = cms_sources()
     offered = sum(s.mean_rate.bps for s in sources) / 1e9
     print(f"CMS cluster offered load: {offered:.1f} Gbps aggregate "
           f"from {len(sources)} hosts at 1G\n")
 
+    spec = fabric_spec()
+    result = run_experiment(spec, RunContext.from_env(), persist=False)
+    rate_by_mode = {r.params["fixed_fabric"]: r.value
+                    for r in result.value.records}
+
     table = ResultTable(
-        "CU Boulder physics fan-in — paper §6.1",
+        "CU Boulder physics fan-in — paper §6.1 "
+        f"(spec {spec.name!r}, digest {spec.digest()[:12]})",
         ["configuration", "fabric mode", "fan-in loss",
          "per-host TCP rate"],
     )
-
-    # Before: the buggy fabric flips under load.
-    before = campus_with_rcnet()
-    fabric = before.extras["fabric"]
-    fabric.set_offered_load(sources)
-    table.add_row([
-        "before (flip bug)", fabric.effective_mode.value,
-        f"{fabric.fan_in_loss():.3%}",
-        host_throughput(before, 1).human(),
-    ])
-
-    # Packet-level cross-check of the closed-form loss estimate.
-    packet_check = simulate_fan_in(
-        sources,
-        egress_rate=fabric.effective_service_rate,
-        buffer_size=fabric.effective_buffer,
-        duration=seconds(1.0),
-        rng=np.random.default_rng(2),
-    )
-    print(f"packet-level cross-check (buggy fabric): "
-          f"loss {packet_check.loss_fraction:.3%} vs closed-form "
-          f"{fabric.fan_in_loss():.3%}\n")
-
-    # After: vendor fix applied.
-    after = campus_with_rcnet(fixed_fabric=True)
-    fixed_fabric = after.extras["fabric"]
-    fixed_fabric.set_offered_load(sources)
-    table.add_row([
-        "after (vendor fix)", fixed_fabric.effective_mode.value,
-        f"{fixed_fabric.fan_in_loss():.3%}",
-        host_throughput(after, 1).human(),
-    ])
+    bundles = {}
+    for fixed, label in ((False, "before (flip bug)"),
+                         (True, "after (vendor fix)")):
+        bundle = bundles[fixed] = campus_with_rcnet(fixed_fabric=fixed)
+        fabric = bundle.extras["fabric"]
+        fabric.set_offered_load(sources)
+        rate_bps = rate_by_mode[fixed]
+        rate = (f"{rate_bps / 1e9:.2f} Gbps" if rate_bps >= 1e9
+                else f"{rate_bps / 1e6:.1f} Mbps")
+        table.add_row([label, fabric.effective_mode.value,
+                       f"{fabric.fan_in_loss():.3%}", rate])
+        if not fixed:
+            # Packet-level cross-check of the closed-form loss estimate.
+            packet_check = simulate_fan_in(
+                sources,
+                egress_rate=fabric.effective_service_rate,
+                buffer_size=fabric.effective_buffer,
+                duration=seconds(1.0),
+                rng=np.random.default_rng(2),
+            )
+            print(f"packet-level cross-check (buggy fabric): "
+                  f"loss {packet_check.loss_fraction:.3%} vs closed-form "
+                  f"{fabric.fan_in_loss():.3%}\n")
 
     print(table.render_text())
     print("\npaper: 'performance returned to near line rate for each "
@@ -88,7 +139,15 @@ def main() -> None:
 
     # The audit view of the finished campus.
     print()
-    print(after.audit().render_text())
+    print(bundles[True].audit().render_text())
+
+
+def main() -> None:
+    plan_and_apply()
+    print()
+    print("=" * 72)
+    print()
+    debug_the_fabric()
 
 
 if __name__ == "__main__":

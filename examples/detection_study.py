@@ -1,60 +1,73 @@
 #!/usr/bin/env python
-"""Detection-latency study with the scenario runner and sweep helper.
+"""Detection-latency study through the serializable experiment layer.
 
 How fast does a Science DMZ's monitoring catch a §2-style soft failure,
-as a function of how aggressively it probes?  This composes two of the
-library's orchestration tools:
+as a function of how aggressively it probes?  The whole study is one
+:class:`repro.experiment.SweepSpec` over the registered
+``detection_delay`` target — each grid point builds a
+:class:`repro.scenario.Scenario` (simple Science DMZ, 1/22000 line card
+at T+30 min, 8-hour watch) and reports minutes-to-first-alert.  Because
+it is a spec, the identical study also runs from JSON::
 
-* :class:`repro.scenario.Scenario` — declarative fault/mesh timelines;
-* :func:`repro.analysis.sweep` — parameter grids with table output.
+    python - <<'PY'
+    from examples.detection_study import study_spec
+    study_spec().save("detection_study.json")
+    PY
+    python -m repro.cli run detection_study.json --cache
 
 Run:  python examples/detection_study.py
 """
 
-from repro.analysis import sweep
-from repro.core import simple_science_dmz
-from repro.devices.faults import FailingLineCard
-from repro.perfsonar import MeshConfig
-from repro.scenario import Scenario
-from repro.units import minutes
+from repro.experiment import RunContext, SweepSpec, run_experiment
+
+CADENCES_MIN = (1, 5, 15)
+PROBE_COUNTS = (600, 6000, 20000)
+REPS = (1, 2)
 
 
-def detection_delay_minutes(cadence_min: float, probes: int,
-                            seed: int) -> float:
-    """Minutes to detect the §2 line card at the given probe settings."""
-    bundle = simple_science_dmz()
-    scenario = (
-        Scenario(bundle, seed=seed)
-        .with_mesh(
-            ["dmz-perfsonar", "remote-dtn"],
-            config=MeshConfig(owamp_interval=minutes(cadence_min),
-                              bwctl_interval=minutes(60),
-                              owamp_packets=probes))
-        .inject("border", FailingLineCard(), at=minutes(30))
-    )
-    outcome = scenario.run(until=minutes(30 + 8 * 60))
-    delay = outcome.detection_delays[0]
-    return float("inf") if delay is None else delay / 60.0
+def study_spec() -> SweepSpec:
+    """The probe-cadence × probe-volume grid, two seeds per point."""
+    return SweepSpec.from_grid(
+        {"cadence_min": list(CADENCES_MIN),
+         "probes": list(PROBE_COUNTS),
+         "rep": list(REPS)},
+        name="detection-study", target="detection_delay",
+        value_label="detect_delay_min",
+        description="minutes to detect the §2 line card vs OWAMP "
+                    "cadence and probe volume (fault at T+30min, "
+                    "8h watch)")
 
 
 def main() -> None:
-    result = sweep(
-        lambda cadence_min, probes: round(
-            min(detection_delay_minutes(cadence_min, probes, seed)
-                for seed in (1, 2)), 1),
-        {
-            "cadence_min": [1, 5, 15],
-            "probes": [600, 6000, 20000],
-        },
-        value_label="detect_delay_min",
-    )
-    print(result.table(
-        "minutes to detect a 1/22000-loss line card "
-        "(min of 2 seeds, fault at T+30min, 8h watch)").render_text())
+    result = run_experiment(study_spec(), RunContext.from_env(),
+                            persist=False).value
 
-    best = result.best(key=lambda v: -v if v != float("inf") else -1e9)
-    print(f"\nfastest configuration: {best.params} "
-          f"-> {best.value} min")
+    # Collapse the rep axis: best (minimum) detection delay per point;
+    # a None value means that seed's mesh never saw the loss.
+    best_delay = {}
+    for record in result.records:
+        key = (record.params["cadence_min"], record.params["probes"])
+        seen = best_delay.get(key)
+        if record.value is not None and (seen is None
+                                         or record.value < seen):
+            best_delay[key] = record.value
+
+    from repro.analysis import ResultTable
+    table = ResultTable(
+        "minutes to detect a 1/22000-loss line card "
+        f"(min of {len(REPS)} seeds, fault at T+30min, 8h watch)",
+        ["cadence_min", "probes", "detect_delay_min"])
+    for cadence in CADENCES_MIN:
+        for probes in PROBE_COUNTS:
+            delay = best_delay.get((cadence, probes))
+            table.add_row([cadence, probes,
+                           "missed" if delay is None else delay])
+    print(table.render_text())
+
+    detected = {k: v for k, v in best_delay.items() if v is not None}
+    fastest = min(detected, key=detected.get)
+    print(f"\nfastest configuration: cadence_min={fastest[0]}, "
+          f"probes={fastest[1]} -> {detected[fastest]} min")
     print("takeaway: probe volume matters as much as cadence at loss "
           "rates this low — single sessions usually see zero lost packets.")
 

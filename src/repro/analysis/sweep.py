@@ -113,6 +113,7 @@ def sweep(
     seed_param: str = "seed",
     code_version: Optional[str] = None,
     mp_context=None,
+    metrics=None,
 ) -> SweepResult:
     """Evaluate ``fn(**point)`` over the cartesian product of ``grid``.
 
@@ -152,6 +153,11 @@ def sweep(
         of ``fn``'s source, so editing ``fn`` invalidates its entries.
     mp_context:
         Optional :mod:`multiprocessing` context for the pool.
+    metrics:
+        Optional shared :class:`~repro.telemetry.MetricsRegistry` the
+        engine counters land in — lets a
+        :class:`~repro.experiment.RunContext` aggregate sweep, cache
+        and scenario counters in one place.
     """
     if on_error is not None:
         if on_error not in ("raise", "record"):
@@ -173,6 +179,7 @@ def sweep(
               for combo in itertools.product(*(grid[n] for n in names))]
 
     engine_needed = (cache is not None or base_seed is not None
+                     or metrics is not None
                      or (workers is not None and workers > 1))
     if not engine_needed:
         for params in points:
@@ -190,7 +197,8 @@ def sweep(
     runner = ParallelRunner(workers, cache=cache, base_seed=base_seed,
                             seed_param=seed_param,
                             code_version=code_version,
-                            mp_context=mp_context)
+                            mp_context=mp_context,
+                            metrics=metrics)
     for outcome in runner.map(fn, points, catch_errors=catch_errors):
         result.records.append(SweepRecord(
             params=outcome.params, value=outcome.value,

@@ -12,6 +12,10 @@ Gives operators the library's main workflows without writing Python:
   event log (Chrome ``trace_event`` JSON + optional JSONL);
 * ``sweep``    — parallel, cacheable parameter studies (Figure 1's
   loss×RTT grid from the command line);
+* ``run``      — execute a serializable experiment spec
+  (``specs/*.json``) through the experiment layer, writing a
+  provenance manifest; ``--golden`` gates on recorded digests;
+* ``specs``    — list the spec files in a directory with their digests;
 * ``bench``    — time the simulator's hot paths and gate against the
   committed performance baseline (``benchmarks/baseline.json``).
 
@@ -28,6 +32,8 @@ Examples
         --at 30m --until 2h --out dmz.trace.json
     python -m repro.cli sweep mathis --rtt 1,10,50,100 \
         --loss 4.5e-5,1e-4 --workers 4 --cache --stats
+    python -m repro.cli run specs/linecard_softfail.json --cache --stats
+    python -m repro.cli specs
 """
 
 from __future__ import annotations
@@ -39,30 +45,18 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from .analysis import ResultTable
-from .core import (
-    apply_upgrade,
-    big_data_site,
-    campus_with_rcnet,
-    general_purpose_campus,
-    plan_upgrade,
-    simple_science_dmz,
-    supercomputer_center,
-)
+from .core import apply_upgrade, plan_upgrade
 from .core.designs import DesignBundle
 from .dtn import Dataset, TransferPlan, TOOL_REGISTRY
 from .errors import ReproError
+# The design registry moved to the experiment layer (specs refer to the
+# same names); re-exported here because callers and tests iterate
+# ``cli.DESIGNS``.
+from .experiment.registry import DESIGNS, mathis_grid_point
 from .tcp.mathis import mathis_throughput, required_window
 from .units import parse_rate, parse_size, parse_time
 
 __all__ = ["main", "DESIGNS"]
-
-DESIGNS: Dict[str, Callable[[], DesignBundle]] = {
-    "general-purpose-campus": general_purpose_campus,
-    "simple-science-dmz": simple_science_dmz,
-    "supercomputer-center": supercomputer_center,
-    "big-data-site": big_data_site,
-    "colorado-campus": campus_with_rcnet,
-}
 
 
 def _build(name: str) -> DesignBundle:
@@ -241,18 +235,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def mathis_grid_point(rtt_ms: float, loss: float, mss_bytes: int) -> float:
-    """Mathis ceiling in Gbps for one (RTT, loss) grid point.
-
-    Module-level on purpose: ``repro sweep --workers N`` ships it to a
-    process pool, which requires an importable, picklable function.
-    """
-    from .units import bytes_, seconds
-    rate = mathis_throughput(bytes_(mss_bytes), seconds(rtt_ms / 1e3), loss)
-    return round(rate.bps / 1e9, 6)
-
-
-#: Swept functions for ``repro sweep <target>``.
+#: Swept functions for ``repro sweep <target>`` (the full registry —
+#: including the Figure 1 measured grid — lives in
+#: :data:`repro.experiment.registry.SWEEP_TARGETS`; this quick-CLI
+#: command keeps only the grid its ``--rtt/--loss/--mss`` flags fit).
 SWEEP_TARGETS: Dict[str, Callable[..., object]] = {
     "mathis": mathis_grid_point,
 }
@@ -322,6 +308,121 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             handle.write("\n")
         print(f"wrote execution stats to {args.stats_json}")
     return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .experiment import ExperimentSpec, RunContext, run_experiment
+
+    spec = ExperimentSpec.from_file(args.spec)
+
+    workers = args.workers
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS", "")
+        workers = int(env) if env else 1
+    cache = None
+    if args.cache or args.cache_dir is not None:
+        cache = (args.cache_dir
+                 or os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+    ctx = RunContext(workers=workers, cache=cache,
+                     artifacts=args.artifacts)
+
+    result = run_experiment(spec, ctx, persist=not args.no_persist)
+    manifest = result.manifest
+
+    what = spec.description or spec.name
+    print(f"{spec.kind} {spec.name!r}: {what}")
+    from .analysis.sweep import SweepResult
+    if isinstance(result.value, SweepResult):
+        print(result.value.table(spec.name).render_text())
+    for key in sorted(manifest.summary):
+        print(f"  {key}: {manifest.summary[key]}")
+    if result.cached:
+        print("  (served from the result cache)")
+    print(f"  spec digest:     {manifest.spec_digest}")
+    print(f"  result digest:   {manifest.result_digest}")
+    print(f"  manifest digest: {manifest.digest()}")
+    if result.manifest_path:
+        print(f"  artifacts:       {result.artifact_dir}/")
+
+    if args.stats:
+        print()
+        print("execution stats:")
+        stats = ctx.stats()
+        for key in sorted(stats):
+            print(f"  {key}: {stats[key]}")
+
+    if args.golden:
+        try:
+            with open(args.golden, "r", encoding="utf-8") as handle:
+                golden = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise ReproError(f"cannot read golden file "
+                             f"{args.golden!r}: {exc}")
+        entry = golden.get(spec.name)
+        if entry is None:
+            raise ReproError(
+                f"golden file {args.golden!r} has no entry for "
+                f"spec {spec.name!r}")
+        drift = []
+        for field in ("spec_digest", "result_digest"):
+            want = entry.get(field)
+            got = getattr(manifest, field)
+            if want != got:
+                drift.append(f"  {field}: golden {want} != run {got}")
+        if drift:
+            print(f"GOLDEN DRIFT for {spec.name!r}:", file=sys.stderr)
+            for line in drift:
+                print(line, file=sys.stderr)
+            return 1
+        print(f"golden: spec and result digests match {args.golden}")
+    return 0
+
+
+def cmd_specs(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from .errors import ConfigurationError
+    from .experiment import ExperimentSpec
+
+    root = pathlib.Path(args.dir)
+    if not root.is_dir():
+        raise ReproError(f"no spec directory {str(root)!r}")
+    rows = []
+    bad = 0
+    for path in sorted(root.glob("*.json")):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as exc:
+            bad += 1
+            rows.append([path.name, "-", "-", "-", "-",
+                         f"UNREADABLE: {exc}"])
+            continue
+        if not isinstance(data, dict) or "kind" not in data:
+            continue  # sidecar JSON (e.g. golden.json), not a spec
+        try:
+            spec = ExperimentSpec.from_dict(data)
+        except ConfigurationError as exc:
+            bad += 1
+            rows.append([path.name, "-", "-", "-", "-",
+                         f"UNREADABLE: {exc}"])
+            continue
+        rows.append([path.name, spec.kind, spec.name, spec.seed,
+                     spec.digest()[:12], spec.description])
+    if not rows:
+        print(f"no *.json specs under {root}/")
+        return 0
+    table = ResultTable(f"specs under {root}/",
+                        ["file", "kind", "name", "seed", "digest",
+                         "description"])
+    for row in rows:
+        table.add_row(row)
+    print(table.render_text())
+    return 1 if bad else 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -519,6 +620,35 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the counters as JSON here "
                               "(CI artifact)")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_run = sub.add_parser(
+        "run",
+        help="execute an experiment spec JSON and write its manifest")
+    p_run.add_argument("spec", help="path to a spec file (see `repro specs`)")
+    p_run.add_argument("--workers", type=int, default=None,
+                       help="process-pool size (default: $REPRO_WORKERS "
+                            "or 1)")
+    p_run.add_argument("--cache", action="store_true",
+                       help="cache results under .repro-cache/")
+    p_run.add_argument("--cache-dir", default=None,
+                       help="cache directory (implies --cache)")
+    p_run.add_argument("--artifacts", default=None,
+                       help="artifact directory (default runs/<name>/)")
+    p_run.add_argument("--no-persist", action="store_true",
+                       help="do not write spec/result/manifest files "
+                            "(digests are printed regardless)")
+    p_run.add_argument("--stats", action="store_true",
+                       help="print execution/cache telemetry counters")
+    p_run.add_argument("--golden", default=None, metavar="GOLDEN_JSON",
+                       help="compare spec/result digests against this "
+                            "recorded ledger; exit 1 on drift")
+    p_run.set_defaults(func=cmd_run)
+
+    p_specs = sub.add_parser(
+        "specs", help="list experiment spec files with their digests")
+    p_specs.add_argument("--dir", default="specs",
+                         help="directory to scan (default specs/)")
+    p_specs.set_defaults(func=cmd_specs)
 
     p_bench = sub.add_parser(
         "bench",

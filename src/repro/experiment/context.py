@@ -1,0 +1,159 @@
+"""RunContext: the *how* of an experiment run.
+
+A spec says *what* to run; a :class:`RunContext` says *how* — pool
+size, result cache, artifact directory, tracer, metrics registry, and
+the seed tree.  The same spec executed through any context yields the
+same numbers; contexts only change speed and observability.  That
+separation (run description vs. run configuration) follows the
+run/config split of reproducible-workflow frameworks: the spec travels
+in a repo, the context is a property of the machine running it.
+
+Seed tree
+---------
+The context derives every subsystem seed from the spec's root seed via
+:func:`repro.exec.seeding.derive_seed` on a labelled path::
+
+    ctx.bind(spec.seed)
+    ctx.seed("scenario")          # stable, collision-free 64-bit seeds
+    ctx.seed("sweep", "point", 3)
+
+so adding a new consumer of randomness never shifts anyone else's
+stream — the property that makes "same spec + seed ⇒ same manifest
+digest" hold as the system grows.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+from ..exec.cache import ResultCache
+from ..exec.runner import ParallelRunner
+from ..exec.seeding import derive_seed
+from ..telemetry import MetricsRegistry, ensure_tracer
+
+__all__ = ["RunContext", "DEFAULT_RUNS_DIR"]
+
+#: Default root for per-run artifact directories.
+DEFAULT_RUNS_DIR = "runs"
+
+
+class RunContext:
+    """Execution environment for :func:`repro.experiment.run_experiment`.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool size for sweep fan-out; ``None``/``0``/``1`` runs
+        serially.  Results are byte-identical either way.
+    cache:
+        A :class:`~repro.exec.cache.ResultCache`, a directory path to
+        create one at, or None.  Applies uniformly: sweep grid points
+        *and* whole scenario runs are cached.
+    artifacts:
+        Directory to write run artifacts (spec/result/manifest) under;
+        defaults to ``runs/<spec name>/``.  None plus ``persist=False``
+        keeps everything in memory.
+    trace:
+        ``True`` for a fresh tracer or an existing
+        :class:`~repro.telemetry.Tracer`; rides into scenario runs.
+        Traced scenario runs bypass the result cache (a cache hit could
+        not replay the events).
+    metrics:
+        Shared :class:`~repro.telemetry.MetricsRegistry`; the cache and
+        runner counters land here so one registry shows the whole run.
+    """
+
+    def __init__(self, *, workers: Optional[int] = None,
+                 cache: Optional[ResultCache | str | os.PathLike] = None,
+                 artifacts: Optional[os.PathLike | str] = None,
+                 trace=None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.workers = max(1, int(workers or 1))
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if isinstance(cache, (str, os.PathLike)):
+            cache = ResultCache(cache, metrics=self.metrics)
+        self.cache = cache
+        self.artifacts = (pathlib.Path(artifacts)
+                          if artifacts is not None else None)
+        self.tracer = ensure_tracer(trace)
+        self._root_seed: Optional[int] = None
+
+    @classmethod
+    def from_env(cls, **overrides) -> "RunContext":
+        """A context honoring the harness env knobs.
+
+        ``REPRO_WORKERS`` sets the pool size and ``REPRO_CACHE`` the
+        cache (``1`` = default ``.repro-cache/``, anything else = the
+        directory) — the same contract ``benchmarks/_common.py``
+        established for the bench harness.
+        """
+        if "workers" not in overrides:
+            value = os.environ.get("REPRO_WORKERS", "")
+            overrides["workers"] = int(value) if value else None
+        if "cache" not in overrides:
+            value = os.environ.get("REPRO_CACHE", "")
+            if value and value != "0":
+                from ..exec.cache import DEFAULT_CACHE_DIR
+                overrides["cache"] = (DEFAULT_CACHE_DIR if value == "1"
+                                      else value)
+        return cls(**overrides)
+
+    # -- seed tree ------------------------------------------------------------
+    def bind(self, root_seed: int) -> "RunContext":
+        """Anchor the seed tree at a spec's root seed; returns self."""
+        self._root_seed = int(root_seed)
+        return self
+
+    @property
+    def root_seed(self) -> int:
+        if self._root_seed is None:
+            raise ConfigurationError(
+                "RunContext has no root seed; call bind(spec.seed) first")
+        return self._root_seed
+
+    def seed(self, *path: object) -> int:
+        """A stable 64-bit seed for the labelled ``path`` under the root.
+
+        Pure function of ``(root_seed, path)`` — order-sensitive,
+        scheduling-independent, identical in every worker process.
+        """
+        if not path:
+            return self.root_seed
+        return derive_seed(self.root_seed,
+                           {"path": [str(p) for p in path]})
+
+    # -- execution plumbing ---------------------------------------------------
+    def runner(self, *, base_seed: Optional[int] = None,
+               seed_param: str = "seed",
+               code_version: Optional[str] = None,
+               cached: bool = True) -> ParallelRunner:
+        """A :class:`ParallelRunner` wired to this context's knobs."""
+        return ParallelRunner(
+            self.workers,
+            cache=self.cache if cached else None,
+            base_seed=base_seed,
+            seed_param=seed_param,
+            code_version=code_version,
+            metrics=self.metrics,
+        )
+
+    def artifact_dir(self, name: str) -> pathlib.Path:
+        """The (created) artifact directory for a run of spec ``name``."""
+        root = (self.artifacts if self.artifacts is not None
+                else pathlib.Path(DEFAULT_RUNS_DIR) / name)
+        root.mkdir(parents=True, exist_ok=True)
+        return root
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot (cache + runner) for manifests and CLIs."""
+        out: Dict[str, int] = {}
+        for metric in self.metrics:
+            if getattr(metric, "kind", "") != "counter":
+                continue
+            label = (f"{metric.component}.{metric.name}"
+                     if metric.component else metric.name)
+            out[label] = int(metric.value)
+        return out

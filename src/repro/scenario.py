@@ -88,7 +88,11 @@ class Scenario:
     seed:
         Root seed for the run's random streams.
     alert_rule:
-        Thresholds used when evaluating the outcome.
+        Thresholds used when evaluating the outcome; None means the
+        default ``AlertRule(loss_rate_threshold=1e-5)``.  (A ``None``
+        sentinel, not a default instance: a default constructed in the
+        signature would be one shared object mutated across every
+        scenario in the process.)
     """
 
     def __init__(
@@ -96,17 +100,77 @@ class Scenario:
         bundle: DesignBundle,
         *,
         seed: int = 0,
-        alert_rule: AlertRule = AlertRule(loss_rate_threshold=1e-5),
+        alert_rule: Optional[AlertRule] = None,
     ) -> None:
         self.bundle = bundle
         self.sim = Simulator(seed=seed)
         self.archive = MeasurementArchive()
         self.injector = FaultInjector(self.sim)
-        self.alert_rule = alert_rule
+        self.alert_rule = (alert_rule if alert_rule is not None
+                           else AlertRule(loss_rate_threshold=1e-5))
         self._mesh: Optional[MeshSchedule] = None
         self._pending_faults: List[Tuple[TimeDelta, str, object]] = []
         self._repairs: List[TimeDelta] = []
         self._ran = False
+
+    # -- construction from specs --------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec, *, bundle: Optional[DesignBundle] = None
+                  ) -> "Scenario":
+        """Build a scenario from a serializable
+        :class:`~repro.experiment.spec.ScenarioSpec`.
+
+        The spec carries only names and scalars; designs and faults are
+        resolved through :mod:`repro.experiment.registry`.  Pass
+        ``bundle`` to reuse an already-built design (the default builds
+        ``spec.design`` fresh).  Run the result with
+        ``scenario.run(until=seconds(spec.until_s))`` — or, better, run
+        the spec through :func:`repro.experiment.run_experiment`, which
+        adds caching and a provenance manifest.
+        """
+        # Imported lazily: repro.experiment imports this module.
+        from .experiment.registry import build_design, build_fault
+        from .units import seconds
+
+        if bundle is None:
+            bundle = build_design(spec.design)
+        rule = AlertRule(
+            loss_rate_threshold=spec.alert_rule.loss_rate_threshold,
+            throughput_drop_fraction=(
+                spec.alert_rule.throughput_drop_fraction),
+            latency_rise_fraction=spec.alert_rule.latency_rise_fraction,
+            baseline_samples=spec.alert_rule.baseline_samples,
+        )
+        scenario = cls(bundle, seed=spec.seed, alert_rule=rule)
+        hosts = list(spec.mesh.hosts)
+        if not hosts:
+            # Same derivation as `repro trace`: the design's perfSONAR
+            # hosts (or first DTN) meshed against the remote peer.
+            hosts = list(bundle.perfsonar) or bundle.dtns[:1]
+            hosts = [h for h in hosts if h != bundle.remote_dtn]
+            hosts.append(bundle.remote_dtn)
+        if len(hosts) < 2:
+            raise ConfigurationError(
+                f"design {spec.design!r} yields no host pair to mesh; "
+                "list mesh hosts explicitly in the spec")
+        scenario.with_mesh(hosts, config=MeshConfig(
+            owamp_interval=seconds(spec.mesh.owamp_interval_s),
+            bwctl_interval=seconds(spec.mesh.bwctl_interval_s),
+            bwctl_duration=seconds(spec.mesh.bwctl_duration_s),
+            owamp_packets=spec.mesh.owamp_packets,
+            algorithm=spec.mesh.algorithm,
+        ))
+        for fault_spec in spec.faults:
+            node = fault_spec.node or bundle.border
+            scenario.inject(node,
+                            build_fault(fault_spec.kind,
+                                        fault_spec.param_mapping()),
+                            at=seconds(fault_spec.at_s))
+        for repair_s in spec.repairs_s:
+            scenario.repair_at(seconds(repair_s))
+        for cut in spec.link_cuts:
+            scenario.cut_link(cut.a, cut.b, at=seconds(cut.at_s))
+        return scenario
 
     # -- builder API -------------------------------------------------------------
     def with_mesh(

@@ -114,7 +114,32 @@ def test_section_7_tracing(tmp_path):
     assert trace_path.exists() and jsonl_path.exists()
 
 
-def test_section_8_upgrade():
+def test_section_8_experiments(tmp_path):
+    from repro.experiment import (
+        ExperimentSpec,
+        FaultSpec,
+        MeshSpec,
+        RunContext,
+        ScenarioSpec,
+        run_experiment,
+    )
+
+    spec = ScenarioSpec(
+        name="linecard-softfail",
+        seed=5,
+        until_s=minutes(90).s,
+        mesh=MeshSpec(hosts=("dmz-perfsonar", "remote-dtn")),
+        faults=(FaultSpec(kind="linecard", at_s=minutes(30).s),),
+    )
+    assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    result = run_experiment(spec, RunContext(cache=tmp_path / "cache",
+                                             artifacts=tmp_path / "runs"))
+    assert result.payload["detection_delays_s"]["0"] is not None
+    assert len(result.manifest.digest()) == 64
+
+
+def test_section_9_upgrade():
     baseline = general_purpose_campus()
     plan = plan_upgrade(baseline.topology, science_hosts=baseline.dtns,
                         border=baseline.border, wan=baseline.wan)

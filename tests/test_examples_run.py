@@ -39,11 +39,11 @@ def test_example_runs(script):
     ("quickstart.py", "Science DMZ speedup"),
     ("noaa_reforecast.py", "speedup"),
     ("campus_upgrade.py", "vendor fix"),
+    ("campus_upgrade.py", "speedup"),
     ("lhc_tier1.py", "aggregate"),
     ("troubleshoot_softfail.py", "culprit"),
     ("trace_softfail.py", "same-seed rerun byte-identical: True"),
     ("future_tech.py", "bypass rule installed"),
-    ("upgrade_campus.py", "speedup"),
     ("detection_study.py", "fastest configuration"),
 ])
 def test_example_delivers_its_headline(script, needle):

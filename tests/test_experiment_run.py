@@ -1,0 +1,322 @@
+"""Experiment-runner contract: one spec, one digest, any execution mode.
+
+The acceptance property of the experiment layer: running the same spec
+with the same seed yields a RunManifest with an *identical digest* —
+serial, parallel, cache-cold or cache-warm — and the scenario path now
+exercises the ResultCache exactly like sweeps do.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiment import (
+    BenchSpec,
+    ExperimentSpec,
+    FaultSpec,
+    MeshSpec,
+    RunContext,
+    RunManifest,
+    ScenarioSpec,
+    SweepSpec,
+    package_code_version,
+    run_experiment,
+)
+from repro.perfsonar.alerts import AlertRule
+from repro.scenario import Scenario
+from repro.units import seconds
+
+
+def scenario_spec(name="t-scn", seed=5, until=1800.0) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name, seed=seed, until_s=until,
+        mesh=MeshSpec(hosts=("dmz-perfsonar", "remote-dtn")),
+        faults=(FaultSpec(kind="linecard", at_s=600.0),),
+    )
+
+
+def sweep_spec(name="t-swp") -> SweepSpec:
+    return SweepSpec.from_grid(
+        {"rtt_ms": [1, 10, 100], "loss": [4.5455e-5], "mss_bytes": [9000]},
+        name=name, target="mathis", value_label="gbps")
+
+
+class TestManifestIdentity:
+    @pytest.mark.parametrize("make_spec", [scenario_spec, sweep_spec])
+    def test_digest_identical_serial_parallel_cached(self, tmp_path,
+                                                     make_spec):
+        spec = make_spec()
+        cache_dir = tmp_path / "cache"
+        runs = [
+            run_experiment(spec, RunContext(), persist=False),
+            run_experiment(spec, RunContext(workers=2), persist=False),
+            run_experiment(spec, RunContext(cache=cache_dir),
+                           persist=False),               # cache-cold
+            run_experiment(spec, RunContext(cache=cache_dir),
+                           persist=False),               # cache-warm
+        ]
+        digests = {r.manifest.digest() for r in runs}
+        cores = {r.manifest.core_json() for r in runs}
+        assert len(digests) == 1
+        assert len(cores) == 1  # byte-identical deterministic cores
+        # The warm run answered from the cache without re-evaluating.
+        warm = runs[-1]
+        assert warm.cached
+        assert warm.manifest.stats.get("exec.runner.evaluated", 0) == 0
+
+    def test_two_runs_same_seed_byte_identical_manifest(self):
+        one = run_experiment(scenario_spec(), RunContext(), persist=False)
+        two = run_experiment(scenario_spec(), RunContext(), persist=False)
+        assert one.manifest.core_json() == two.manifest.core_json()
+        assert one.payload == two.payload
+
+    def test_different_seed_different_result(self):
+        base = run_experiment(sweep_spec(), RunContext(), persist=False)
+        other_spec = ScenarioSpec(
+            name="t-scn", seed=6, until_s=1800.0,
+            mesh=MeshSpec(hosts=("dmz-perfsonar", "remote-dtn")),
+            faults=(FaultSpec(kind="linecard", at_s=600.0),))
+        other = run_experiment(other_spec, RunContext(), persist=False)
+        assert base.manifest.digest() != other.manifest.digest()
+
+    def test_manifest_core_fields(self):
+        spec = sweep_spec()
+        result = run_experiment(spec, RunContext(), persist=False)
+        m = result.manifest
+        assert m.kind == "sweep" and m.name == spec.name
+        assert m.spec_digest == spec.digest()
+        assert m.seed == spec.seed
+        assert m.code_version == package_code_version()
+        assert m.summary["points"] == 3 and m.summary["ok"] == 3
+        assert "elapsed_s" in m.timings  # run section, outside the digest
+
+
+class TestScenarioThroughCache:
+    def test_cold_stores_then_warm_hits(self, tmp_path):
+        spec = scenario_spec()
+        cold = run_experiment(spec, RunContext(cache=tmp_path / "c"),
+                              persist=False)
+        warm = run_experiment(spec, RunContext(cache=tmp_path / "c"),
+                              persist=False)
+        assert cold.manifest.stats.get("exec.cache.stores") == 1
+        assert not cold.cached
+        assert warm.manifest.stats.get("exec.cache.hits") == 1
+        assert warm.cached
+        assert warm.payload == cold.payload
+
+    def test_from_spec_matches_hand_built_scenario(self):
+        spec = scenario_spec()
+        outcome_spec = Scenario.from_spec(spec).run(
+            until=seconds(spec.until_s))
+        from repro.core import simple_science_dmz
+        from repro.devices.faults import FailingLineCard
+        hand = Scenario(simple_science_dmz(), seed=5,
+                        alert_rule=AlertRule(loss_rate_threshold=1e-5))
+        hand.with_mesh(["dmz-perfsonar", "remote-dtn"])
+        hand.inject("border", FailingLineCard(), at=seconds(600.0))
+        outcome_hand = hand.run(until=seconds(1800.0))
+        assert outcome_spec.archive.count() == outcome_hand.archive.count()
+        assert len(outcome_spec.alerts) == len(outcome_hand.alerts)
+        assert outcome_spec.detection_delays == outcome_hand.detection_delays
+
+    def test_from_spec_derives_mesh_hosts(self):
+        spec = ScenarioSpec(name="derived", until_s=300.0)
+        scenario = Scenario.from_spec(spec)
+        outcome = scenario.run(until=seconds(300.0))
+        assert outcome.archive.count() > 0
+
+    def test_traced_run_bypasses_cache(self, tmp_path):
+        spec = scenario_spec()
+        ctx = RunContext(cache=tmp_path / "c", trace=True)
+        result = run_experiment(spec, ctx, persist=False)
+        assert result.value is not None and result.value.trace is not None
+        assert not result.manifest.stats.get("exec.cache.stores")
+
+
+class TestPersistence:
+    def test_artifacts_written_and_hashed(self, tmp_path):
+        spec = sweep_spec()
+        ctx = RunContext(artifacts=tmp_path / "run")
+        result = run_experiment(spec, ctx)
+        out = tmp_path / "run"
+        assert (out / "spec.json").exists()
+        assert (out / "result.json").exists()
+        assert (out / "manifest.json").exists()
+        from repro.experiment import file_sha256
+        m = result.manifest
+        assert m.artifacts["spec.json"] == file_sha256(out / "spec.json")
+        assert m.artifacts["result.json"] == file_sha256(out / "result.json")
+        # Round-trip the written manifest, digest-checked.
+        loaded = RunManifest.from_file(out / "manifest.json")
+        assert loaded.digest() == m.digest()
+        # The committed spec bytes re-parse to the same spec.
+        assert ExperimentSpec.from_file(out / "spec.json") == spec
+
+    def test_persist_off_same_digest(self, tmp_path):
+        spec = sweep_spec()
+        with_files = run_experiment(
+            spec, RunContext(artifacts=tmp_path / "a"))
+        without = run_experiment(spec, RunContext(), persist=False)
+        assert with_files.manifest.digest() == without.manifest.digest()
+
+    def test_tampered_manifest_rejected(self, tmp_path):
+        spec = sweep_spec()
+        run_experiment(spec, RunContext(artifacts=tmp_path / "a"))
+        path = tmp_path / "a" / "manifest.json"
+        data = json.loads(path.read_text())
+        data["seed"] = 999
+        path.write_text(json.dumps(data))
+        with pytest.raises(ConfigurationError, match="digest mismatch"):
+            RunManifest.from_file(path)
+
+    def test_bench_spec_runs(self, tmp_path):
+        spec = BenchSpec(name="t-bench", scenarios=("maxmin.numpy",),
+                         repeats=1, quick=True)
+        result = run_experiment(spec, RunContext(artifacts=tmp_path / "b"))
+        assert result.manifest.summary["scenarios"] == 1
+        assert "maxmin.numpy" in result.manifest.timings
+        # Timings are provenance, not identity: recorded outside the core
+        # but hashed among the run artifacts.
+        assert "timings.json" in result.manifest.run_artifacts
+        assert (tmp_path / "b" / "timings.json").exists()
+
+
+class TestContext:
+    def test_seed_tree_stable_and_distinct(self):
+        ctx = RunContext().bind(7)
+        assert ctx.seed() == 7
+        assert ctx.seed("a") == RunContext().bind(7).seed("a")
+        assert ctx.seed("a") != ctx.seed("b")
+        assert ctx.seed("a", 1) != ctx.seed("a", 2)
+
+    def test_unbound_seed_raises(self):
+        with pytest.raises(ConfigurationError, match="root seed"):
+            RunContext().root_seed
+
+    def test_from_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "envcache"))
+        ctx = RunContext.from_env()
+        assert ctx.workers == 3
+        assert ctx.cache is not None
+
+    def test_seeded_spec_needs_seeded_target(self):
+        spec = SweepSpec.from_grid({"rtt_ms": [1], "loss": [1e-5],
+                                    "mss_bytes": [9000]},
+                                   name="x", target="mathis", seeded=True)
+        with pytest.raises(ConfigurationError, match="seed"):
+            run_experiment(spec, RunContext(), persist=False)
+
+
+class TestAlertRuleSentinel:
+    def test_scenarios_do_not_share_alert_rule(self):
+        """Regression: a default AlertRule constructed in the signature
+        was one shared object across every Scenario in the process."""
+        from repro.core import simple_science_dmz
+        one = Scenario(simple_science_dmz())
+        two = Scenario(simple_science_dmz())
+        assert one.alert_rule is not two.alert_rule
+        assert one.alert_rule.loss_rate_threshold == pytest.approx(1e-5)
+
+    def test_explicit_rule_still_respected(self):
+        from repro.core import simple_science_dmz
+        rule = AlertRule(loss_rate_threshold=0.25)
+        assert Scenario(simple_science_dmz(),
+                        alert_rule=rule).alert_rule is rule
+
+
+class TestCli:
+    def run_cli(self, *argv):
+        from repro.cli import main
+        return main(list(argv))
+
+    def test_run_and_golden_match(self, tmp_path, capsys):
+        spec = sweep_spec(name="cli-swp")
+        spec_path = spec.save(tmp_path / "s.json")
+        result = run_experiment(spec, RunContext(), persist=False)
+        golden = {spec.name: {
+            "spec_digest": result.manifest.spec_digest,
+            "result_digest": result.manifest.result_digest}}
+        golden_path = tmp_path / "golden.json"
+        golden_path.write_text(json.dumps(golden))
+        rc = self.run_cli("run", spec_path, "--golden", str(golden_path),
+                          "--artifacts", str(tmp_path / "out"), "--stats")
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "digests match" in out
+        assert (tmp_path / "out" / "manifest.json").exists()
+
+    def test_run_golden_drift_fails(self, tmp_path, capsys):
+        spec = sweep_spec(name="cli-drift")
+        spec_path = spec.save(tmp_path / "s.json")
+        golden_path = tmp_path / "golden.json"
+        golden_path.write_text(json.dumps({spec.name: {
+            "spec_digest": "bogus", "result_digest": "bogus"}}))
+        rc = self.run_cli("run", spec_path, "--golden", str(golden_path),
+                          "--no-persist")
+        assert rc == 1
+        assert "GOLDEN DRIFT" in capsys.readouterr().err
+
+    def test_run_golden_missing_entry_errors(self, tmp_path):
+        spec = sweep_spec(name="cli-miss")
+        spec_path = spec.save(tmp_path / "s.json")
+        golden_path = tmp_path / "golden.json"
+        golden_path.write_text("{}")
+        assert self.run_cli("run", spec_path, "--golden", str(golden_path),
+                            "--no-persist") == 2
+
+    def test_run_unreadable_spec_errors(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        assert self.run_cli("run", str(bad)) == 2
+
+    def test_specs_lists_directory(self, tmp_path, capsys):
+        sweep_spec(name="listed").save(tmp_path / "a.json")
+        (tmp_path / "golden.json").write_text("{}")  # sidecar: skipped
+        assert self.run_cli("specs", "--dir", str(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "listed" in out and "golden" not in out
+
+    def test_specs_flags_malformed_spec(self, tmp_path, capsys):
+        (tmp_path / "bad.json").write_text(
+            '{"kind": "scenario", "schema": 999, "name": "x"}')
+        assert self.run_cli("specs", "--dir", str(tmp_path)) == 1
+        assert "UNREADABLE" in capsys.readouterr().out
+
+
+class TestCommittedSpecs:
+    """The specs/ directory this repo ships must stay loadable and
+    golden-consistent at the spec-digest level (result digests are
+    CI-gated by the golden-replay job, which actually runs them)."""
+
+    def test_committed_specs_parse(self):
+        import pathlib
+        root = pathlib.Path(__file__).parent.parent / "specs"
+        specs = {}
+        for path in sorted(root.glob("*.json")):
+            if path.name == "golden.json":
+                continue
+            spec = ExperimentSpec.from_file(path)
+            specs[spec.name] = spec
+        assert "linecard-softfail" in specs
+        assert "fig1-tcp-loss" in specs
+        assert "fig1-tcp-loss-quick" in specs
+
+    def test_golden_spec_digests_match_spec_files(self):
+        import pathlib
+        root = pathlib.Path(__file__).parent.parent / "specs"
+        golden = json.loads((root / "golden.json").read_text())
+        by_name = {}
+        for path in root.glob("*.json"):
+            if path.name == "golden.json":
+                continue
+            spec = ExperimentSpec.from_file(path)
+            by_name[spec.name] = spec
+        for name, entry in golden.items():
+            assert name in by_name, f"golden entry {name!r} has no spec file"
+            assert by_name[name].digest() == entry["spec_digest"], (
+                f"spec file for {name!r} was edited without regenerating "
+                "specs/golden.json")

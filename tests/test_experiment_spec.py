@@ -1,0 +1,221 @@
+"""Spec-layer contract: lossless JSON round-trip, stable digests,
+helpful parse errors.
+
+The whole experiment layer rests on one invariant —
+``ExperimentSpec.from_json(spec.to_json()) == spec`` — so it is tested
+property-style over generated specs of every kind.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.experiment import (
+    SPEC_SCHEMA_VERSION,
+    AlertRuleSpec,
+    BenchSpec,
+    ExperimentSpec,
+    FaultSpec,
+    LinkCutSpec,
+    MeshSpec,
+    ScenarioSpec,
+    SweepSpec,
+    load_spec,
+)
+
+# -- strategies ---------------------------------------------------------------
+
+names = st.text(alphabet="abcdefghij-_0123456789", min_size=1, max_size=20)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+seconds_values = st.floats(min_value=1.0, max_value=100_000.0,
+                           allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def mesh_specs(draw):
+    return MeshSpec(
+        hosts=tuple(draw(st.lists(names, max_size=3))),
+        owamp_interval_s=draw(seconds_values),
+        bwctl_interval_s=draw(seconds_values),
+        bwctl_duration_s=draw(seconds_values),
+        owamp_packets=draw(st.integers(min_value=1, max_value=100_000)),
+        algorithm=draw(st.sampled_from(["reno", "htcp", "cubic"])),
+    )
+
+
+@st.composite
+def fault_specs(draw, horizon):
+    return FaultSpec(
+        kind=draw(st.sampled_from(["linecard", "optics", "cpu", "duplex"])),
+        at_s=draw(st.floats(min_value=0.0, max_value=horizon - 1.0,
+                            allow_nan=False)),
+        node=draw(st.one_of(st.none(), names)),
+        params=tuple(sorted(draw(st.dictionaries(
+            st.sampled_from(["loss_rate", "cpu_mbps"]),
+            st.floats(min_value=0.001, max_value=1000.0, allow_nan=False),
+            max_size=2)).items())),
+    )
+
+
+@st.composite
+def scenario_specs(draw):
+    until = draw(st.floats(min_value=60.0, max_value=100_000.0,
+                           allow_nan=False))
+    return ScenarioSpec(
+        name=draw(names),
+        seed=draw(seeds),
+        description=draw(st.text(max_size=30)),
+        design=draw(st.sampled_from(
+            ["simple-science-dmz", "big-data-site", "colorado-campus"])),
+        until_s=until,
+        mesh=draw(mesh_specs()),
+        faults=tuple(draw(st.lists(fault_specs(until), max_size=3))),
+        repairs_s=tuple(draw(st.lists(seconds_values, max_size=2))),
+        link_cuts=tuple(
+            LinkCutSpec(a=draw(names), b=draw(names), at_s=draw(seconds_values))
+            for _ in range(draw(st.integers(min_value=0, max_value=2)))),
+        alert_rule=AlertRuleSpec(
+            loss_rate_threshold=draw(st.floats(min_value=1e-9, max_value=0.5,
+                                               allow_nan=False))),
+    )
+
+
+grid_values = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(min_value=-100.0, max_value=100.0, allow_nan=False,
+              allow_infinity=False),
+    st.booleans(),
+    st.text(alphabet="abcxyz", max_size=5),
+)
+
+
+@st.composite
+def sweep_specs(draw):
+    params = draw(st.lists(names, min_size=1, max_size=3, unique=True))
+    grid = tuple(
+        (p, tuple(draw(st.lists(grid_values, min_size=1, max_size=3))))
+        for p in params)
+    return SweepSpec(
+        name=draw(names),
+        seed=draw(seeds),
+        description=draw(st.text(max_size=30)),
+        target=draw(names),
+        grid=grid,
+        value_label=draw(st.sampled_from(["value", "bps", "gbps"])),
+        on_error=draw(st.sampled_from(["raise", "record"])),
+        seeded=draw(st.booleans()),
+    )
+
+
+@st.composite
+def bench_specs(draw):
+    return BenchSpec(
+        name=draw(names),
+        seed=draw(seeds),
+        description=draw(st.text(max_size=30)),
+        scenarios=tuple(draw(st.lists(names, max_size=3))),
+        repeats=draw(st.integers(min_value=1, max_value=10)),
+        quick=draw(st.booleans()),
+    )
+
+
+any_spec = st.one_of(scenario_specs(), sweep_specs(), bench_specs())
+
+
+# -- the core invariant -------------------------------------------------------
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(spec=any_spec)
+    def test_json_round_trip_is_identity(self, spec):
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=any_spec)
+    def test_digest_stable_across_round_trip(self, spec):
+        again = ExperimentSpec.from_json(spec.to_json())
+        assert again.digest() == spec.digest()
+        assert again.to_json() == spec.to_json()
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=sweep_specs())
+    def test_sweep_grid_order_survives(self, spec):
+        """canonical_json sorts object keys; grid order must not care."""
+        again = ExperimentSpec.from_json(spec.to_json())
+        assert [p for p, _ in again.grid] == [p for p, _ in spec.grid]
+
+    def test_save_and_load_file(self, tmp_path):
+        spec = ScenarioSpec(name="file-trip", seed=9,
+                            faults=(FaultSpec(kind="linecard", at_s=60.0),))
+        path = spec.save(tmp_path / "s.json")
+        assert load_spec(path) == spec
+        # The file form is human-diffable (indented, sorted, newline).
+        text = (tmp_path / "s.json").read_text()
+        assert text.startswith("{\n") and text.endswith("\n")
+        assert json.loads(text)["schema"] == SPEC_SCHEMA_VERSION
+
+
+class TestSweepSpecHelpers:
+    def test_from_grid_preserves_order(self):
+        spec = SweepSpec.from_grid({"b": [1], "a": [2, 3]},
+                                   name="g", target="t")
+        assert [p for p, _ in spec.grid] == ["b", "a"]
+        assert spec.grid_mapping() == {"b": [1], "a": [2, 3]}
+        assert spec.points() == 2
+
+    def test_reordered_grid_changes_digest(self):
+        one = SweepSpec.from_grid({"a": [1], "b": [2]}, name="g", target="t")
+        two = SweepSpec.from_grid({"b": [2], "a": [1]}, name="g", target="t")
+        assert one.digest() != two.digest()
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        data = {"schema": SPEC_SCHEMA_VERSION, "kind": "mystery", "name": "x"}
+        with pytest.raises(ConfigurationError, match="unknown spec kind"):
+            ExperimentSpec.from_dict(data)
+
+    def test_wrong_schema_rejected(self):
+        data = {"schema": 999, "kind": "scenario", "name": "x"}
+        with pytest.raises(ConfigurationError, match="schema"):
+            ExperimentSpec.from_dict(data)
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            ExperimentSpec.from_json("{nope")
+
+    def test_missing_file_rejected(self):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            ExperimentSpec.from_file("/nonexistent/spec.json")
+
+    def test_fault_after_horizon_rejected(self):
+        with pytest.raises(ConfigurationError, match="not before"):
+            ScenarioSpec(name="x", until_s=100.0,
+                         faults=(FaultSpec(kind="linecard", at_s=200.0),))
+
+    def test_empty_sweep_grid_rejected(self):
+        with pytest.raises(ConfigurationError, match="grid"):
+            SweepSpec(name="x", target="t", grid=())
+
+    def test_duplicate_grid_param_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            SweepSpec(name="x", target="t",
+                      grid=(("a", (1,)), ("a", (2,))))
+
+    def test_bad_on_error_rejected(self):
+        with pytest.raises(ConfigurationError, match="on_error"):
+            SweepSpec(name="x", target="t", grid=(("a", (1,)),),
+                      on_error="explode")
+
+    def test_object_form_grid_accepted(self):
+        """Hand-written files may use {param: values} for the grid."""
+        data = {"schema": SPEC_SCHEMA_VERSION, "kind": "sweep",
+                "name": "hand", "target": "mathis",
+                "grid": {"rtt_ms": [1, 10]}}
+        spec = ExperimentSpec.from_dict(data)
+        assert spec.grid == (("rtt_ms", (1, 10)),)
