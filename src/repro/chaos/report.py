@@ -1,0 +1,136 @@
+"""The campaign report: survival curves, violation table, repro index.
+
+:func:`build_report` folds a finished campaign into one strict-JSON
+record.  That record **is** the experiment payload: its sha256 over
+canonical JSON is the campaign's result digest, gets compared by the
+golden gate and the CI smoke job, and therefore must be a pure
+function of ``(campaign spec, oracle verdicts)`` — no code version, no
+timings, no worker counts, nothing that varies between a serial cold
+run and a pooled warm one.
+
+``survival`` is the paper-style headline: of the schedules that drew
+*k* faults, what fraction came through with every invariant intact?
+The §3.3 argument is precisely that a Science DMZ with deployed
+test-and-measurement keeps these fractions high — soft failures get
+detected, transfers terminate, the mesh never goes dark.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..analysis.tables import ResultTable
+from ..exec.seeding import canonical_json
+
+__all__ = ["build_report", "render_report"]
+
+
+def _digest(core: Mapping[str, object]) -> str:
+    return hashlib.sha256(
+        canonical_json(core).encode("utf-8")).hexdigest()
+
+
+def build_report(spec, records: Sequence,
+                 oracle_items: Sequence[Tuple[str, Mapping[str, object]]]
+                 ) -> Dict[str, object]:
+    """The deterministic campaign report (also the run payload)."""
+    from .runner import _schedule_fault_payload
+
+    rows: List[Dict[str, object]] = []
+    by_fault_count: Dict[int, Dict[str, int]] = {}
+    by_oracle: Dict[str, Dict[str, int]] = {}
+    for record in records:
+        faults = _schedule_fault_payload(record.spec)
+        rows.append({
+            "index": record.index,
+            "name": record.spec.name,
+            "seed": record.spec.seed,
+            "spec_digest": record.spec.digest(),
+            "faults": faults,
+            "summary": dict(record.summary),
+            "violations": {name: list(msgs) for name, msgs
+                           in sorted(record.violations.items())},
+            "transfer_status": (record.transfer or {}).get("status"),
+            "minimal": (None if record.minimal is None else {
+                "name": record.minimal.name,
+                "spec_digest": record.minimal.digest(),
+                "faults": _schedule_fault_payload(record.minimal),
+                "artifact": f"repro-{record.spec.name}.json",
+            }),
+        })
+        bucket = by_fault_count.setdefault(
+            len(faults), {"schedules": 0, "clean": 0})
+        bucket["schedules"] += 1
+        bucket["clean"] += int(record.ok)
+        for name, msgs in record.violations.items():
+            entry = by_oracle.setdefault(
+                name, {"schedules": 0, "violations": 0})
+            entry["schedules"] += 1
+            entry["violations"] += len(msgs)
+
+    survival = {
+        str(n): {
+            "schedules": bucket["schedules"],
+            "clean": bucket["clean"],
+            "survival": bucket["clean"] / bucket["schedules"],
+        }
+        for n, bucket in sorted(by_fault_count.items())
+    }
+    core: Dict[str, object] = {
+        "campaign": spec.name,
+        "spec_digest": spec.digest(),
+        "seed": spec.seed,
+        "design": spec.design,
+        "schedules": len(records),
+        "failed": sum(1 for r in records if not r.ok),
+        "oracles": [{"name": name, "params": dict(params)}
+                    for name, params in sorted(oracle_items,
+                                               key=lambda i: i[0])],
+        "survival": survival,
+        "oracle_violations": {name: dict(counts) for name, counts
+                              in sorted(by_oracle.items())},
+        "runs": rows,
+    }
+    return {"digest": _digest(core), **core}
+
+
+def render_report(report: Mapping[str, object]) -> str:
+    """Human-readable rendering of a campaign report."""
+    lines = [
+        f"campaign {report['campaign']!r} over design "
+        f"{report['design']!r}: {report['schedules']} schedules, "
+        f"{report['failed']} failed "
+        f"(report digest {str(report['digest'])[:12]})",
+    ]
+    survival = ResultTable(
+        "survival by fault count",
+        ["faults", "schedules", "clean", "survival"])
+    for n, bucket in report["survival"].items():
+        survival.add_row([n, bucket["schedules"], bucket["clean"],
+                          f"{bucket['survival']:.0%}"])
+    lines.append(survival.render_text())
+    violations = report["oracle_violations"]
+    if violations:
+        table = ResultTable("oracle violations",
+                            ["oracle", "schedules", "violations"])
+        for name, counts in violations.items():
+            table.add_row([name, counts["schedules"],
+                           counts["violations"]])
+        lines.append(table.render_text())
+        for row in report["runs"]:
+            if not row["violations"]:
+                continue
+            lines.append(f"-- {row['name']} (seed {row['seed']}):")
+            for oracle, msgs in row["violations"].items():
+                for msg in msgs[:3]:
+                    lines.append(f"   {oracle}: {msg}")
+                if len(msgs) > 3:
+                    lines.append(f"   {oracle}: ... {len(msgs) - 3} more")
+            if row["minimal"] is not None:
+                lines.append(
+                    f"   shrunk to {len(row['minimal']['faults'])} "
+                    f"fault(s), replay: {row['minimal']['artifact']}")
+    else:
+        lines.append("every invariant held on every schedule")
+    return "\n".join(lines)

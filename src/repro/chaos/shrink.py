@@ -1,0 +1,74 @@
+"""Greedy delta-debugging of failing fault schedules.
+
+When a schedule violates an oracle, the interesting artifact is not the
+whole sampled timeline but the *minimal* fault set that still triggers
+the violation — that is what a network engineer can actually act on,
+and what the committed ``specs/``-style repro artifact should contain.
+
+:func:`shrink_schedule` runs one-removal-at-a-time ddmin: propose every
+schedule obtained by deleting a single fault, link cut, or repair;
+evaluate the whole batch (the caller routes evaluation through the
+exec engine, so candidates run in parallel and hit the result cache on
+repeats); accept the first candidate that still violates at least one
+of the *original* oracles; repeat to a fixpoint.  Intersecting on the
+original oracle names keeps the search from wandering onto a different
+failure than the one being minimized.
+
+Determinism: candidates are proposed in a fixed order (faults by
+position, then cuts, then repairs) and acceptance always takes the
+lowest index, so the minimal schedule is a pure function of the
+starting schedule and the oracle verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Sequence, Set
+
+from ..experiment.spec import ScenarioSpec
+
+__all__ = ["candidate_removals", "shrink_schedule"]
+
+#: ``evaluate(candidates)`` -> one ``{oracle: [violations]}`` per candidate.
+Evaluator = Callable[[Sequence[ScenarioSpec]], List[Dict[str, List[str]]]]
+
+
+def candidate_removals(spec: ScenarioSpec) -> List[ScenarioSpec]:
+    """Every schedule reachable by deleting one timeline element."""
+    out: List[ScenarioSpec] = []
+    for i in range(len(spec.faults)):
+        out.append(replace(
+            spec, faults=spec.faults[:i] + spec.faults[i + 1:]))
+    for i in range(len(spec.link_cuts)):
+        out.append(replace(
+            spec, link_cuts=spec.link_cuts[:i] + spec.link_cuts[i + 1:]))
+    for i in range(len(spec.repairs_s)):
+        out.append(replace(
+            spec, repairs_s=spec.repairs_s[:i] + spec.repairs_s[i + 1:]))
+    return out
+
+
+def shrink_schedule(spec: ScenarioSpec, violated: Set[str],
+                    evaluate: Evaluator, *,
+                    max_rounds: int = 64) -> ScenarioSpec:
+    """The fixpoint of greedy single-removal shrinking.
+
+    ``violated`` is the set of oracle names the full schedule tripped;
+    a candidate is accepted only if it still trips at least one of
+    them.  Returns ``spec`` unchanged when nothing can be removed.
+    """
+    current = spec
+    for _ in range(max_rounds):
+        candidates = candidate_removals(current)
+        if not candidates:
+            break
+        verdicts = evaluate(candidates)
+        accepted = None
+        for candidate, verdict in zip(candidates, verdicts):
+            if violated & set(verdict):
+                accepted = candidate
+                break
+        if accepted is None:
+            break
+        current = accepted
+    return current

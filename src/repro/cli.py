@@ -15,6 +15,9 @@ Gives operators the library's main workflows without writing Python:
 * ``run``      — execute a serializable experiment spec
   (``specs/*.json``) through the experiment layer, writing a
   provenance manifest; ``--golden`` gates on recorded digests;
+* ``chaos``    — run a fault campaign against its invariant oracles
+  (or replay a single shrunk schedule artifact); exits 1 on any
+  oracle violation;
 * ``specs``    — list the spec files in a directory with their digests;
 * ``bench``    — time the simulator's hot paths and gate against the
   committed performance baseline (``benchmarks/baseline.json``).
@@ -381,6 +384,117 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_oracle_arg(arg: str):
+    """``name[:k=v,...]`` -> ``(name, {k: v})`` with JSON-typed values."""
+    import json
+
+    name, _, rest = arg.partition(":")
+    name = name.strip()
+    if not name:
+        raise ReproError(f"bad --oracle {arg!r}: empty oracle name")
+    params = {}
+    if rest:
+        for piece in rest.split(","):
+            key, sep, raw = piece.partition("=")
+            if not sep or not key.strip():
+                raise ReproError(
+                    f"bad --oracle {arg!r}: expected NAME[:k=v,...], "
+                    f"got parameter piece {piece!r}")
+            try:
+                params[key.strip()] = json.loads(raw)
+            except ValueError:
+                params[key.strip()] = raw
+    return name, params
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .chaos import get_oracle
+    from .chaos.runner import _campaign_point
+    from .chaos.report import render_report
+    from .chaos.spec import CampaignSpec
+    from .exec.seeding import canonical_json
+    from .experiment import ExperimentSpec, RunContext, run_experiment
+    from .experiment.spec import ScenarioSpec
+
+    spec = ExperimentSpec.from_file(args.spec)
+    if args.seed is not None:
+        import dataclasses
+
+        spec = dataclasses.replace(spec, seed=args.seed)
+    oracle_items = [_parse_oracle_arg(a) for a in args.oracle or []]
+    for name, _ in oracle_items:
+        get_oracle(name)  # fail fast with the known-oracle list
+
+    if isinstance(spec, ScenarioSpec):
+        # Replay mode: judge one concrete schedule (e.g. a shrunk
+        # repro-*.json artifact) against the oracles, in-process.
+        if not oracle_items:
+            from .chaos import default_oracles
+
+            oracle_items = [(n, {}) for n in default_oracles()]
+        result = _campaign_point(
+            spec.to_json(),
+            canonical_json([[n, p] for n, p in oracle_items]),
+            canonical_json(None))
+        print(f"replayed schedule {spec.name!r} "
+              f"(seed {spec.seed}) against "
+              f"{len(oracle_items)} oracle(s)")
+        for key in sorted(result["summary"]):
+            print(f"  {key}: {result['summary'][key]}")
+        if result["violations"]:
+            for oracle, msgs in sorted(result["violations"].items()):
+                for msg in msgs:
+                    print(f"VIOLATION {oracle}: {msg}", file=sys.stderr)
+            return 1
+        print("every oracle held")
+        return 0
+
+    if not isinstance(spec, CampaignSpec):
+        raise ReproError(
+            f"`repro chaos` needs a campaign or scenario spec, got "
+            f"kind {spec.kind!r} from {args.spec!r}")
+    if oracle_items:
+        from .chaos.spec import OracleSpec
+        import dataclasses
+
+        spec = dataclasses.replace(spec, oracles=tuple(
+            OracleSpec(name=n, params=tuple(sorted(p.items())))
+            for n, p in oracle_items))
+
+    workers = args.workers
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS", "")
+        workers = int(env) if env else 1
+    cache = None
+    if args.cache or args.cache_dir is not None:
+        cache = (args.cache_dir
+                 or os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+    ctx = RunContext(workers=workers, cache=cache,
+                     artifacts=args.artifacts)
+
+    result = run_experiment(spec, ctx, persist=not args.no_persist)
+    print(render_report(result.payload))
+    print(f"  spec digest:     {result.manifest.spec_digest}")
+    print(f"  result digest:   {result.manifest.result_digest}")
+    if result.manifest_path:
+        print(f"  artifacts:       {result.artifact_dir}/")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(result.payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote campaign report to {args.report}")
+    if args.stats:
+        print()
+        print("execution stats:")
+        stats = ctx.stats()
+        for key in sorted(stats):
+            print(f"  {key}: {stats[key]}")
+    return 1 if result.manifest.summary.get("failed") else 0
+
+
 def cmd_specs(args: argparse.Namespace) -> int:
     import json
     import pathlib
@@ -643,6 +757,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="compare spec/result digests against this "
                             "recorded ledger; exit 1 on drift")
     p_run.set_defaults(func=cmd_run)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run a fault campaign against invariant oracles "
+             "(exit 1 on violation)")
+    p_chaos.add_argument("spec",
+                         help="campaign spec JSON, or a scenario spec "
+                              "(e.g. a shrunk repro-*.json) to replay")
+    p_chaos.add_argument("--seed", type=int, default=None,
+                         help="override the spec's root seed")
+    p_chaos.add_argument("--oracle", action="append", metavar="NAME[:k=v,..]",
+                         help="oracle to apply (repeatable); replaces the "
+                              "spec's oracle set")
+    p_chaos.add_argument("--workers", type=int, default=None,
+                         help="schedule fan-out pool size "
+                              "(default $REPRO_WORKERS or 1)")
+    p_chaos.add_argument("--cache", action="store_true",
+                         help="cache per-schedule results "
+                              "(.repro-cache/ or $REPRO_CACHE_DIR)")
+    p_chaos.add_argument("--cache-dir", default=None,
+                         help="cache directory (implies --cache)")
+    p_chaos.add_argument("--artifacts", default=None,
+                         help="artifact root (default artifacts/)")
+    p_chaos.add_argument("--no-persist", action="store_true",
+                         help="skip writing artifacts (digests are "
+                              "computed regardless)")
+    p_chaos.add_argument("--report", default=None, metavar="PATH",
+                         help="also write the campaign report JSON here")
+    p_chaos.add_argument("--stats", action="store_true",
+                         help="print cache/runner counters")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_specs = sub.add_parser(
         "specs", help="list experiment spec files with their digests")

@@ -23,6 +23,7 @@ from .faults import (
     DirtyOptics,
     ManagementCpuForwarding,
     DuplexMismatch,
+    StorageStall,
     FaultInjector,
     InjectedFault,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "DirtyOptics",
     "ManagementCpuForwarding",
     "DuplexMismatch",
+    "StorageStall",
     "FaultInjector",
     "InjectedFault",
     "SwitchFabric",

@@ -34,6 +34,7 @@ __all__ = [
     "DirtyOptics",
     "ManagementCpuForwarding",
     "DuplexMismatch",
+    "StorageStall",
     "InjectedFault",
     "FaultInjector",
 ]
@@ -156,6 +157,41 @@ class DuplexMismatch:
 
     def element_loss_probability(self) -> float:
         return self.loss_rate
+
+    def transform_flow(self, ctx):
+        return ctx
+
+
+@dataclass
+class StorageStall:
+    """A DTN's storage subsystem degrading mid-transfer.
+
+    A RAID rebuild, a dying disk, or a filesystem pathology drops the
+    host's effective I/O rate far below the network path; transfers
+    crawl (or stop entirely at ``stall_rate`` zero-equivalent values)
+    while every *network* counter looks clean — the end-to-end seam the
+    "Reexamining Paradigms" critique warns about.  Modeled as a path
+    element on the DTN node capping capacity at the stalled I/O rate
+    and adding per-request service latency.
+    """
+
+    stall_rate: DataRate = field(default_factory=lambda: Mbps(50))
+    added_latency: TimeDelta = field(default_factory=lambda: ms(10))
+    visible_to_counters: bool = False  # iostat, not SNMP, sees it
+    description: str = "DTN storage stall"
+
+    def __post_init__(self) -> None:
+        if self.stall_rate.bps <= 0:
+            raise ConfigurationError("stall_rate must be positive")
+
+    def element_latency(self) -> TimeDelta:
+        return self.added_latency
+
+    def element_capacity(self) -> Optional[DataRate]:
+        return self.stall_rate
+
+    def element_loss_probability(self) -> float:
+        return 0.0
 
     def transform_flow(self, ctx):
         return ctx

@@ -42,7 +42,7 @@ from .registry import (
     register_sweep_target,
     sweep_target,
 )
-from .runner import RunResult, run_experiment
+from .runner import RunResult, register_spec_runner, run_experiment
 from .spec import (
     SPEC_SCHEMA_VERSION,
     AlertRuleSpec,
@@ -54,6 +54,8 @@ from .spec import (
     ScenarioSpec,
     SweepSpec,
     load_spec,
+    register_spec_kind,
+    spec_kinds,
 )
 
 __all__ = [
@@ -67,6 +69,9 @@ __all__ = [
     "AlertRuleSpec",
     "SPEC_SCHEMA_VERSION",
     "load_spec",
+    "register_spec_kind",
+    "register_spec_runner",
+    "spec_kinds",
     "RunContext",
     "RunResult",
     "RunManifest",

@@ -103,6 +103,13 @@ def _duplex(loss_rate: float = 0.02, capacity_mbps: float = 100.0):
                           capacity=Mbps(float(capacity_mbps)))
 
 
+def _storage(stall_mbps: float = 50.0, added_latency_ms: float = 10.0):
+    from ..devices.faults import StorageStall
+    from ..units import Mbps, ms
+    return StorageStall(stall_rate=Mbps(float(stall_mbps)),
+                        added_latency=ms(float(added_latency_ms)))
+
+
 #: Soft-failure builders keyed by the spec-file fault kinds.  Builders
 #: take only JSON scalars; unit wrapping happens inside.
 FAULTS: Dict[str, Callable[..., object]] = {
@@ -110,6 +117,7 @@ FAULTS: Dict[str, Callable[..., object]] = {
     "optics": _optics,
     "cpu": _cpu,
     "duplex": _duplex,
+    "storage": _storage,
 }
 
 

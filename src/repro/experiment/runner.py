@@ -25,7 +25,7 @@ import hashlib
 import json
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from ..errors import ConfigurationError
 from ..exec.seeding import canonical_json
@@ -34,7 +34,36 @@ from .manifest import RunManifest, package_code_version
 from .registry import sweep_target
 from .spec import BenchSpec, ExperimentSpec, ScenarioSpec, SweepSpec
 
-__all__ = ["RunResult", "run_experiment"]
+__all__ = ["RunResult", "register_spec_runner", "run_experiment"]
+
+
+#: Executors for spec kinds defined outside this module.  Each maps a
+#: kind to ``fn(spec, ctx, version) -> (payload, summary, value,
+#: extra_artifacts)`` where ``extra_artifacts`` is a ``{filename: bytes}``
+#: dict of *deterministic* files that join the manifest's digested
+#: artifact set (e.g. a chaos campaign report).
+_SPEC_RUNNERS: Dict[str, Callable] = {}
+
+#: Lazily imported providers, mirroring the spec layer's lazy kinds.
+_LAZY_RUNNERS: Dict[str, str] = {
+    "campaign": "repro.chaos",
+}
+
+
+def register_spec_runner(kind: str, fn: Callable) -> Callable:
+    """Let :func:`run_experiment` execute an extension spec kind."""
+    _SPEC_RUNNERS[kind] = fn
+    return fn
+
+
+def _spec_runner(kind: str) -> Optional[Callable]:
+    fn = _SPEC_RUNNERS.get(kind)
+    if fn is None and kind in _LAZY_RUNNERS:
+        import importlib
+
+        importlib.import_module(_LAZY_RUNNERS[kind])
+        fn = _SPEC_RUNNERS.get(kind)
+    return fn
 
 
 @dataclass
@@ -203,6 +232,7 @@ def run_experiment(spec: ExperimentSpec,
 
     value: object = None
     timings: Dict[str, float] = {}
+    extra_artifacts: Dict[str, bytes] = {}
     if isinstance(spec, ScenarioSpec):
         payload, summary, value = _run_scenario(spec, ctx, version)
     elif isinstance(spec, SweepSpec):
@@ -210,8 +240,12 @@ def run_experiment(spec: ExperimentSpec,
     elif isinstance(spec, BenchSpec):
         payload, summary, value, timings = _run_bench(spec, ctx)
     else:
-        raise ConfigurationError(
-            f"cannot execute spec kind {type(spec).__name__!r}")
+        runner_fn = _spec_runner(spec.kind)
+        if runner_fn is None:
+            raise ConfigurationError(
+                f"cannot execute spec kind {type(spec).__name__!r}")
+        payload, summary, value, extra_artifacts = runner_fn(
+            spec, ctx, version)
     timings["elapsed_s"] = round(time.perf_counter() - started, 6)
 
     spec_bytes = _pretty_bytes(spec.to_dict())
@@ -219,6 +253,10 @@ def run_experiment(spec: ExperimentSpec,
     stats_after = ctx.stats()
     delta = {k: v - stats_before.get(k, 0) for k, v in stats_after.items()
              if v - stats_before.get(k, 0)}
+    artifacts = {"spec.json": _sha256(spec_bytes),
+                 "result.json": _sha256(result_bytes)}
+    for name, data in sorted(extra_artifacts.items()):
+        artifacts[name] = _sha256(data)
     manifest = RunManifest(
         kind=spec.kind,
         name=spec.name,
@@ -228,8 +266,7 @@ def run_experiment(spec: ExperimentSpec,
         result_digest=_sha256(
             canonical_json(payload).encode("utf-8")),
         summary=summary,
-        artifacts={"spec.json": _sha256(spec_bytes),
-                   "result.json": _sha256(result_bytes)},
+        artifacts=artifacts,
         timings=timings,
         stats=delta,
         workers=ctx.workers,
@@ -241,6 +278,8 @@ def run_experiment(spec: ExperimentSpec,
         out_dir = ctx.artifact_dir(spec.name)
         (out_dir / "spec.json").write_bytes(spec_bytes)
         (out_dir / "result.json").write_bytes(result_bytes)
+        for name, data in sorted(extra_artifacts.items()):
+            (out_dir / name).write_bytes(data)
         if isinstance(spec, BenchSpec):
             suite_bytes = _pretty_bytes(value)
             (out_dir / "timings.json").write_bytes(suite_bytes)

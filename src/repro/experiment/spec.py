@@ -50,6 +50,8 @@ __all__ = [
     "ScenarioSpec",
     "SweepSpec",
     "load_spec",
+    "register_spec_kind",
+    "spec_kinds",
 ]
 
 #: Bumped when the spec layout changes incompatibly.
@@ -256,9 +258,9 @@ class ExperimentSpec:
                 f"spec has schema {schema!r}; this library speaks "
                 f"schema {SPEC_SCHEMA_VERSION}")
         kind = data.get("kind")
-        cls = _SPEC_KINDS.get(kind)
+        cls = _resolve_kind(kind)
         if cls is None:
-            known = ", ".join(sorted(_SPEC_KINDS))
+            known = ", ".join(sorted(set(_SPEC_KINDS) | set(_LAZY_KINDS)))
             raise ConfigurationError(
                 f"unknown spec kind {kind!r}; known kinds: {known}")
         return cls._from_payload(data)
@@ -468,6 +470,50 @@ _SPEC_KINDS: Dict[str, Type[ExperimentSpec]] = {
     SweepSpec.kind: SweepSpec,
     BenchSpec.kind: BenchSpec,
 }
+
+#: Kinds defined by optional subsystems, resolved on first use so this
+#: module never imports them eagerly (repro.chaos imports repro.experiment;
+#: the reverse edge would be a cycle).  Importing the named module must
+#: call :func:`register_spec_kind` as a side effect.
+_LAZY_KINDS: Dict[str, str] = {
+    "campaign": "repro.chaos",
+}
+
+
+def register_spec_kind(cls: Type[ExperimentSpec]) -> Type[ExperimentSpec]:
+    """Register an :class:`ExperimentSpec` subclass under its ``kind``.
+
+    Makes the kind parseable by :meth:`ExperimentSpec.from_dict` (and so
+    by ``repro run`` / ``repro specs``).  Usable as a class decorator.
+    Re-registering the same class is a no-op; registering a *different*
+    class under a taken kind raises.
+    """
+    kind = cls.kind
+    if not kind:
+        raise ConfigurationError(
+            f"{cls.__name__} has no 'kind' class attribute to register")
+    existing = _SPEC_KINDS.get(kind)
+    if existing is not None and existing is not cls:
+        raise ConfigurationError(
+            f"spec kind {kind!r} is already registered to "
+            f"{existing.__name__}")
+    _SPEC_KINDS[kind] = cls
+    return cls
+
+
+def spec_kinds() -> Tuple[str, ...]:
+    """Every parseable spec kind, lazy ones included (sorted)."""
+    return tuple(sorted(set(_SPEC_KINDS) | set(_LAZY_KINDS)))
+
+
+def _resolve_kind(kind: object) -> Optional[Type[ExperimentSpec]]:
+    cls = _SPEC_KINDS.get(kind)
+    if cls is None and kind in _LAZY_KINDS:
+        import importlib
+
+        importlib.import_module(_LAZY_KINDS[kind])
+        cls = _SPEC_KINDS.get(kind)
+    return cls
 
 
 def load_spec(path: os.PathLike | str) -> ExperimentSpec:

@@ -19,13 +19,13 @@ preserving per-packet drop decisions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import ConfigurationError
 from ..units import DataRate, DataSize, TimeDelta, bits, bytes_, seconds
-from ..vectorize import check_backend
+from ..vectorize import check_backend, resolve_backend
 
 __all__ = [
     "BurstySource",
@@ -323,18 +323,19 @@ def simulate_fan_in(
     buffer_size: DataSize,
     duration: TimeDelta,
     rng: np.random.Generator,
-    backend: str = "numpy",
+    backend: Optional[str] = None,
 ) -> FanInResult:
     """Sweep bursty sources through a shared drop-tail egress queue.
 
     All sources must use the same packet size (the common case for bulk
     data flows; mixed sizes would only blur the effect under study).
 
-    ``backend="numpy"`` (default) runs the chunked vectorized Lindley
-    sweep; ``backend="python"`` runs the per-packet scalar reference.
-    Both produce bit-identical results.
+    ``backend="numpy"`` runs the chunked vectorized Lindley sweep;
+    ``backend="python"`` runs the per-packet scalar reference.  Both
+    produce bit-identical results; ``backend=None`` (default) resolves
+    through :func:`repro.vectorize.default_backend`.
     """
-    check_backend(backend)
+    backend = resolve_backend(backend)
     if not sources:
         raise ConfigurationError("simulate_fan_in requires at least one source")
     pkt = sources[0].packet_size

@@ -77,12 +77,18 @@ class AlertRule:
 
 
 class ThresholdAlerter:
-    """Scan an archive and raise alerts for loss rises / throughput drops."""
+    """Scan an archive and raise alerts for loss rises / throughput drops.
+
+    ``rule`` of None means a default :class:`AlertRule` — a ``None``
+    sentinel rather than a default instance in the signature, which
+    would be a single object shared by every alerter in the process (a
+    latent aliasing bug if the rule ever grows mutable state).
+    """
 
     def __init__(self, archive: MeasurementArchive,
-                 rule: AlertRule = AlertRule()) -> None:
+                 rule: Optional[AlertRule] = None) -> None:
         self.archive = archive
-        self.rule = rule
+        self.rule = rule if rule is not None else AlertRule()
 
     def scan(self, *, since: Optional[float] = None) -> List[Alert]:
         """Evaluate every archived pair; returns alerts sorted by time."""

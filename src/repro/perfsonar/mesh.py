@@ -56,7 +56,10 @@ class MeshSchedule:
     archive:
         Destination for all measurements.
     config:
-        Cadence configuration.
+        Cadence configuration; None means the default
+        :class:`MeshConfig`.  (A ``None`` sentinel, not a default
+        instance: a default constructed in the signature would be one
+        object shared by every mesh in the process.)
     policy:
         Routing-policy kwargs so tests follow the science path.
     tracer:
@@ -73,10 +76,11 @@ class MeshSchedule:
         simulator: Simulator,
         archive: MeasurementArchive,
         *,
-        config: MeshConfig = MeshConfig(),
+        config: Optional[MeshConfig] = None,
         policy: Optional[dict] = None,
         tracer=None,
     ) -> None:
+        config = config if config is not None else MeshConfig()
         self._tracer = tracer
         hosts = list(hosts)
         if len(hosts) < 2:
@@ -96,6 +100,12 @@ class MeshSchedule:
         #: (time, pair) records of tests that found no route at all —
         #: hard failures, as opposed to the soft failures in the archive.
         self.unreachable_events: List[Tuple[float, Tuple[str, str]]] = []
+        #: Raw OWAMP accounting: ``(time, src, dst, packets_sent,
+        #: packets_lost)`` per completed session, in firing order.  The
+        #: archive stores only the derived loss *rate*; invariant oracles
+        #: (repro.chaos) recompute rates from these exact counts to check
+        #: packet conservation end to end.
+        self.packet_ledger: List[Tuple[float, str, str, int, int]] = []
         self._owamp: Dict[Tuple[str, str], OwampProbe] = {}
         self._bwctl: Dict[Tuple[str, str], BwctlTest] = {}
         for src in hosts:
@@ -162,6 +172,9 @@ class MeshSchedule:
                     tracer.counter("unreachable",
                                    component="perfsonar").inc()
                 return
+            self.packet_ledger.append((now, result.src, result.dst,
+                                       result.packets_sent,
+                                       result.packets_lost))
             self.archive.record_value(now, result.src, result.dst,
                                       Metric.LOSS_RATE, result.loss_rate)
             self.archive.record_value(now, result.src, result.dst,

@@ -172,6 +172,17 @@ class Scenario:
             scenario.cut_link(cut.a, cut.b, at=seconds(cut.at_s))
         return scenario
 
+    @property
+    def mesh(self) -> Optional[MeshSchedule]:
+        """The attached measurement mesh (None before ``with_mesh``).
+
+        Exposed so post-run consumers — the chaos invariant oracles in
+        particular — can read mesh-side ground truth such as
+        :attr:`~repro.perfsonar.mesh.MeshSchedule.packet_ledger` and
+        ``unreachable_events``.
+        """
+        return self._mesh
+
     # -- builder API -------------------------------------------------------------
     def with_mesh(
         self,

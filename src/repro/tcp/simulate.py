@@ -58,7 +58,8 @@ from ..netsim.flow import FlowSpec
 from ..netsim.link import Link
 from ..netsim.topology import Path, PathProfile, Topology
 from ..units import DataRate, DataSize, TimeDelta, bits, seconds
-from ..vectorize import SIM_BACKENDS, check_backend, pow_elementwise
+from ..vectorize import (SIM_BACKENDS, check_backend, pow_elementwise,
+                         resolve_backend)
 from .congestion import CongestionControl, Reno, algorithm_by_name
 
 __all__ = ["FlowProgress", "MultiFlowSimulation", "max_min_fair_allocation",
@@ -247,7 +248,7 @@ def max_min_fair_allocation(
     usage: np.ndarray,
     capacities: np.ndarray,
     *,
-    backend: str = "numpy",
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Max-min fair rates for flows over shared links.
 
@@ -260,9 +261,10 @@ def max_min_fair_allocation(
     capacities:
         Shape (L,) — link capacities (bps).
     backend:
-        ``"numpy"`` (default) computes each round's per-flow limits and
-        capacity releases with masked matrix ops; ``"python"`` is the
-        per-flow scalar reference.  Both are bit-identical.
+        ``"numpy"`` computes each round's per-flow limits and capacity
+        releases with masked matrix ops; ``"python"`` is the per-flow
+        scalar reference.  Both are bit-identical.  None (default)
+        resolves through :func:`repro.vectorize.default_backend`.
 
     Returns
     -------
@@ -273,7 +275,7 @@ def max_min_fair_allocation(
     tick loop) hold a :class:`_ProgressiveFiller` instead, which hoists
     the structural precomputation out of the per-tick call.
     """
-    check_backend(backend)
+    backend = resolve_backend(backend)
     return _ProgressiveFiller(usage, capacities).allocate(demands, backend)
 
 
@@ -338,9 +340,11 @@ class MultiFlowSimulation:
         Virtual-queue depth per link, in units of that link's
         capacity x 100 ms (approximating "one WAN RTT of buffer").
     backend:
-        ``"numpy"`` (default) — vectorized struct-of-arrays tick loop;
+        ``"numpy"`` — vectorized struct-of-arrays tick loop;
         ``"python"`` — the scalar per-stream reference loop.  Both
-        produce bit-identical results; see the module docstring.
+        produce bit-identical results (see the module docstring); None
+        (default) resolves through
+        :func:`repro.vectorize.default_backend`.
     """
 
     def __init__(
@@ -352,14 +356,14 @@ class MultiFlowSimulation:
         algorithm=None,
         buffer_rtt_fraction: float = 1.0,
         initial_cwnd: float = 10.0,
-        backend: str = "numpy",
+        backend: Optional[str] = None,
     ) -> None:
         if not specs:
             raise ConfigurationError("MultiFlowSimulation needs at least one flow")
         labels = [s.label or f"flow{i}" for i, s in enumerate(specs)]
         if len(set(labels)) != len(labels):
             raise ConfigurationError("flow labels must be unique")
-        self.backend = check_backend(backend)
+        self.backend = resolve_backend(backend)
         self.topology = topology
         self._rng = rng
         self._buffer_frac = buffer_rtt_fraction

@@ -22,14 +22,30 @@ Rules the kernels follow to stay bit-identical:
 
 from __future__ import annotations
 
+import contextlib
+import os
+from typing import Iterator, Optional
+
 import numpy as np
 
 from .errors import ConfigurationError
 
-__all__ = ["SIM_BACKENDS", "check_backend", "pow_elementwise"]
+__all__ = [
+    "SIM_BACKENDS",
+    "check_backend",
+    "default_backend",
+    "pow_elementwise",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
+]
 
 #: Supported kernel implementations.
 SIM_BACKENDS = ("numpy", "python")
+
+#: Process-wide default set by :func:`set_default_backend`; None means
+#: "consult the REPRO_BACKEND environment variable, else numpy".
+_DEFAULT_BACKEND: Optional[str] = None
 
 
 def check_backend(backend: str) -> str:
@@ -39,6 +55,52 @@ def check_backend(backend: str) -> str:
         raise ConfigurationError(
             f"unknown simulation backend {backend!r}; known: {known}")
     return backend
+
+
+def default_backend() -> str:
+    """The backend used when a kernel is called with ``backend=None``.
+
+    Resolution order: :func:`set_default_backend`, then the
+    ``REPRO_BACKEND`` environment variable, then ``"numpy"``.  Because
+    both backends are bit-identical this only selects an implementation,
+    never a result — which is exactly what the whole-experiment
+    differential tests verify.
+    """
+    if _DEFAULT_BACKEND is not None:
+        return _DEFAULT_BACKEND
+    env = os.environ.get("REPRO_BACKEND", "")
+    return check_backend(env) if env else "numpy"
+
+
+def set_default_backend(backend: Optional[str]) -> Optional[str]:
+    """Set the process default (None restores env/numpy resolution).
+
+    Returns the previous override so callers can restore it.
+    """
+    global _DEFAULT_BACKEND
+    previous = _DEFAULT_BACKEND
+    _DEFAULT_BACKEND = check_backend(backend) if backend is not None else None
+    return previous
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """A concrete backend name from an optional ``backend=`` argument."""
+    return check_backend(backend) if backend is not None \
+        else default_backend()
+
+
+@contextlib.contextmanager
+def use_backend(backend: str) -> Iterator[str]:
+    """Temporarily make ``backend`` the process default::
+
+        with use_backend("python"):
+            run_experiment(spec)       # every kernel takes the scalar path
+    """
+    previous = set_default_backend(backend)
+    try:
+        yield check_backend(backend)
+    finally:
+        set_default_backend(previous)
 
 
 def pow_elementwise(base: float, exponent: float) -> float:

@@ -1,0 +1,271 @@
+"""Invariant-oracle unit tests: each must hold on a healthy run and
+fire on a specifically corrupted observation."""
+
+from __future__ import annotations
+
+import types
+
+import pytest
+
+from repro.chaos import (
+    ORACLES,
+    ProfileTimeline,
+    RunObservation,
+    candidate_removals,
+    check_bounded,
+    check_monotonic,
+    default_oracles,
+    evaluate_oracles,
+    get_oracle,
+    register_oracle,
+    shrink_schedule,
+)
+from repro.chaos.oracles import _miss_probability
+from repro.errors import ConfigurationError
+from repro.experiment.spec import FaultSpec, MeshSpec, ScenarioSpec
+from repro.perfsonar.archive import Metric
+from repro.scenario import Scenario
+from repro.units import seconds
+
+
+def schedule(**overrides) -> ScenarioSpec:
+    base = dict(
+        name="obs", seed=5, until_s=1500.0,
+        mesh=MeshSpec(hosts=("dmz-perfsonar", "remote-dtn")),
+        faults=(FaultSpec(kind="duplex", at_s=400.0),),
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+def observe(spec: ScenarioSpec) -> RunObservation:
+    """One schedule run packaged exactly as the campaign runner does."""
+    scenario = Scenario.from_spec(spec)
+    timeline = ProfileTimeline.install(scenario, spec)
+    outcome = scenario.run(until=seconds(spec.until_s))
+    mesh = scenario.mesh
+    return RunObservation(
+        spec=spec, outcome=outcome, timeline=timeline,
+        packet_ledger=list(mesh.packet_ledger),
+        unreachable=list(mesh.unreachable_events))
+
+
+@pytest.fixture(scope="module")
+def healthy() -> RunObservation:
+    return observe(schedule())
+
+
+class TestHelpers:
+    def test_check_monotonic(self):
+        assert check_monotonic([1.0, 2.0, 2.0, 3.0]) == []
+        assert check_monotonic([1.0, 0.5])
+        assert check_monotonic([1.0, 1.0], strict=True)
+
+    def test_check_bounded(self):
+        assert check_bounded(0.5, 0.0, 1.0) == []
+        assert check_bounded(1.5, 0.0, 1.0)
+        assert check_bounded(float("nan"), 0.0, 1.0)
+
+    def test_miss_probability(self):
+        # 2% loss over 20k packets: missing even one session is
+        # astronomically unlikely.
+        assert _miss_probability(0.02, 20_000, 1, 1e-4) < 1e-100
+        # Zero sessions in the window: missing is certain.
+        assert _miss_probability(0.02, 20_000, 0, 1e-4) == 1.0
+        assert _miss_probability(0.0, 20_000, 10, 1e-4) == 1.0
+        # Loss at the threshold scale: plausibly missed.
+        assert _miss_probability(1e-5, 100, 1, 1e-4) > 0.9
+
+
+class TestRegistry:
+    def test_default_oracles_sorted_and_complete(self):
+        names = default_oracles()
+        assert names == tuple(sorted(ORACLES))
+        assert "packets-conserved" in names
+        assert "detection-within-bound" in names
+
+    def test_unknown_oracle_names_known_ones(self):
+        with pytest.raises(ConfigurationError, match="packets-conserved"):
+            get_oracle("no-such-oracle")
+
+    def test_bad_params_raise_configuration_error(self, healthy):
+        with pytest.raises(ConfigurationError, match="mesh-cadence"):
+            evaluate_oracles(healthy,
+                             [("mesh-cadence", {"bogus_param": 1})])
+
+    def test_register_oracle_round_trip(self, healthy):
+        try:
+            register_oracle("always-fires", lambda obs: ["boom"],
+                            description="test-only")
+            out = evaluate_oracles(healthy, [("always-fires", {})])
+            assert out == {"always-fires": ["boom"]}
+        finally:
+            ORACLES.pop("always-fires", None)
+
+
+class TestOraclesOnHealthyRun:
+    def test_every_default_oracle_holds(self, healthy):
+        items = [(name, {}) for name in default_oracles()]
+        assert evaluate_oracles(healthy, items) == {}
+
+    def test_timeline_snapshots_cover_fault(self, healthy):
+        pair = ("dmz-perfsonar", "remote-dtn")
+        states = healthy.timeline.states[pair]
+        assert states[0].t == 0.0 and states[0].reachable
+        # The post-onset snapshot sees the duplex capacity collapse.
+        post = [s for s in states if s.t > 400.0]
+        assert post and post[0].capacity_bps < states[0].capacity_bps
+
+    def test_states_around_straddles_transition(self, healthy):
+        pair = ("dmz-perfsonar", "remote-dtn")
+        # A probe firing at the exact fault instant may see either
+        # side: both the pre-fault state and the epsilon-later
+        # post-fault snapshot must be candidates.
+        around = healthy.timeline.states_around(pair, 400.0)
+        assert len(around) >= 2
+        assert any(s.t <= 400.0 for s in around)
+        assert any(s.t > 400.0 for s in around)
+
+
+class TestOraclesFire:
+    def test_packets_conserved_catches_tampered_archive(self):
+        obs = observe(schedule(name="tamper"))
+        t, src, dst, sent, lost = obs.packet_ledger[3]
+        # Rewrite the archived loss sample so it disagrees with the
+        # ledger; the conservation walk must flag exactly that time.
+        times, values = obs.outcome.archive._series[
+            (src, dst, Metric.LOSS_RATE)]
+        values[times.index(t)] = (lost + 1) / sent
+        out = evaluate_oracles(obs, [("packets-conserved", {})])
+        assert any(f"t={t}" in msg
+                   for msg in out.get("packets-conserved", []))
+
+    def test_packets_conserved_catches_impossible_count(self, healthy):
+        obs = observe(schedule(name="count"))
+        t, src, dst, sent, _ = obs.packet_ledger[0]
+        obs.packet_ledger[0] = (t, src, dst, sent, sent + 5)
+        out = evaluate_oracles(obs, [("packets-conserved", {})])
+        assert any("impossible" in m
+                   for m in out.get("packets-conserved", []))
+
+    def test_event_time_monotonic_catches_regression(self):
+        obs = observe(schedule(name="clock"))
+        key = ("dmz-perfsonar", "remote-dtn", Metric.LOSS_RATE)
+        times, _ = obs.outcome.archive._series[key]
+        times[2] = times[1] - 30.0
+        out = evaluate_oracles(obs, [("event-time-monotonic", {})])
+        assert out.get("event-time-monotonic")
+
+    def test_throughput_capacity_catches_impossible_sample(self):
+        obs = observe(schedule(name="cap"))
+        obs.outcome.archive.record_value(
+            1400.0, "dmz-perfsonar", "remote-dtn",
+            Metric.THROUGHPUT_BPS, 1e12)  # 1 Tbps on a 10G path
+        out = evaluate_oracles(obs, [("throughput-capacity", {})])
+        assert any("exceeds true path capacity" in m
+                   for m in out.get("throughput-capacity", []))
+
+    def test_detection_oracle_fires_when_alerts_suppressed(self):
+        obs = observe(schedule(name="miss"))
+        # Pretend the alerter never saw the 2% duplex fault.
+        obs.outcome.detection_delays = {0: None}
+        out = evaluate_oracles(obs, [("detection-within-bound",
+                                      {"bound_s": 600.0})])
+        assert any("never detected" in m
+                   for m in out.get("detection-within-bound", []))
+
+    def test_detection_oracle_skips_statistically_missable(self):
+        obs = observe(schedule(name="gate"))
+        obs.outcome.detection_delays = {0: None}
+        # An absurdly tight bound leaves zero sessions in the window,
+        # so enforcement would be guessing: the oracle must skip.
+        out = evaluate_oracles(obs, [("detection-within-bound",
+                                      {"bound_s": 5.0})])
+        assert out == {}
+
+    def test_transfer_terminates_taxonomy(self, healthy):
+        obs = observe(schedule(name="xfer"))
+        cases = [
+            ({"status": "completed", "duration_s": 10.0,
+              "max_duration_s": 60.0}, []),
+            ({"status": "failed", "is_repro_error": True,
+              "error_type": "TransferError", "error": "x"}, []),
+            ({"status": "completed", "duration_s": 100.0,
+              "max_duration_s": 60.0}, ["hang"]),
+            ({"status": "failed", "is_repro_error": False,
+              "error_type": "ZeroDivisionError", "error": "x"},
+             ["taxonomized"]),
+            ({"status": "crashed", "error": "boom"}, ["unexpected"]),
+        ]
+        for record, expect in cases:
+            obs.transfer = record
+            out = evaluate_oracles(obs, [("transfer-terminates", {})])
+            msgs = out.get("transfer-terminates", [])
+            if expect:
+                assert any(expect[0] in m for m in msgs), (record, msgs)
+            else:
+                assert msgs == [], (record, msgs)
+
+    def test_mesh_cadence_catches_silent_mesh(self):
+        obs = observe(schedule(name="silent"))
+        key = ("dmz-perfsonar", "remote-dtn", Metric.LOSS_RATE)
+        times, values = obs.outcome.archive._series[key]
+        del times[5:], values[5:]  # the mesh "dies" mid-run
+        out = evaluate_oracles(obs, [("mesh-cadence", {})])
+        assert any("went silent" in m for m in out.get("mesh-cadence", []))
+
+
+class TestShrink:
+    def make(self, n_faults):
+        return schedule(name="shrink", faults=tuple(
+            FaultSpec(kind="duplex", at_s=300.0 + 10.0 * i)
+            for i in range(n_faults)))
+
+    def test_candidate_removals_enumerates_every_deletion(self):
+        spec = self.make(3)
+        cands = candidate_removals(spec)
+        assert len(cands) == 3
+        assert all(len(c.faults) == 2 for c in cands)
+        assert candidate_removals(schedule(name="empty", faults=())) == []
+
+    def test_shrink_finds_single_culprit(self):
+        # Synthetic verdicts: only schedules still containing the fault
+        # at t=320 violate.  ddmin must strip everything else.
+        def evaluate(candidates):
+            return [{"detector": ["bad"]}
+                    if any(f.at_s == 320.0 for f in c.faults) else {}
+                    for c in candidates]
+
+        minimal = shrink_schedule(self.make(4), {"detector"}, evaluate)
+        assert [f.at_s for f in minimal.faults] == [320.0]
+
+    def test_shrink_keeps_original_when_nothing_smaller_fails(self):
+        spec = self.make(2)
+        minimal = shrink_schedule(spec, {"detector"},
+                                  lambda cands: [{} for _ in cands])
+        assert minimal == spec
+
+    def test_shrink_ignores_different_failures(self):
+        # Candidates that trip a *different* oracle must not be
+        # accepted — the search stays on the original failure.
+        def evaluate(candidates):
+            return [{"other-oracle": ["noise"]} for _ in candidates]
+
+        spec = self.make(2)
+        assert shrink_schedule(spec, {"detector"}, evaluate) == spec
+
+
+class TestMeshCadenceStub:
+    def test_expected_count_uses_staggered_offsets(self):
+        """The cadence oracle reproduces the mesh's own schedule math."""
+        obs = observe(schedule(name="cadence"))
+        items = [("mesh-cadence", {"slack_sessions": 0})]
+        assert evaluate_oracles(obs, items) == {}
+
+    def test_stub_observation_shapes(self):
+        # The oracle only needs .spec/.outcome/.timeline duck-typing —
+        # documented so the hypothesis machine can reuse it cheaply.
+        ns = types.SimpleNamespace
+        obs = observe(schedule(name="duck"))
+        assert isinstance(obs.timeline.states, dict)
+        assert ns(states=obs.timeline.states).states is obs.timeline.states

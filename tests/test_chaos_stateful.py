@@ -1,0 +1,168 @@
+"""Stateful property test: the netsim engine under adversarial driving.
+
+A hypothesis :class:`RuleBasedStateMachine` schedules, cancels and
+advances events on a live :class:`~repro.netsim.engine.Simulator` —
+with a topology whose link gets cut and reconnected mid-run — and
+checks the same invariants the chaos oracles enforce on full campaign
+runs, as machine invariants after *every* rule:
+
+* simulated time never decreases and fired events never run early
+  (the ``event-time-monotonic`` oracle, reusing
+  :func:`repro.chaos.check_monotonic`);
+* ``sim.pending`` equals the machine's own count of live events
+  (schedule/cancel/fire bookkeeping conserves events the way the
+  ``packets-conserved`` oracle expects counters to balance);
+* events fire in exact ``(time, seq)`` order — same-time events run
+  in scheduling order;
+* ``events_processed`` only grows, by exactly the number of observed
+  firings;
+* cancelled events never fire, and cancelling twice is a no-op;
+* reachability between the test hosts always matches the machine's
+  own model of the cut link (the ground-truth discipline behind
+  ``ProfileTimeline``).
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.chaos import check_bounded, check_monotonic
+from repro.core import simple_science_dmz
+from repro.errors import RoutingError, SimulationError
+from repro.netsim.engine import Simulator
+
+import pytest
+
+
+class EngineMachine(RuleBasedStateMachine):
+    @initialize(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def setup(self, seed):
+        self.sim = Simulator(seed=seed)
+        self.bundle = simple_science_dmz()
+        self.topology = self.bundle.topology
+        self.link_up = True
+        self.saved_link = None
+        self.live = {}          # seq -> live Event (Events are unhashable)
+        self.fired = []         # (time, seq) in firing order
+        self.fire_times = []    # observed sim.now at each firing
+        self.processed_base = self.sim.events_processed
+
+    # -- helpers ---------------------------------------------------------------
+    def _record(self, event_box):
+        def action():
+            event = event_box[0]
+            self.live.pop(event.seq, None)
+            self.fired.append((event.time, event.seq))
+            self.fire_times.append(self.sim.now)
+        return action
+
+    # -- rules -----------------------------------------------------------------
+    @rule(delay=st.floats(min_value=0.0, max_value=100.0,
+                          allow_nan=False, allow_infinity=False))
+    def schedule_relative(self, delay):
+        box = []
+        event = self.sim.schedule(delay, self._record(box))
+        box.append(event)
+        self.live[event.seq] = event
+
+    @rule(offset=st.floats(min_value=0.0, max_value=200.0,
+                           allow_nan=False, allow_infinity=False))
+    def schedule_absolute(self, offset):
+        box = []
+        event = self.sim.schedule_at(self.sim.now + offset,
+                                     self._record(box))
+        box.append(event)
+        self.live[event.seq] = event
+
+    @rule()
+    def schedule_in_past_rejected(self):
+        if self.sim.now > 0:
+            with pytest.raises(SimulationError):
+                self.sim.schedule_at(self.sim.now / 2 - 1e-9, lambda: None)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def cancel_one(self, data):
+        seq = data.draw(st.sampled_from(sorted(self.live)))
+        event = self.live[seq]
+        event.cancel()
+        del self.live[seq]
+        event.cancel()  # double-cancel must be a harmless no-op
+        assert event.cancelled
+
+    @precondition(lambda self: self.live)
+    @rule()
+    def step_once(self):
+        before = len(self.fired)
+        assert self.sim.step() is True
+        assert len(self.fired) == before + 1
+
+    @rule(horizon=st.floats(min_value=0.0, max_value=50.0,
+                            allow_nan=False, allow_infinity=False))
+    def advance(self, horizon):
+        self.sim.run_until(self.sim.now + horizon)
+        # Everything due by the horizon has fired.
+        assert all(ev.time > self.sim.now - 1e-12
+                   for ev in self.live.values())
+
+    @precondition(lambda self: self.link_up)
+    @rule()
+    def cut_link(self):
+        self.saved_link = self.topology.link_between("border", "wan")
+        self.topology.remove_link("border", "wan")
+        self.link_up = False
+
+    @precondition(lambda self: not self.link_up)
+    @rule()
+    def reconnect_link(self):
+        self.topology.connect("border", "wan", self.saved_link)
+        self.link_up = True
+
+    # -- invariants -----------------------------------------------------------
+    @invariant()
+    def time_is_monotonic(self):
+        assert check_monotonic(self.fire_times,
+                               label="fire-time") == []
+        assert check_bounded(self.sim.now, 0.0, float("inf"),
+                             label="sim.now") == []
+
+    @invariant()
+    def pending_matches_live_bookkeeping(self):
+        assert self.sim.pending == len(self.live)
+
+    @invariant()
+    def fired_in_time_seq_order(self):
+        assert self.fired == sorted(self.fired)
+
+    @invariant()
+    def events_fire_at_their_scheduled_time(self):
+        assert all(when == now for (when, _), now
+                   in zip(self.fired, self.fire_times))
+
+    @invariant()
+    def processed_counter_balances(self):
+        assert (self.sim.events_processed - self.processed_base
+                == len(self.fired))
+
+    @invariant()
+    def reachability_matches_link_model(self):
+        try:
+            self.topology.profile_between(
+                "dtn1", "remote-dtn", **self.bundle.science_policy)
+            reachable = True
+        except RoutingError:
+            reachable = False
+        assert reachable == self.link_up
+
+
+EngineMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None)
+TestEngineMachine = EngineMachine.TestCase

@@ -1,0 +1,170 @@
+"""Every ``repro run`` / ``repro sweep`` / ``repro chaos`` failure mode
+must exit non-zero with a message that tells the user what to fix:
+malformed specs, unknown registry keys, and golden-digest drift."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+SPECS = pathlib.Path(__file__).parent.parent / "specs"
+
+
+def write_spec(tmp_path, name, payload, *, schema=1):
+    if schema is not None:
+        payload.setdefault("schema", schema)
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+@pytest.fixture
+def cli(capsys):
+    """Run the CLI, returning (exit_code, stdout, stderr)."""
+    def run(*argv):
+        rc = main([str(a) for a in argv])
+        captured = capsys.readouterr()
+        return rc, captured.out, captured.err
+    return run
+
+
+class TestMalformedSpecs:
+    def test_missing_spec_file(self, cli, tmp_path):
+        rc, _, err = cli("run", tmp_path / "nope.json")
+        assert rc == 2
+        assert "cannot read spec" in err and "nope.json" in err
+
+    def test_invalid_json(self, cli, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        rc, _, err = cli("run", path)
+        assert rc == 2
+        assert "not valid JSON" in err
+
+    def test_missing_schema_field(self, cli, tmp_path):
+        path = write_spec(tmp_path, "noschema.json",
+                          {"kind": "scenario", "name": "x", "seed": 1},
+                          schema=None)
+        rc, _, err = cli("run", path)
+        assert rc == 2
+        assert "schema" in err
+
+    def test_chaos_rejects_wrong_spec_kind(self, cli):
+        rc, _, err = cli("chaos", SPECS / "fig1_tcp_loss_quick.json")
+        assert rc == 2
+        assert "needs a campaign or scenario spec" in err
+        assert "'sweep'" in err
+
+
+class TestUnknownRegistryKeys:
+    """Each message must name the bad key AND list the known ones."""
+
+    def test_unknown_spec_kind(self, cli, tmp_path):
+        path = write_spec(tmp_path, "unk.json",
+                          {"kind": "warp", "name": "x", "seed": 1})
+        rc, _, err = cli("run", path)
+        assert rc == 2
+        assert "unknown spec kind 'warp'" in err
+        assert "campaign" in err and "scenario" in err
+
+    def test_unknown_fault_kind_in_scenario(self, cli, tmp_path):
+        path = write_spec(
+            tmp_path, "bf.json",
+            {"kind": "scenario", "name": "x", "seed": 1,
+             "faults": [{"kind": "warp-core", "at_s": 10.0}]})
+        rc, _, err = cli("run", path)
+        assert rc == 2
+        assert "unknown fault kind 'warp-core'" in err
+        assert "linecard" in err
+
+    def test_unknown_design_in_campaign(self, cli, tmp_path):
+        path = write_spec(tmp_path, "bd.json",
+                          {"kind": "campaign", "name": "x", "seed": 1,
+                           "design": "atlantis"})
+        rc, _, err = cli("chaos", path)
+        assert rc == 2
+        assert "unknown design 'atlantis'" in err
+        assert "simple-science-dmz" in err
+
+    def test_unknown_fault_kind_in_fault_space(self, cli, tmp_path):
+        path = write_spec(tmp_path, "bk.json",
+                          {"kind": "campaign", "name": "x", "seed": 1,
+                           "space": {"kinds": ["warp-core"]}})
+        rc, _, err = cli("chaos", path)
+        assert rc == 2
+        assert "warp-core" in err and "known kinds" in err
+
+    def test_unknown_oracle_flag(self, cli):
+        rc, _, err = cli("chaos", SPECS / "chaos_demo_repro.json",
+                         "--oracle", "no-such-oracle")
+        assert rc == 2
+        assert "unknown oracle 'no-such-oracle'" in err
+        assert "packets-conserved" in err
+
+    def test_empty_oracle_name(self, cli):
+        rc, _, err = cli("chaos", SPECS / "chaos_demo_repro.json",
+                         "--oracle", ":min_loss=1")
+        assert rc == 2
+        assert "empty oracle name" in err
+
+    def test_unknown_sweep_target_rejected_by_parser(self, cli, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "warp"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestSweepValidation:
+    def test_zero_loss_rejected(self, cli):
+        rc, _, err = cli("sweep", "mathis", "--loss", "0.0")
+        assert rc == 2
+        assert "positive" in err
+
+    def test_empty_grid_rejected(self, cli):
+        rc, _, err = cli("sweep", "mathis", "--rtt", "")
+        assert rc == 2
+        assert "--rtt" in err
+
+
+class TestGoldenDrift:
+    SPEC = SPECS / "linecard_softfail.json"
+
+    def golden_for(self, tmp_path, **overrides):
+        committed = json.loads((SPECS / "golden.json").read_text())
+        entry = dict(committed["linecard-softfail"])
+        entry.update(overrides)
+        path = tmp_path / "golden.json"
+        path.write_text(json.dumps({"linecard-softfail": entry}))
+        return path
+
+    def test_matching_golden_passes(self, cli, tmp_path):
+        rc, out, _ = cli("run", self.SPEC, "--no-persist",
+                         "--golden", self.golden_for(tmp_path))
+        assert rc == 0
+        assert "digests match" in out
+
+    def test_result_drift_exits_one(self, cli, tmp_path):
+        golden = self.golden_for(tmp_path, result_digest="0" * 64)
+        rc, _, err = cli("run", self.SPEC, "--no-persist",
+                         "--golden", golden)
+        assert rc == 1
+        assert "GOLDEN DRIFT" in err
+        assert "result_digest" in err and "0" * 64 in err
+
+    def test_missing_entry_exits_two(self, cli, tmp_path):
+        path = tmp_path / "golden.json"
+        path.write_text("{}")
+        rc, _, err = cli("run", self.SPEC, "--no-persist",
+                         "--golden", path)
+        assert rc == 2
+        assert "no entry for" in err
+
+    def test_unreadable_golden_exits_two(self, cli, tmp_path):
+        rc, _, err = cli("run", self.SPEC, "--no-persist",
+                         "--golden", tmp_path / "absent.json")
+        assert rc == 2
+        assert "cannot read golden file" in err

@@ -139,7 +139,21 @@ def test_section_8_experiments(tmp_path):
     assert len(result.manifest.digest()) == 64
 
 
-def test_section_9_upgrade():
+def test_section_9_fault_campaigns():
+    from repro.chaos import CampaignSpec, FaultSpaceSpec, render_report
+    from repro.experiment import run_experiment
+
+    campaign = CampaignSpec(
+        name="smoke", seed=7, design="simple-science-dmz", until_s=1500.0,
+        space=FaultSpaceSpec(onset_min_s=120.0, onset_max_s=900.0),
+        schedules=8,
+    )
+    result = run_experiment(campaign, persist=False)
+    assert "survival by fault count" in render_report(result.payload)
+    assert result.manifest.summary["failed"] == 0
+
+
+def test_section_10_upgrade():
     baseline = general_purpose_campus()
     plan = plan_upgrade(baseline.topology, science_hosts=baseline.dtns,
                         border=baseline.border, wan=baseline.wan)

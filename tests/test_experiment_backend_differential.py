@@ -1,0 +1,88 @@
+"""Differential test: every committed spec produces digest-identical
+manifests under the scalar-python and numpy kernel backends.
+
+This is the whole-experiment statement of the bit-identical-backends
+contract in :mod:`repro.vectorize` — not just "the kernels agree on a
+random input", but "the entire pipeline (scenario runs, sweeps, fault
+campaigns, oracle verdicts, report digests) is invariant to which
+implementation computes it".
+
+The cache is deliberately disabled: the backend is *not* part of the
+cache key (the contract makes it irrelevant), so a warm cache would
+serve the first backend's results to the second and mask any
+divergence.  Both runs here must actually evaluate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.experiment import ExperimentSpec, RunContext, run_experiment
+from repro.vectorize import use_backend
+
+SPECS = pathlib.Path(__file__).parent.parent / "specs"
+
+SLOW_SPECS = {"fig1_tcp_loss.json"}
+
+SPEC_FILES = sorted(p.name for p in SPECS.glob("*.json")
+                    if p.name != "golden.json")
+
+
+def _run(spec: ExperimentSpec, backend: str):
+    with use_backend(backend):
+        return run_experiment(spec, RunContext(workers=1, cache=None),
+                              persist=False)
+
+
+def test_committed_spec_list_is_nonempty():
+    assert SPEC_FILES, "no committed specs found"
+    assert "chaos_quick.json" in SPEC_FILES
+
+
+@pytest.mark.parametrize("name", SPEC_FILES)
+def test_backends_agree_on_committed_spec(name):
+    if name in SLOW_SPECS and not os.environ.get("REPRO_SLOW_TESTS"):
+        pytest.skip(f"{name} is slow; set REPRO_SLOW_TESTS=1 to run")
+    spec = ExperimentSpec.from_file(SPECS / name)
+
+    numpy_result = _run(spec, "numpy")
+    python_result = _run(spec, "python")
+
+    assert numpy_result.manifest.spec_digest \
+        == python_result.manifest.spec_digest
+    assert numpy_result.manifest.result_digest \
+        == python_result.manifest.result_digest, \
+        f"backend divergence on {name}"
+    assert numpy_result.payload == python_result.payload
+
+
+def test_backend_differential_not_masked_by_cache(tmp_path):
+    """Sanity check on the methodology: with a shared cache the second
+    backend would evaluate nothing, proving cache=None is load-bearing."""
+    spec = ExperimentSpec.from_file(SPECS / "linecard_softfail.json")
+    cache = tmp_path / "cache"
+    with use_backend("numpy"):
+        run_experiment(spec, RunContext(workers=1, cache=cache),
+                       persist=False)
+    ctx = RunContext(workers=1, cache=cache)
+    with use_backend("python"):
+        run_experiment(spec, ctx, persist=False)
+    assert ctx.stats().get("exec.runner.evaluated", 0) == 0
+
+
+def test_golden_entries_cover_committed_specs():
+    """Every golden.json entry points at a committed spec whose digest
+    still matches — the differential test and the golden gate stay in
+    lockstep."""
+    golden = json.loads((SPECS / "golden.json").read_text())
+    by_name = {}
+    for name in SPEC_FILES:
+        spec = ExperimentSpec.from_file(SPECS / name)
+        by_name[spec.name] = spec
+    for entry, digests in golden.items():
+        assert entry in by_name, f"golden entry {entry} has no spec file"
+        assert by_name[entry].digest() == digests["spec_digest"], entry

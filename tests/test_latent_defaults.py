@@ -1,0 +1,106 @@
+"""Regression tests for the latent shared-default and RNG-discipline
+bugs surfaced while wiring the chaos oracles.
+
+``ThresholdAlerter(rule=AlertRule())`` and
+``MeshSchedule(config=MeshConfig())`` used to bake a *single* default
+instance into the function signature — one object silently shared by
+every alerter/mesh in the process, a classic mutable-default landmine
+the moment either type grows state.  Both now take a ``None`` sentinel
+and construct a fresh default per instance.
+
+The RNG discipline is the complementary audit: nothing in
+``devices.faults`` or ``perfsonar.alerts`` may hold module-level
+mutable state or an ambient random generator; stochastic code paths
+must demand an explicit seeded ``Generator`` instead of silently
+falling back to a global one.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro.core import simple_science_dmz
+from repro.devices import FailingLineCard, faults as faults_mod
+from repro.dtn.transfer import Dataset, TransferPlan
+from repro.errors import TransferError
+from repro.netsim.engine import Simulator
+from repro.perfsonar import alerts as alerts_mod
+from repro.perfsonar.alerts import AlertRule, ThresholdAlerter
+from repro.perfsonar.archive import MeasurementArchive
+from repro.perfsonar.mesh import MeshConfig, MeshSchedule
+from repro.units import GB
+
+
+def make_mesh(**kwargs) -> MeshSchedule:
+    bundle = simple_science_dmz()
+    return MeshSchedule(bundle.topology, ("dmz-perfsonar", "remote-dtn"),
+                        Simulator(seed=1), MeasurementArchive(), **kwargs)
+
+
+class TestNoSharedDefaultInstances:
+    def test_alerters_do_not_share_a_rule(self):
+        a = ThresholdAlerter(MeasurementArchive())
+        b = ThresholdAlerter(MeasurementArchive())
+        assert a.rule is not b.rule
+        assert a.rule == b.rule  # same *thresholds*, distinct objects
+
+    def test_meshes_do_not_share_a_config(self):
+        assert make_mesh().config is not make_mesh().config
+
+    def test_explicit_instances_are_used_verbatim(self):
+        rule = AlertRule(loss_rate_threshold=0.5)
+        assert ThresholdAlerter(MeasurementArchive(), rule).rule is rule
+        config = MeshConfig(owamp_packets=7)
+        assert make_mesh(config=config).config is config
+
+    def test_signatures_default_to_none_not_an_instance(self):
+        """The fix itself: no instance may live in the signature."""
+        rule_default = inspect.signature(
+            ThresholdAlerter.__init__).parameters["rule"].default
+        assert rule_default is None
+        config_default = inspect.signature(
+            MeshSchedule.__init__).parameters["config"].default
+        assert config_default is None
+
+
+class TestNoModuleLevelMutableState:
+    @pytest.mark.parametrize("module", [faults_mod, alerts_mod])
+    def test_module_globals_are_immutable(self, module):
+        """Neither audited module may keep lists/dicts/sets or an RNG at
+        module scope — everything mutable belongs to instances."""
+        for name, value in vars(module).items():
+            if name.startswith("__") or name == "__all__":
+                continue
+            if inspect.ismodule(value) or inspect.isclass(value) \
+                    or inspect.isfunction(value):
+                continue
+            assert not isinstance(value, (list, dict, set)), \
+                f"{module.__name__}.{name} is module-level mutable state"
+            assert "Generator" not in type(value).__name__, \
+                f"{module.__name__}.{name} is an ambient RNG"
+
+
+class TestExplicitRngDiscipline:
+    def test_lossy_transfer_demands_an_rng(self):
+        """A path with random loss must refuse to run unseeded rather
+        than reach for a hidden global generator."""
+        bundle = simple_science_dmz()
+        bundle.topology.node("border").attach(FailingLineCard())
+        plan = TransferPlan(
+            bundle.topology, bundle.dtns[0], bundle.remote_dtn,
+            Dataset("d", GB(1.0), file_count=1), "gridftp",
+            policy=bundle.science_policy)
+        with pytest.raises(TransferError, match="requires an rng"):
+            plan.execute()
+
+    def test_no_default_rng_parameter_anywhere_in_faults(self):
+        """No callable in devices.faults may default an rng parameter to
+        a generator instance."""
+        for _, obj in inspect.getmembers(faults_mod, inspect.isclass):
+            for _, member in inspect.getmembers(obj, inspect.isfunction):
+                for param in inspect.signature(member).parameters.values():
+                    if "rng" in param.name:
+                        assert param.default in (None,
+                                                 inspect.Parameter.empty)
