@@ -1,0 +1,224 @@
+"""Load test: the experiment service under a thundering herd.
+
+The Science DMZ is engineered for sustained load from many science
+groups at once; ``repro.serve`` makes the same claim one layer up, and
+this bench holds it to numbers.  A real asyncio server (own event-loop
+thread, real HTTP over loopback) is hammered by many client threads
+submitting a highly duplicated spec mix — the realistic shape of a
+shared service, where everyone reruns the same handful of figures:
+
+* **≥1000 submissions** (full mode) across 16 client threads, only 24
+  unique specs — at least 90% of accepted submissions must be answered
+  by dedupe (result memo or in-flight coalescing), not re-execution;
+* **zero dropped jobs**: every admitted submission reaches ``done``
+  (429s are retried by the client per the backpressure protocol and
+  are not drops; a *failed or lost* job is);
+* **digest parity**: every service answer carries the same manifest
+  digest as an offline ``run_experiment`` of that unique spec;
+* queue-latency **p50/p99** are reported in the emitted table (the
+  paper's "engineered for load" stance, measured).
+
+``REPRO_BENCH_QUICK`` shrinks the herd (60 submissions / 6 unique) so
+tier-1 exercises the whole path in a couple of seconds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import tempfile
+import threading
+
+from repro.analysis import ResultTable
+from repro.analysis.report import ExperimentRecord
+from repro.experiment import ExperimentSpec, RunContext, run_experiment
+from repro.serve import ExperimentServer, ExperimentService, ServiceClient
+
+from _common import assert_record, emit, quick
+
+N_UNIQUE = quick(24, 6)
+N_SUBMISSIONS = quick(1200, 60)
+N_CLIENTS = quick(16, 4)
+SERVICE_WORKERS = 4
+#: Below the full run's 24 unique specs, so the herd's opening burst
+#: meets real 429s and the client retry path is part of the benchmark.
+QUEUE_CAPACITY = 16
+
+PRIORITIES = ("interactive", "normal", "batch")
+
+
+def unique_spec(i: int) -> dict:
+    """The i-th unique workload: a small Mathis sweep, distinct grid."""
+    return {
+        "schema": 1, "kind": "sweep", "name": f"serve-load-{i:02d}",
+        "seed": 100 + i, "target": "mathis", "value_label": "gbps",
+        "grid": {"rtt_ms": [1.0 + i, 10.0 + i, 50.0 + i],
+                 "loss": [4.5e-5], "mss_bytes": [9000]},
+    }
+
+
+class _LoopThread:
+    """The server on its own event loop, like the deployment shape."""
+
+    def __init__(self, service: ExperimentService) -> None:
+        self.server = ExperimentServer(service, port=0)
+        self.loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run() -> None:
+            asyncio.set_event_loop(self.loop)
+            self.loop.run_until_complete(self.server.start())
+            started.set()
+            self.loop.run_forever()
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        assert started.wait(10), "server failed to start"
+
+    def stop(self) -> None:
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+        self.loop.close()
+
+
+def run_load() -> dict:
+    tmp = tempfile.mkdtemp(prefix="serve-load-")
+    service = ExperimentService(workers=SERVICE_WORKERS,
+                                capacity=QUEUE_CAPACITY,
+                                cache=f"{tmp}/cache")
+    fixture = _LoopThread(service)
+    address = fixture.server.address
+
+    jobs_lock = threading.Lock()
+    submitted_jobs: list = []
+    errors: list = []
+
+    def client_worker(worker: int) -> None:
+        client = ServiceClient(address, max_retries=50)
+        for k in range(worker, N_SUBMISSIONS, N_CLIENTS):
+            spec = unique_spec(k % N_UNIQUE)
+            try:
+                job = client.submit(
+                    spec,
+                    tenant=f"tenant-{worker % 4}",
+                    priority=PRIORITIES[k % len(PRIORITIES)])
+                with jobs_lock:
+                    submitted_jobs.append((k % N_UNIQUE, job["id"]))
+            except Exception as exc:  # noqa: BLE001 - report, don't hang
+                with jobs_lock:
+                    errors.append(f"submit {k}: {exc}")
+
+    threads = [threading.Thread(target=client_worker, args=(w,))
+               for w in range(N_CLIENTS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    # Every accepted job must finish; collect digests per unique spec.
+    waiter = ServiceClient(address)
+    digests: dict = {}
+    done = failed = 0
+    for unique_id, job_id in submitted_jobs:
+        try:
+            snapshot = waiter.result(job_id, timeout=300)
+        except Exception as exc:  # noqa: BLE001 - count, don't hang
+            failed += 1
+            errors.append(f"result {job_id}: {exc}")
+            continue
+        done += 1
+        digests.setdefault(unique_id, set()).add(
+            snapshot["manifest"]["digest"])
+
+    metrics = waiter.metrics()
+    service.drain(timeout=30)
+    fixture.stop()
+
+    # Offline parity baseline, once per unique spec.
+    parity_ok = all(
+        digests.get(i) == {run_experiment(
+            ExperimentSpec.from_dict(unique_spec(i)), RunContext(),
+            persist=False).manifest.digest()}
+        for i in sorted(digests))
+
+    return {
+        "errors": errors,
+        "accepted": len(submitted_jobs),
+        "done": done,
+        "failed": failed,
+        "unique": len(digests),
+        "parity_ok": parity_ok,
+        "metrics": metrics,
+    }
+
+
+def render(outcome: dict) -> str:
+    jobs = outcome["metrics"]["jobs"]
+    latency = outcome["metrics"]["queue_latency"]
+    table = ResultTable(
+        f"serve load: {N_SUBMISSIONS} submissions, {N_UNIQUE} unique "
+        f"specs, {N_CLIENTS} clients, {SERVICE_WORKERS} workers, "
+        f"queue capacity {QUEUE_CAPACITY}",
+        ["metric", "value"])
+    table.add_row(["accepted (client view)", outcome["accepted"]])
+    table.add_row(["completed", outcome["done"]])
+    table.add_row(["failed", outcome["failed"]])
+    table.add_row(["admitted (executed)", jobs["admitted"]])
+    table.add_row(["deduped: memo", jobs["deduped_memo"]])
+    table.add_row(["deduped: in-flight", jobs["deduped_inflight"]])
+    table.add_row(["429 rejections (retried)", jobs["rejected"]])
+    table.add_row(["dedupe ratio",
+                   f"{outcome['metrics']['dedupe_ratio']:.3f}"])
+    table.add_row(["queue latency p50",
+                   f"{latency['p50_s'] * 1000:.2f} ms"])
+    table.add_row(["queue latency p99",
+                   f"{latency['p99_s'] * 1000:.2f} ms"])
+    table.add_row(["digest parity vs offline run",
+                   "ok" if outcome["parity_ok"] else "MISMATCH"])
+    return table.render_text()
+
+
+def test_serve_load(benchmark):
+    outcome = benchmark.pedantic(run_load, rounds=1, iterations=1)
+
+    text = render(outcome)
+    record = ExperimentRecord(
+        experiment_id="repro.serve load test",
+        paper_claim="§1/§5: the DMZ model exists to sustain many "
+                    "groups' data-intensive load on shared "
+                    "infrastructure without degradation",
+        measured=f"{outcome['accepted']} accepted submissions, "
+                 f"dedupe ratio "
+                 f"{outcome['metrics']['dedupe_ratio']:.3f}, "
+                 f"p99 queue latency "
+                 f"{outcome['metrics']['queue_latency']['p99_s']:.4f}s",
+    )
+    record.add_check(
+        "no client submission errored after retries",
+        lambda: not outcome["errors"])
+    record.add_check(
+        f"all {outcome['accepted']} accepted jobs completed "
+        "(zero dropped)",
+        lambda: outcome["done"] == outcome["accepted"]
+        and outcome["failed"] == 0)
+    record.add_check(
+        ">=90% of accepted submissions answered by dedupe",
+        lambda: outcome["metrics"]["dedupe_ratio"] >= 0.90)
+    record.add_check(
+        "every unique spec saw exactly one digest, equal to the "
+        "offline run_experiment digest",
+        lambda: outcome["parity_ok"]
+        and outcome["unique"] == N_UNIQUE)
+    record.add_check(
+        "queue latency quantiles reported",
+        lambda: outcome["metrics"]["queue_latency"]["p99_s"]
+        is not None)
+
+    # Unlike figure benches, these checks are scale-independent —
+    # assert them even in quick mode.
+    ok = record.evaluate()
+    emit("serve_load", text + "\n\n" + record.render_text())
+    assert ok, (
+        "load-test checks failed:\n" + record.render_text()
+        + "\nerrors: " + "; ".join(outcome["errors"][:5]))
+    assert_record(record)

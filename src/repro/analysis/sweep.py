@@ -114,6 +114,7 @@ def sweep(
     code_version: Optional[str] = None,
     mp_context=None,
     metrics=None,
+    on_point=None,
 ) -> SweepResult:
     """Evaluate ``fn(**point)`` over the cartesian product of ``grid``.
 
@@ -158,6 +159,12 @@ def sweep(
         engine counters land in — lets a
         :class:`~repro.experiment.RunContext` aggregate sweep, cache
         and scenario counters in one place.
+    on_point:
+        Optional observer called with each
+        :class:`~repro.exec.PointOutcome` as it completes (completion
+        order, parent process) — how the experiment service streams
+        per-point progress.  Forces the exec engine even for plain
+        serial sweeps so the hook fires uniformly.
     """
     if on_error is not None:
         if on_error not in ("raise", "record"):
@@ -179,7 +186,7 @@ def sweep(
               for combo in itertools.product(*(grid[n] for n in names))]
 
     engine_needed = (cache is not None or base_seed is not None
-                     or metrics is not None
+                     or metrics is not None or on_point is not None
                      or (workers is not None and workers > 1))
     if not engine_needed:
         for params in points:
@@ -198,7 +205,8 @@ def sweep(
                             seed_param=seed_param,
                             code_version=code_version,
                             mp_context=mp_context,
-                            metrics=metrics)
+                            metrics=metrics,
+                            on_outcome=on_point)
     for outcome in runner.map(fn, points, catch_errors=catch_errors):
         result.records.append(SweepRecord(
             params=outcome.params, value=outcome.value,

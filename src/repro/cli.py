@@ -20,7 +20,32 @@ Gives operators the library's main workflows without writing Python:
   oracle violation;
 * ``specs``    — list the spec files in a directory with their digests;
 * ``bench``    — time the simulator's hot paths and gate against the
-  committed performance baseline (``benchmarks/baseline.json``).
+  committed performance baseline (``benchmarks/baseline.json``);
+* ``serve``    — run the multi-tenant experiment service (HTTP JSON
+  API, bounded fair queue, shared result cache; SIGTERM drains
+  gracefully);
+* ``submit``   — send a spec to a running service and wait for the
+  manifest (identical digests to ``repro run``);
+* ``jobs``     — list a service's jobs or show its metrics snapshot.
+
+Exit codes
+----------
+Every command follows one convention:
+
+===== ==========================================================
+code  meaning
+===== ==========================================================
+0     success — the command did what was asked
+1     domain failure — valid input, bad outcome: audit failed,
+      golden digests drifted, an oracle was violated, a bench
+      regressed, a job failed, the service was unreachable
+      (:class:`~repro.errors.ServeError`)
+2     bad input — unusable spec/flags/file
+      (:class:`~repro.errors.ReproError` others, argparse errors)
+===== ==========================================================
+
+"Retryable" is the rule of thumb: 2 means fix the invocation, 1 means
+investigate the system under test.
 
 Examples
 --------
@@ -36,6 +61,8 @@ Examples
     python -m repro.cli sweep mathis --rtt 1,10,50,100 \
         --loss 4.5e-5,1e-4 --workers 4 --cache --stats
     python -m repro.cli run specs/linecard_softfail.json --cache --stats
+    python -m repro.cli serve --workers 4 --cache
+    python -m repro.cli submit specs/fig1_tcp_loss_quick.json
     python -m repro.cli specs
 """
 
@@ -51,7 +78,7 @@ from .analysis import ResultTable
 from .core import apply_upgrade, plan_upgrade
 from .core.designs import DesignBundle
 from .dtn import Dataset, TransferPlan, TOOL_REGISTRY
-from .errors import ReproError
+from .errors import ReproError, ServeError
 # The design registry moved to the experiment layer (specs refer to the
 # same names); re-exported here because callers and tests iterate
 # ``cli.DESIGNS``.
@@ -59,7 +86,13 @@ from .experiment.registry import DESIGNS, mathis_grid_point
 from .tcp.mathis import mathis_throughput, required_window
 from .units import parse_rate, parse_size, parse_time
 
-__all__ = ["main", "DESIGNS"]
+__all__ = ["main", "DESIGNS", "EXIT_OK", "EXIT_DOMAIN_FAILURE",
+           "EXIT_BAD_INPUT"]
+
+#: The exit-code convention (see the module docstring's table).
+EXIT_OK = 0
+EXIT_DOMAIN_FAILURE = 1
+EXIT_BAD_INPUT = 2
 
 
 def _build(name: str) -> DesignBundle:
@@ -612,6 +645,113 @@ def cmd_upgrade(args: argparse.Namespace) -> int:
     return 0 if result.successful else 1
 
 
+def _default_serve_url() -> str:
+    import os
+
+    from .serve import DEFAULT_HOST, DEFAULT_PORT
+
+    return os.environ.get("REPRO_SERVE_URL",
+                          f"http://{DEFAULT_HOST}:{DEFAULT_PORT}")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
+    from .serve import ExperimentService, serve_forever
+
+    cache = None
+    if args.cache or args.cache_dir is not None:
+        cache = (args.cache_dir
+                 or os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+    workers = args.workers
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS", "")
+        workers = int(env) if env else 2
+    service = ExperimentService(
+        workers=workers,
+        capacity=args.capacity,
+        cache=cache,
+        state_dir=args.state_dir,
+        inner_workers=args.inner_workers,
+    )
+    serve_forever(service, host=args.host, port=args.port)
+    return EXIT_OK
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from .experiment import ExperimentSpec
+    from .serve import ServiceClient
+
+    # Parse locally first: a bad spec is the *user's* problem (exit 2)
+    # and should not need a round-trip to find out.
+    spec = ExperimentSpec.from_file(args.spec)
+    client = ServiceClient(args.url, timeout=args.timeout)
+
+    job = client.submit(json.loads(spec.to_json()), tenant=args.tenant,
+                        priority=args.priority)
+    if args.no_wait:
+        if args.json:
+            print(json.dumps(job, indent=2, sort_keys=True))
+        else:
+            print(f"submitted {job['id']}: {spec.kind} {spec.name!r} "
+                  f"state={job['state']}"
+                  + (f" (deduped: {job['deduped']})"
+                     if job.get("deduped") else ""))
+        return EXIT_OK
+
+    result = client.result(job["id"], timeout=args.timeout)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return EXIT_OK
+    manifest = result.get("manifest") or {}
+    print(f"{result['kind']} {result['name']!r}: job {result['id']} "
+          f"{result['state']}"
+          + (f" (deduped: {result['deduped']})"
+             if result.get("deduped") else ""))
+    for key in sorted(manifest.get("summary") or {}):
+        print(f"  {key}: {manifest['summary'][key]}")
+    print(f"  spec digest:     {manifest.get('spec_digest')}")
+    print(f"  result digest:   {manifest.get('result_digest')}")
+    latency = result.get("queue_latency_s")
+    if latency is not None:
+        print(f"  queue latency:   {latency * 1000:.1f} ms")
+    return EXIT_OK
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve import ServiceClient
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    if args.metrics:
+        print(json.dumps(client.metrics(), indent=2, sort_keys=True))
+        return EXIT_OK
+    rows = client.jobs(tenant=args.tenant, limit=args.limit)
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return EXIT_OK
+    if not rows:
+        print("no jobs")
+        return EXIT_OK
+    table = ResultTable(
+        f"jobs at {args.url}",
+        ["id", "tenant", "prio", "kind", "name", "state", "dedup",
+         "points"])
+    for job in rows:
+        done = job.get("points_done")
+        total = job.get("points_total")
+        points = f"{done}/{total}" if total else (str(done) if done
+                                                  else "-")
+        table.add_row([job["id"], job["tenant"], job["priority"],
+                       job["kind"], job["name"], job["state"],
+                       job.get("deduped") or "-", points])
+    print(table.render_text())
+    return EXIT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -818,6 +958,65 @@ def build_parser() -> argparse.ArgumentParser:
                          help="allowed normalized slowdown before "
                               "--compare fails (default 0.30)")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant experiment service (SIGTERM drains)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8351,
+                         help="listen port (0 picks a free one; "
+                              "default 8351)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="concurrent jobs (default: $REPRO_WORKERS "
+                              "or 2)")
+    p_serve.add_argument("--capacity", type=int, default=1024,
+                         help="queue bound before 429s (default 1024)")
+    p_serve.add_argument("--cache", action="store_true",
+                         help="shared result cache under .repro-cache/")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="cache directory (implies --cache)")
+    p_serve.add_argument("--state-dir", default=None,
+                         help="persist the queue here on drain and "
+                              "restore it on start")
+    p_serve.add_argument("--inner-workers", type=int, default=1,
+                         help="process-pool size within one job "
+                              "(default 1: jobs are the parallelism)")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit a spec to a running service and wait for digests")
+    p_submit.add_argument("spec", help="path to a spec file")
+    p_submit.add_argument("--url", default=_default_serve_url(),
+                          help="service URL (default $REPRO_SERVE_URL "
+                               "or the local default port)")
+    p_submit.add_argument("--tenant", default="cli",
+                          help="tenant name for fair queueing "
+                               "(default cli)")
+    p_submit.add_argument("--priority", default="normal",
+                          choices=["interactive", "normal", "batch"])
+    p_submit.add_argument("--timeout", type=float, default=300.0,
+                          help="seconds to wait for the result "
+                               "(default 300)")
+    p_submit.add_argument("--no-wait", action="store_true",
+                          help="return after admission; poll with "
+                               "`repro jobs`")
+    p_submit.add_argument("--json", action="store_true",
+                          help="print the raw job document as JSON")
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_jobs = sub.add_parser(
+        "jobs", help="list a service's jobs / show its metrics")
+    p_jobs.add_argument("--url", default=_default_serve_url())
+    p_jobs.add_argument("--tenant", default=None,
+                        help="only this tenant's jobs")
+    p_jobs.add_argument("--limit", type=int, default=None,
+                        help="only the most recent N jobs")
+    p_jobs.add_argument("--metrics", action="store_true",
+                        help="print the service metrics snapshot instead")
+    p_jobs.add_argument("--json", action="store_true")
+    p_jobs.add_argument("--timeout", type=float, default=30.0)
+    p_jobs.set_defaults(func=cmd_jobs)
     return parser
 
 
@@ -826,9 +1025,14 @@ def main(argv: Optional[list] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except ServeError as exc:
+        # Operational failure (unreachable service, failed job, full
+        # queue after retries) — the invocation was fine.
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_DOMAIN_FAILURE
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_BAD_INPUT
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -61,3 +61,21 @@ class TelemetryError(ReproError):
 class ExecError(ReproError):
     """Parallel execution / result-cache failure (lost point, bad entry,
     or a cached failure replayed outside ``on_error='record'``)."""
+
+
+class ServeError(ReproError):
+    """Experiment-service failure (unreachable server, failed job,
+    protocol violation).  Operational — maps to CLI exit code 1,
+    unlike :class:`ConfigurationError` (bad input, exit code 2)."""
+
+
+class AdmissionError(ServeError):
+    """The service's job queue is full; retry after ``retry_after_s``."""
+
+    def __init__(self, message: str, *, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class DrainingError(ServeError):
+    """The service is draining and no longer accepts submissions."""

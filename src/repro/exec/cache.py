@@ -36,6 +36,22 @@ Hit/miss/store/uncacheable/corrupt counters are
 :class:`~repro.telemetry.metrics.MetricsRegistry` under the
 ``exec.cache`` component, so ``registry.render_text()`` and
 ``as_dict()`` export them like every other subsystem's metrics.
+
+Concurrency
+-----------
+The store is safe under concurrent writers — worker pools, the
+multi-tenant experiment service (:mod:`repro.serve`), or several
+independent processes sharing one cache directory:
+
+* writes go to a private temp file and land via an atomic
+  ``os.replace``, so a reader can never observe a torn entry and the
+  last concurrent writer of a key simply wins (both wrote the same
+  deterministic bytes anyway);
+* reads tolerate everything a crashed or racing writer could leave
+  behind — missing files, non-UTF-8 garbage, truncated JSON — and
+  count it as ``corrupt`` + ``miss`` instead of raising;
+* counter updates take a lock, so hit/miss accounting stays exact when
+  one cache object is shared across scheduler threads.
 """
 
 from __future__ import annotations
@@ -46,6 +62,7 @@ import json
 import os
 import pathlib
 import tempfile
+import threading
 from typing import Callable, Dict, Mapping, Optional, Tuple
 
 from ..errors import ExecError
@@ -151,6 +168,9 @@ class ResultCache:
     def __init__(self, root: os.PathLike | str = DEFAULT_CACHE_DIR, *,
                  metrics: Optional[MetricsRegistry] = None) -> None:
         self.root = pathlib.Path(root)
+        # File operations are lock-free (atomic rename); only the
+        # counter read-modify-writes need serializing across threads.
+        self._lock = threading.Lock()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._hits = self.metrics.counter("hits", component=self.COMPONENT)
         self._misses = self.metrics.counter("misses",
@@ -183,24 +203,36 @@ class ResultCache:
     def load(self, key: str) -> Optional[Dict[str, object]]:
         """The stored entry for ``key``, or None (counted as a miss).
 
-        Corrupt or unreadable entries count separately and behave as
-        misses; the next store overwrites them.
+        Corrupt or unreadable entries — truncated JSON, non-UTF-8
+        bytes, the wrong shape — count separately and behave as
+        misses; the next store overwrites them.  A concurrent writer
+        can never produce one (writes are atomic), but a crashed tool
+        or a stray file in the cache directory can.
         """
         path = self._path(key)
         try:
             text = path.read_text(encoding="utf-8")
         except (FileNotFoundError, OSError):
-            self._misses.inc()
+            with self._lock:
+                self._misses.inc()
+            return None
+        except ValueError:
+            # UnicodeDecodeError: partially-written or foreign bytes.
+            with self._lock:
+                self._corrupt.inc()
+                self._misses.inc()
             return None
         try:
             entry = json.loads(text)
             if not isinstance(entry, dict) or "ok" not in entry:
                 raise ValueError("not a cache entry")
         except ValueError:
-            self._corrupt.inc()
-            self._misses.inc()
+            with self._lock:
+                self._corrupt.inc()
+                self._misses.inc()
             return None
-        self._hits.inc()
+        with self._lock:
+            self._hits.inc()
         return entry
 
     def store(self, key: str, *, fn_id: str,
@@ -212,16 +244,20 @@ class ResultCache:
         Error outcomes (``error is not None``) are always cacheable —
         the simulator is deterministic, so a failure at a grid point is
         as much a result as a number.  Writes are atomic (temp file +
-        ``os.replace``), so a crashed run never leaves a torn entry.
+        ``os.replace``), so a crashed run never leaves a torn entry and
+        concurrent writers of the same key race harmlessly (last
+        replace wins; both wrote identical bytes).
         """
         if error is None:
             try:
                 encoded = json.dumps(value, allow_nan=False)
             except (TypeError, ValueError):
-                self._uncacheable.inc()
+                with self._lock:
+                    self._uncacheable.inc()
                 return False
             if not _strictly_roundtrips(value, json.loads(encoded)):
-                self._uncacheable.inc()
+                with self._lock:
+                    self._uncacheable.inc()
                 return False
         entry = {
             "key": key,
@@ -246,13 +282,19 @@ class ResultCache:
                 os.unlink(tmp)
             except OSError:
                 pass
-            self._uncacheable.inc()
+            with self._lock:
+                self._uncacheable.inc()
             return False
-        self._stores.inc()
+        with self._lock:
+            self._stores.inc()
         return True
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry; returns how many were removed.
+
+        Tolerates concurrent writers and clearers: an entry another
+        process removed first simply doesn't count toward the total.
+        """
         removed = 0
         if not self.root.exists():
             return removed
@@ -260,6 +302,8 @@ class ResultCache:
             try:
                 path.unlink()
                 removed += 1
+            except FileNotFoundError:
+                continue
             except OSError as exc:
                 raise ExecError(f"cannot clear cache entry {path}: {exc}")
         return removed

@@ -117,6 +117,13 @@ class ParallelRunner:
         Shared registry for the runner's counters (component
         ``exec.runner``); defaults to the cache's registry, else a
         fresh one.
+    on_outcome:
+        Optional observer called with each :class:`PointOutcome` as it
+        lands (cache hits at discovery, evaluated points on
+        completion).  Called in the parent process, in *completion*
+        order — an observability hook (progress streaming, live
+        dashboards), never part of result identity: ``map`` still
+        returns grid order regardless.
     """
 
     COMPONENT = "exec.runner"
@@ -127,7 +134,9 @@ class ParallelRunner:
                  seed_param: str = "seed",
                  code_version: Optional[str] = None,
                  mp_context=None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 on_outcome: Optional[
+                     Callable[[PointOutcome], None]] = None) -> None:
         self.workers = max(1, int(workers or 1))
         if isinstance(cache, (str, os.PathLike)):
             cache = ResultCache(cache, metrics=metrics)
@@ -142,6 +151,7 @@ class ParallelRunner:
             self.metrics = cache.metrics
         else:
             self.metrics = MetricsRegistry()
+        self.on_outcome = on_outcome
         self._points = self.metrics.counter("points",
                                             component=self.COMPONENT)
         self._evaluated = self.metrics.counter("evaluated",
@@ -180,6 +190,7 @@ class ParallelRunner:
                         value=entry.get("value"),
                         error=entry.get("error"),
                         seed=seed, cached=True)
+                    self._observe(outcomes[i])
                     continue
             pending.append(i)
 
@@ -209,6 +220,10 @@ class ParallelRunner:
         if not catch_errors:
             self._raise_earliest(result)
         return result
+
+    def _observe(self, outcome: PointOutcome) -> None:
+        if self.on_outcome is not None:
+            self.on_outcome(outcome)
 
     def _snapshot(self) -> Dict[str, int]:
         out = {
@@ -252,6 +267,7 @@ class ParallelRunner:
                 evaluated[i] = PointOutcome(index=i, params=jobs[i],
                                             value=None, error=str(exc),
                                             seed=seeds[i])
+            self._observe(evaluated[i])
         return evaluated
 
     def _run_pool(self, fn, jobs, seeds,
@@ -277,6 +293,7 @@ class ParallelRunner:
                     evaluated[i] = PointOutcome(index=i, params=jobs[i],
                                                 value=value, error=error,
                                                 seed=seeds[i])
+                    self._observe(evaluated[i])
                     if exc is not None:
                         errors[i] = exc
         self._pool_errors = errors

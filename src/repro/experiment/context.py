@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import os
 import pathlib
-from typing import Dict, Optional
+from typing import Callable, Dict, Mapping, Optional
 
 from ..errors import ConfigurationError
 from ..exec.cache import ResultCache
@@ -64,13 +64,24 @@ class RunContext:
     metrics:
         Shared :class:`~repro.telemetry.MetricsRegistry`; the cache and
         runner counters land here so one registry shows the whole run.
+    progress:
+        Optional observer ``fn(event, fields)`` for live run progress
+        — per-point completions land here as ``("point", {...})`` in
+        completion order.  Pure observability: results and manifest
+        digests are identical with or without it (how
+        :mod:`repro.serve` streams partial results without touching
+        run identity).  Exceptions from the observer propagate — a
+        broken observer should fail loudly, not silently skew what an
+        operator sees.
     """
 
     def __init__(self, *, workers: Optional[int] = None,
                  cache: Optional[ResultCache | str | os.PathLike] = None,
                  artifacts: Optional[os.PathLike | str] = None,
                  trace=None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 progress: Optional[Callable[
+                     [str, Mapping[str, object]], None]] = None) -> None:
         self.workers = max(1, int(workers or 1))
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         if isinstance(cache, (str, os.PathLike)):
@@ -79,6 +90,7 @@ class RunContext:
         self.artifacts = (pathlib.Path(artifacts)
                           if artifacts is not None else None)
         self.tracer = ensure_tracer(trace)
+        self.progress = progress
         self._root_seed: Optional[int] = None
 
     @classmethod
@@ -126,6 +138,22 @@ class RunContext:
                            {"path": [str(p) for p in path]})
 
     # -- execution plumbing ---------------------------------------------------
+    def emit_progress(self, event: str, **fields: object) -> None:
+        """Hand an observability event to the progress observer (if any)."""
+        if self.progress is not None:
+            self.progress(event, fields)
+
+    def point_observer(self):
+        """The ``on_outcome``/``on_point`` callback for this context's
+        progress observer, or None when no one is listening."""
+        if self.progress is None:
+            return None
+
+        def observe(outcome) -> None:
+            self.emit_progress("point", index=outcome.index,
+                               cached=outcome.cached, ok=outcome.ok)
+        return observe
+
     def runner(self, *, base_seed: Optional[int] = None,
                seed_param: str = "seed",
                code_version: Optional[str] = None,
@@ -138,6 +166,7 @@ class RunContext:
             seed_param=seed_param,
             code_version=code_version,
             metrics=self.metrics,
+            on_outcome=self.point_observer(),
         )
 
     def artifact_dir(self, name: str) -> pathlib.Path:

@@ -160,6 +160,7 @@ def _run_sweep(spec: SweepSpec, ctx: RunContext, version: str):
         base_seed=spec.seed if spec.seeded else None,
         code_version=version,
         metrics=ctx.metrics,
+        on_point=ctx.point_observer(),
     )
     payload = {
         "param_names": list(result.param_names),

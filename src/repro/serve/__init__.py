@@ -1,0 +1,61 @@
+"""repro.serve: the simulator as a long-running experiment service.
+
+Everything before this package answers "run this spec, once, here".
+:mod:`repro.serve` turns the same machinery into a *service*: many
+tenants submit :class:`~repro.experiment.spec.ExperimentSpec` JSON
+over HTTP, a bounded weighted-fair queue schedules them onto a shared
+worker pool, three dedupe layers (result memo, in-flight coalescing,
+the shared :class:`~repro.exec.cache.ResultCache`) collapse identical
+submissions, and every answer carries the *same manifest digest* the
+offline ``repro run`` produces — the service adds multiplexing, never
+new numbers.
+
+Layers, bottom-up:
+
+* :mod:`~repro.serve.job` — the :class:`Job` record and lifecycle;
+* :mod:`~repro.serve.queue` — :class:`FairQueue`: bounded admission
+  (429 + Retry-After on overflow), priority classes, start-time fair
+  queueing across tenants;
+* :mod:`~repro.serve.scheduler` — :class:`ExperimentService`: worker
+  threads, dedupe, telemetry, graceful drain with queue persistence;
+* :mod:`~repro.serve.api` — asyncio HTTP JSON API + NDJSON event
+  streams, SIGTERM → drain;
+* :mod:`~repro.serve.client` — blocking client that honors the
+  backpressure protocol (used by ``repro submit`` / ``repro jobs``
+  and the load bench).
+
+Quick start::
+
+    repro serve --workers 4 --cache .repro-cache   # terminal 1
+    repro submit specs/fig1_tcp_loss_quick.json    # terminal 2, twice:
+                                                   # second is a dedupe
+
+or in-process, no HTTP::
+
+    from repro.serve import ExperimentService
+    svc = ExperimentService(workers=2, cache=".repro-cache").start()
+    job = svc.submit(spec_json, tenant="alice")
+    svc.wait(job.id).manifest["result_digest"]
+
+See ``docs/serve.md``.
+"""
+
+from .api import DEFAULT_HOST, DEFAULT_PORT, ExperimentServer, serve_forever
+from .client import ServiceClient
+from .job import DEFAULT_PRIORITY, PRIORITY_CLASSES, TERMINAL_STATES, Job
+from .queue import FairQueue
+from .scheduler import ExperimentService
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "DEFAULT_PRIORITY",
+    "ExperimentServer",
+    "ExperimentService",
+    "FairQueue",
+    "Job",
+    "PRIORITY_CLASSES",
+    "ServiceClient",
+    "TERMINAL_STATES",
+    "serve_forever",
+]

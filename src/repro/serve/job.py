@@ -1,0 +1,144 @@
+"""Job records: one accepted submission, from queue to manifest.
+
+A :class:`Job` is the service-side state of one submitted experiment
+spec — who sent it (tenant), how urgent it is (priority class), what
+it is (the spec's canonical JSON and digest), where it stands
+(lifecycle state), and what came out (the :class:`RunManifest` dict
+and result payload).  Jobs are mutable records guarded by the owning
+:class:`~repro.serve.scheduler.ExperimentService`'s lock; everything
+the HTTP API returns is a plain-dict snapshot taken under that lock.
+
+Lifecycle::
+
+    queued ──> running ──> done
+       │           └─────> failed
+       └─────────────────> persisted     (drained before starting)
+
+plus two short-circuits that never enter the queue: a submission whose
+spec digest already *completed* is answered from the service's result
+memo (``deduped="memo"``, born ``done``), and one whose digest is
+currently queued/running attaches to the in-flight primary
+(``deduped="inflight"``) and completes when it does.
+
+Every state transition appends an event ``{"seq", "event", ...}`` to
+``job.events`` — the exact records the ``/v1/jobs/<id>/events`` NDJSON
+stream replays, including per-point completions forwarded from the
+experiment layer's progress hook.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Job", "PRIORITY_CLASSES", "DEFAULT_PRIORITY", "QUEUED",
+           "RUNNING", "DONE", "FAILED", "PERSISTED", "TERMINAL_STATES"]
+
+#: Priority classes, lower rank = served first.  ``interactive`` is a
+#: human waiting at a prompt, ``normal`` the default API traffic,
+#: ``batch`` bulk backfill that yields to everything else.
+PRIORITY_CLASSES: Dict[str, int] = {
+    "interactive": 0,
+    "normal": 1,
+    "batch": 2,
+}
+
+DEFAULT_PRIORITY = "normal"
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+#: Drained out of the queue before starting; resubmitted on restart.
+PERSISTED = "persisted"
+
+TERMINAL_STATES = frozenset({DONE, FAILED, PERSISTED})
+
+#: Per-point progress events kept verbatim per job; beyond this only
+#: the ``points_done`` counter advances (a 100k-point sweep should not
+#: hold 100k event dicts in service memory).
+MAX_POINT_EVENTS = 2048
+
+
+@dataclass
+class Job:
+    """Service-side record of one submission (see module docs)."""
+
+    id: str
+    tenant: str
+    priority: str
+    spec_kind: str
+    spec_name: str
+    spec_digest: str
+    spec_json: str
+    state: str = QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+    #: "memo" (answered from the completed-result memo), "inflight"
+    #: (attached to a running/queued primary), or None (executed here).
+    deduped: Optional[str] = None
+    #: For attached jobs: the id of the job that actually executes.
+    primary_id: Optional[str] = None
+    #: For primaries: ids of jobs attached to this execution.
+    attached: List[str] = field(default_factory=list)
+    manifest: Optional[Dict[str, object]] = None
+    payload: Optional[Dict[str, object]] = None
+    points_total: Optional[int] = None
+    points_done: int = 0
+    events: List[Dict[str, object]] = field(default_factory=list)
+
+    # -- events ---------------------------------------------------------------
+    def add_event(self, event: str, **fields: object) -> Dict[str, object]:
+        record: Dict[str, object] = {"seq": len(self.events),
+                                     "event": event, "job": self.id}
+        record.update(fields)
+        self.events.append(record)
+        return record
+
+    def add_point_event(self, **fields: object) -> None:
+        self.points_done += 1
+        if len(self.events) < MAX_POINT_EVENTS:
+            self.add_event("point", done=self.points_done,
+                           total=self.points_total, **fields)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def queue_latency_s(self) -> Optional[float]:
+        """Seconds from submission to execution start (None until then;
+        for deduped jobs, submission to answer)."""
+        if self.started_at is None:
+            return None
+        return max(0.0, self.started_at - self.submitted_at)
+
+    # -- snapshots ------------------------------------------------------------
+    def to_dict(self, *, with_payload: bool = False) -> Dict[str, object]:
+        """JSON snapshot for the API (payload only on request — result
+        payloads can be large and ``/v1/jobs`` lists many jobs)."""
+        out: Dict[str, object] = {
+            "id": self.id,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "kind": self.spec_kind,
+            "name": self.spec_name,
+            "spec_digest": self.spec_digest,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "queue_latency_s": self.queue_latency_s,
+            "error": self.error,
+            "deduped": self.deduped,
+            "primary_id": self.primary_id,
+            "points_total": self.points_total,
+            "points_done": self.points_done,
+            "manifest": self.manifest,
+        }
+        if with_payload:
+            out["payload"] = self.payload
+        return out

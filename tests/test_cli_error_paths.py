@@ -1,6 +1,10 @@
 """Every ``repro run`` / ``repro sweep`` / ``repro chaos`` failure mode
 must exit non-zero with a message that tells the user what to fix:
-malformed specs, unknown registry keys, and golden-digest drift."""
+malformed specs, unknown registry keys, and golden-digest drift.
+
+The codes follow one convention (the table in :mod:`repro.cli`'s
+docstring): 0 success, 1 domain failure (valid input, bad outcome),
+2 bad input — ``TestExitCodeConvention`` pins it across commands."""
 
 from __future__ import annotations
 
@@ -9,7 +13,7 @@ import pathlib
 
 import pytest
 
-from repro.cli import main
+from repro.cli import EXIT_BAD_INPUT, EXIT_DOMAIN_FAILURE, EXIT_OK, main
 
 SPECS = pathlib.Path(__file__).parent.parent / "specs"
 
@@ -168,3 +172,76 @@ class TestGoldenDrift:
                          "--golden", tmp_path / "absent.json")
         assert rc == 2
         assert "cannot read golden file" in err
+
+
+class TestExitCodeConvention:
+    """0 ok / 1 domain failure / 2 bad input, uniformly.
+
+    The convention's value is that scripts and CI can branch on the
+    code without parsing stderr — so each class gets a representative
+    from several commands, including the serve family.
+    """
+
+    # A port where nothing listens (TEST-NET-3 would hang; a closed
+    # local port fails fast with ECONNREFUSED).
+    DEAD_URL = "http://127.0.0.1:1"
+
+    def test_constants_are_distinct_and_documented(self):
+        import repro.cli as cli_mod
+
+        assert (EXIT_OK, EXIT_DOMAIN_FAILURE, EXIT_BAD_INPUT) == (0, 1, 2)
+        # The docstring table must mention every code's meaning.
+        doc = cli_mod.__doc__
+        assert "domain failure" in doc and "bad input" in doc
+
+    def test_success_is_zero(self, cli):
+        rc, _, _ = cli("mathis", "--loss", "4.5e-5")
+        assert rc == EXIT_OK
+
+    def test_audit_failure_is_one(self, cli):
+        # Valid design, failing audit: a domain outcome, not bad input.
+        rc, _, _ = cli("audit", "general-purpose-campus")
+        assert rc == EXIT_DOMAIN_FAILURE
+
+    def test_golden_drift_is_one_bad_spec_is_two(self, cli, tmp_path):
+        golden = tmp_path / "golden.json"
+        committed = json.loads((SPECS / "golden.json").read_text())
+        entry = dict(committed["linecard-softfail"],
+                     result_digest="0" * 64)
+        golden.write_text(json.dumps({"linecard-softfail": entry}))
+        rc, _, _ = cli("run", SPECS / "linecard_softfail.json",
+                       "--no-persist", "--golden", golden)
+        assert rc == EXIT_DOMAIN_FAILURE
+        rc, _, _ = cli("run", tmp_path / "missing.json")
+        assert rc == EXIT_BAD_INPUT
+
+    def test_chaos_violation_is_one(self, cli):
+        rc, _, err = cli("chaos",
+                         SPECS / "chaos_demo_broken_oracle.json",
+                         "--no-persist")
+        assert rc == EXIT_DOMAIN_FAILURE
+
+    def test_unreachable_service_is_one(self, cli):
+        rc, _, err = cli("jobs", "--url", self.DEAD_URL)
+        assert rc == EXIT_DOMAIN_FAILURE
+        assert "cannot reach service" in err
+
+    def test_submit_unreachable_service_is_one(self, cli):
+        rc, _, err = cli("submit", SPECS / "fig1_tcp_loss_quick.json",
+                         "--url", self.DEAD_URL)
+        assert rc == EXIT_DOMAIN_FAILURE
+        assert "cannot reach service" in err
+
+    def test_submit_bad_spec_is_two_without_a_server(self, cli,
+                                                     tmp_path):
+        # Input validation happens before any network traffic.
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        rc, _, err = cli("submit", path, "--url", self.DEAD_URL)
+        assert rc == EXIT_BAD_INPUT
+        assert "not valid JSON" in err
+
+    def test_submit_bad_url_scheme_is_two(self, cli):
+        rc, _, err = cli("jobs", "--url", "ftp://example.org")
+        assert rc == EXIT_BAD_INPUT
+        assert "http" in err

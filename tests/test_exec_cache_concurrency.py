@@ -1,0 +1,175 @@
+"""ResultCache under concurrent writers and hostile on-disk state.
+
+The multi-tenant experiment service (:mod:`repro.serve`) shares one
+cache across scheduler threads, and pooled sweeps in separate
+processes share one cache *directory* — so the store must keep two
+promises under concurrency:
+
+* a load never observes a torn entry (writes are atomic
+  temp-file+rename) and never raises on garbage another tool left
+  behind — it degrades to a counted miss;
+* counters stay exact when one cache object is hammered from many
+  threads (hits + misses == loads, no lost increments).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import sys
+import threading
+
+import pytest
+
+from repro.exec.cache import ResultCache
+
+KEYS = 8
+ROUNDS = 40
+
+
+def _entry_kwargs(i: int):
+    return {
+        "fn_id": "tests.fake_fn",
+        "params": {"i": i},
+        "seed": None,
+        "version": "v1",
+        "value": {"i": i, "answer": [i, i * 2, "x" * 64]},
+    }
+
+
+def _hammer(cache: ResultCache, keys, results, idx):
+    """Worker: interleave stores and loads over a shared key set."""
+    ok = True
+    for round_no in range(ROUNDS):
+        for i, key in enumerate(keys):
+            cache.store(key, **_entry_kwargs(i))
+            entry = cache.load(key)
+            # A load may race the very first store of a key (miss) but
+            # must never return a torn or wrong-valued entry.
+            if entry is not None:
+                ok = ok and entry["ok"] and entry["value"]["i"] == i
+    results[idx] = ok
+
+
+class TestConcurrentWriters:
+    def test_threads_share_one_cache_object(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        keys = [cache.key("tests.fake_fn", {"i": i}, None, "v1")
+                for i in range(KEYS)]
+        n = 8
+        results = [None] * n
+        threads = [threading.Thread(target=_hammer,
+                                    args=(cache, keys, results, t))
+                   for t in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(results), "a thread observed a torn/wrong entry"
+        stats = cache.stats()
+        loads = n * ROUNDS * KEYS
+        # Exact accounting: every load was either a hit or a miss, and
+        # the locked counters lost nothing across 8 threads.
+        assert stats["hits"] + stats["misses"] == loads
+        assert stats["corrupt"] == 0
+        assert stats["entries"] == KEYS
+        assert stats["stores"] == loads  # every store round-tripped
+
+    def test_concurrent_store_and_clear_never_raise(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        keys = [cache.key("tests.fake_fn", {"i": i}, None, "v1")
+                for i in range(KEYS)]
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            try:
+                while not stop.is_set():
+                    for i, key in enumerate(keys):
+                        cache.store(key, **_entry_kwargs(i))
+            except Exception as exc:  # noqa: BLE001 - the assertion
+                errors.append(exc)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(20):
+                cache.clear()
+        finally:
+            stop.set()
+            thread.join()
+        assert not errors
+
+
+def _process_hammer(root: str) -> bool:
+    """Module-level for pickling: one process worth of store/load."""
+    cache = ResultCache(root)
+    keys = [cache.key("tests.fake_fn", {"i": i}, None, "v1")
+            for i in range(KEYS)]
+    results = [None]
+    _hammer(cache, keys, results, 0)
+    return bool(results[0])
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="fork start method")
+def test_processes_share_one_cache_directory(tmp_path):
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(4) as pool:
+        outcomes = pool.map(_process_hammer,
+                            [str(tmp_path / "cache")] * 4)
+    assert all(outcomes)
+    cache = ResultCache(tmp_path / "cache")
+    assert len(cache) == KEYS
+    for i in range(KEYS):
+        key = cache.key("tests.fake_fn", {"i": i}, None, "v1")
+        entry = cache.load(key)
+        assert entry is not None and entry["value"]["i"] == i
+
+
+class TestTornAndForeignFiles:
+    """What a crashed writer or a stray tool could leave on disk."""
+
+    def _planted(self, tmp_path, payload: bytes):
+        cache = ResultCache(tmp_path / "cache")
+        key = cache.key("tests.fake_fn", {"i": 0}, None, "v1")
+        path = cache._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(payload)
+        return cache, key
+
+    @pytest.mark.parametrize("payload", [
+        b"",                                # zero-length (crash mid-create)
+        b'{"key": "abc", "ok": tru',        # truncated JSON
+        b"\xff\xfe\x00garbage",             # not UTF-8 at all
+        b"[1, 2, 3]",                       # valid JSON, wrong shape
+        b'{"no_ok_field": 1}',              # dict without the marker
+    ])
+    def test_load_degrades_to_counted_miss(self, tmp_path, payload):
+        cache, key = self._planted(tmp_path, payload)
+        assert cache.load(key) is None
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["corrupt"] == 1
+
+    def test_store_repairs_a_corrupt_entry(self, tmp_path):
+        cache, key = self._planted(tmp_path, b"\xff\xfegarbage")
+        assert cache.load(key) is None
+        assert cache.store(key, **_entry_kwargs(0))
+        entry = cache.load(key)
+        assert entry is not None and entry["value"]["i"] == 0
+
+    def test_tmp_files_are_invisible_to_len_and_load(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = cache.key("tests.fake_fn", {"i": 0}, None, "v1")
+        assert cache.store(key, **_entry_kwargs(0))
+        # Simulate an in-flight writer's temp file next to the entry.
+        (cache._path(key).parent / "abc123.tmp").write_bytes(b"partial")
+        assert len(cache) == 1
+        assert cache.load(key) is not None
+
+    def test_entry_file_is_valid_json_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = cache.key("tests.fake_fn", {"i": 3}, None, "v1")
+        assert cache.store(key, **_entry_kwargs(3))
+        on_disk = json.loads(cache._path(key).read_text(encoding="utf-8"))
+        assert on_disk["key"] == key and on_disk["ok"] is True

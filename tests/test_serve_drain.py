@@ -1,0 +1,113 @@
+"""Graceful drain: SIGTERM against a real ``repro serve`` process.
+
+The contract under test is the deployment story: a SIGTERM'd server
+stops admitting, lets the in-flight job finish, persists the queued
+backlog to ``state_dir/queue.json``, prints ``drained`` and exits 0 —
+and a successor service started on the same state directory picks the
+backlog up and completes it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.serve import ExperimentService, ServiceClient
+from repro.serve.scheduler import JOBS_STATE_FILE, QUEUE_STATE_FILE
+
+REPO = pathlib.Path(__file__).parent.parent
+
+
+def slow_spec():
+    """~2s of real simulation: enough to be mid-flight at SIGTERM."""
+    return {
+        "schema": 1, "kind": "sweep", "name": "drain-slow", "seed": 5,
+        "target": "fig1_tcp", "value_label": "bps",
+        "grid": [["algorithm", ["reno"]],
+                 ["rtt_ms", [1, 2, 5]],
+                 ["loss", [4.5e-5]],
+                 ["rep", [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]],
+                 ["max_rounds", [2000000]]],
+    }
+
+
+def quick_spec(name):
+    return {
+        "schema": 1, "kind": "sweep", "name": name, "seed": 2,
+        "target": "mathis", "value_label": "gbps",
+        "grid": {"rtt_ms": [1.0, 10.0], "loss": [1e-4],
+                 "mss_bytes": [9000]},
+    }
+
+
+def test_sigterm_finishes_in_flight_persists_backlog_and_recovers(
+        tmp_path):
+    state = tmp_path / "state"
+    env = dict(os.environ,
+               PYTHONPATH=str(REPO / "src"),
+               REPRO_WORKERS="")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--workers", "1", "--state-dir", str(state),
+         "--cache-dir", str(tmp_path / "cache")],
+        env=env, cwd=str(REPO), stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True)
+    try:
+        banner = proc.stdout.readline()
+        match = re.search(r"serving on (http://[\d.]+:\d+)", banner)
+        assert match, f"unexpected server banner: {banner!r}"
+        client = ServiceClient(match.group(1))
+
+        slow = client.submit(slow_spec(), tenant="alice")
+        queued = [client.submit(quick_spec("drain-q1"), tenant="bob"),
+                  client.submit(quick_spec("drain-q2"), tenant="carol")]
+
+        deadline = time.monotonic() + 30
+        while client.job(slow["id"])["state"] != "running":
+            assert time.monotonic() < deadline, "slow job never started"
+            time.sleep(0.05)
+
+        proc.send_signal(signal.SIGTERM)
+        output, _ = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate(timeout=10)
+
+    assert proc.returncode == 0
+    assert "draining" in output
+    assert "drained (persisted=2 in_flight=1)" in output
+
+    saved = json.loads((state / QUEUE_STATE_FILE).read_text())
+    assert sorted(e["spec"]["name"] for e in saved["jobs"]) == [
+        "drain-q1", "drain-q2"]
+    jobs_index = json.loads((state / JOBS_STATE_FILE).read_text())
+    by_name = {j["name"]: j for j in jobs_index["jobs"]}
+    assert by_name["drain-slow"]["state"] == "done"
+    assert by_name["drain-slow"]["manifest"]["result_digest"]
+    assert by_name["drain-q1"]["state"] == "persisted"
+
+    # A successor service on the same state dir finishes the backlog.
+    successor = ExperimentService(workers=0, state_dir=state).start()
+    restored_ids = {e["id"] for e in saved["jobs"]}
+    done = {successor.step().id for _ in range(2)}
+    assert done == restored_ids
+    assert all(successor.job(i).state == "done" for i in restored_ids)
+
+
+def test_draining_server_rejects_submissions_in_process(tmp_path):
+    """The 503 half of the drain contract, no subprocess needed."""
+    svc = ExperimentService(workers=0, state_dir=tmp_path / "s").start()
+    svc.submit(quick_spec("last-one"))
+    svc.drain(timeout=5)
+    from repro.errors import DrainingError
+    with pytest.raises(DrainingError):
+        svc.submit(quick_spec("too-late"))

@@ -1,0 +1,246 @@
+"""ExperimentService: scheduling, dedupe, parity, drain/restore.
+
+Run with ``workers=0`` + :meth:`step` so the queue holds still between
+assertions — the scheduler is exercised deterministically, no sleeps.
+The one load-bearing invariant everywhere: a manifest produced by the
+service carries the *same digest* as one produced by offline
+``run_experiment`` for the same spec.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import (AdmissionError, ConfigurationError,
+                          DrainingError, ServeError)
+from repro.experiment import ExperimentSpec, RunContext, run_experiment
+from repro.serve import ExperimentService
+from repro.serve.scheduler import QUEUE_STATE_FILE, JOBS_STATE_FILE
+
+
+def sweep_spec(name, rtts=(1.0, 10.0), target="mathis"):
+    return {
+        "schema": 1, "kind": "sweep", "name": name, "seed": 7,
+        "target": target, "value_label": "gbps",
+        "grid": {"rtt_ms": list(rtts), "loss": [4.5e-5],
+                 "mss_bytes": [9000]},
+    }
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = ExperimentService(workers=0, cache=tmp_path / "cache",
+                            state_dir=tmp_path / "state")
+    svc.start()
+    return svc
+
+
+class TestExecution:
+    def test_submit_queues_then_step_completes(self, service):
+        job = service.submit(sweep_spec("s1"), tenant="alice")
+        assert job.state == "queued"
+        assert service.step() is job
+        assert job.state == "done"
+        assert job.manifest["result_digest"]
+        assert job.points_done == job.points_total == 2
+
+    def test_service_manifest_digest_matches_offline_run(self, service):
+        doc = sweep_spec("parity")
+        job = service.submit(doc)
+        service.step()
+        offline = run_experiment(ExperimentSpec.from_dict(doc),
+                                 RunContext(), persist=False)
+        assert job.manifest["digest"] == offline.manifest.digest()
+        assert (job.manifest["result_digest"]
+                == offline.manifest.result_digest)
+        # Byte-identical payloads, not merely equal digests.
+        assert (json.dumps(job.payload, sort_keys=True)
+                == json.dumps(offline.payload, sort_keys=True))
+
+    def test_failed_job_records_error(self, service):
+        job = service.submit(sweep_spec("bad", target="no-such-target"))
+        service.step()
+        assert job.state == "failed"
+        assert "no-such-target" in job.error
+        assert job.manifest is None
+
+    def test_scenario_spec_runs(self, service):
+        spec = {"schema": 1, "kind": "scenario", "name": "sc", "seed": 3,
+                "design": "simple-science-dmz", "until_s": 60.0}
+        job = service.submit(spec)
+        service.step()
+        assert job.state == "done"
+        assert job.points_total == 1
+
+    def test_wait_returns_terminal_job_and_times_out(self, service):
+        job = service.submit(sweep_spec("w"))
+        with pytest.raises(ServeError, match="still"):
+            service.wait(job.id, timeout=0.05)
+        service.step()
+        assert service.wait(job.id, timeout=1).state == "done"
+        with pytest.raises(ServeError, match="unknown job"):
+            service.wait("job-999999", timeout=0.05)
+
+
+class TestDedupe:
+    def test_memo_answers_identical_resubmission(self, service):
+        doc = sweep_spec("memo")
+        first = service.submit(doc, tenant="alice")
+        service.step()
+        second = service.submit(doc, tenant="bob")
+        assert second.state == "done"
+        assert second.deduped == "memo"
+        assert second.manifest["digest"] == first.manifest["digest"]
+        # No new execution slot was consumed.
+        assert len(service.queue) == 0
+
+    def test_inflight_submission_attaches_to_primary(self, service):
+        doc = sweep_spec("herd")
+        primary = service.submit(doc, tenant="alice")
+        rider = service.submit(doc, tenant="bob")
+        assert rider.deduped == "inflight"
+        assert rider.primary_id == primary.id
+        assert len(service.queue) == 1  # one execution for two jobs
+        service.step()
+        assert primary.state == rider.state == "done"
+        assert rider.manifest["digest"] == primary.manifest["digest"]
+
+    def test_attached_jobs_share_failure(self, service):
+        doc = sweep_spec("fb", target="no-such-target")
+        primary = service.submit(doc)
+        rider = service.submit(doc)
+        service.step()
+        assert primary.state == rider.state == "failed"
+        assert rider.error == primary.error
+
+    def test_shared_cache_makes_reexecution_cheap(self, service):
+        """Different specs overlapping in grid points share the cache:
+        second spec's points are all hits."""
+        a = sweep_spec("cache-a", rtts=(1.0, 10.0))
+        b = sweep_spec("cache-b", rtts=(1.0, 10.0))
+        b["seed"] = 7  # same seed+grid, different name => different digest
+        service.submit(a)
+        service.step()
+        before = service.cache.stats()["hits"]
+        service.submit(b)
+        service.step()
+        assert service.cache.stats()["hits"] == before + 2
+
+    def test_dedupe_counted_in_metrics(self, service):
+        doc = sweep_spec("m")
+        service.submit(doc)
+        service.submit(doc)
+        service.step()
+        service.submit(doc)
+        snap = service.metrics_snapshot()
+        assert snap["jobs"]["deduped_inflight"] == 1
+        assert snap["jobs"]["deduped_memo"] == 1
+        assert snap["jobs"]["admitted"] == 1
+        assert snap["dedupe_ratio"] == pytest.approx(2 / 3, abs=1e-4)
+
+
+class TestAdmission:
+    def test_queue_full_rejects_with_retry_hint(self, tmp_path):
+        svc = ExperimentService(workers=0, capacity=1).start()
+        svc.submit(sweep_spec("q1"))
+        with pytest.raises(AdmissionError) as exc:
+            svc.submit(sweep_spec("q2"))
+        assert exc.value.retry_after_s > 0
+        assert svc.metrics_snapshot()["jobs"]["rejected"] == 1
+
+    def test_unknown_priority_rejected_not_counted_rejected(self, service):
+        with pytest.raises(ConfigurationError, match="unknown priority"):
+            service.submit(sweep_spec("p"), priority="urgent")
+        assert service.metrics_snapshot()["jobs"]["rejected"] == 0
+
+    def test_bad_spec_rejected_at_submit(self, service):
+        with pytest.raises(ConfigurationError):
+            service.submit("{not json")
+
+    def test_priority_order_served_first(self, service):
+        batch = service.submit(sweep_spec("b1"), priority="batch")
+        inter = service.submit(sweep_spec("i1"), priority="interactive")
+        assert service.step() is inter
+        assert service.step() is batch
+
+
+class TestDrain:
+    def test_drain_rejects_new_submissions(self, service):
+        service.drain(timeout=5)
+        with pytest.raises(DrainingError):
+            service.submit(sweep_spec("late"))
+
+    def test_drain_persists_backlog_and_restore_requeues(self, tmp_path):
+        state = tmp_path / "state"
+        svc = ExperimentService(workers=0, state_dir=state).start()
+        j1 = svc.submit(sweep_spec("d1"), tenant="alice",
+                        priority="interactive")
+        j2 = svc.submit(sweep_spec("d2"), tenant="bob")
+        summary = svc.drain(timeout=5)
+        assert summary["persisted"] == 2
+        assert j1.state == j2.state == "persisted"
+        saved = json.loads((state / QUEUE_STATE_FILE).read_text())
+        assert [e["id"] for e in saved["jobs"]] == [j1.id, j2.id]
+        assert (state / JOBS_STATE_FILE).exists()
+
+        svc2 = ExperimentService(workers=0, state_dir=state).start()
+        assert svc2.metrics_snapshot()["jobs"]["restored"] == 2
+        # Ids survive the round trip; fresh ids never collide.
+        assert svc2.job(j1.id) is not None
+        restored = svc2.step()
+        assert restored.id == j1.id  # interactive still first
+        assert restored.state == "done"
+        assert svc2.step().id == j2.id
+        fresh = svc2.submit(sweep_spec("d3"))
+        assert fresh.id not in (j1.id, j2.id)
+        # The consumed state file is gone: a third start restores nothing.
+        assert not (state / QUEUE_STATE_FILE).exists()
+
+    def test_drain_twice_is_noop(self, service):
+        service.submit(sweep_spec("x"))
+        first = service.drain(timeout=5)
+        assert first["persisted"] == 1
+        assert service.drain(timeout=5)["persisted"] == 0
+
+    def test_threaded_workers_finish_in_flight_on_drain(self, tmp_path):
+        svc = ExperimentService(workers=2,
+                                cache=tmp_path / "cache").start()
+        jobs = [svc.submit(sweep_spec(f"t{i}")) for i in range(4)]
+        for job in jobs:
+            svc.wait(job.id, timeout=30)
+        svc.drain(timeout=10)
+        assert all(j.state == "done" for j in jobs)
+        snap = svc.metrics_snapshot()
+        assert snap["jobs"]["completed"] == 4
+        assert snap["queue_latency"]["count"] >= 4
+        assert snap["queue_latency"]["p99_s"] is not None
+
+
+class TestQueries:
+    def test_job_listing_filters_and_limits(self, service):
+        service.submit(sweep_spec("l1"), tenant="alice")
+        service.submit(sweep_spec("l2"), tenant="bob")
+        service.submit(sweep_spec("l3"), tenant="alice")
+        assert len(service.jobs()) == 3
+        assert {j["tenant"] for j in service.jobs(tenant="alice")} == {
+            "alice"}
+        assert len(service.jobs(limit=2)) == 2
+
+    def test_events_cursor(self, service):
+        job = service.submit(sweep_spec("e1"))
+        head = service.job_events(job.id)
+        assert [e["event"] for e in head] == ["queued"]
+        service.step()
+        rest = service.job_events(job.id, since=len(head))
+        assert rest[0]["event"] == "running"
+        assert rest[-1]["event"] == "done"
+        assert any(e["event"] == "point" for e in rest)
+
+    def test_snapshot_payload_opt_in(self, service):
+        job = service.submit(sweep_spec("s"))
+        service.step()
+        assert "payload" not in service.job_snapshot(job.id)
+        snap = service.job_snapshot(job.id, with_payload=True)
+        assert snap["payload"]["records"]
