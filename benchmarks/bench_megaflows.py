@@ -1,0 +1,147 @@
+"""Megaflows: the mean-field engine at ESnet traffic-matrix scale.
+
+The Science DMZ paper's designs are sized for a handful of named
+transfers; the Snowmass-era traffic question is a *matrix* — every site
+pair exchanging bulk data continuously, 10k–1M concurrent demands.
+The per-flow kernels (even vectorized) carry state per stream and top
+out around thousands of flows; the :mod:`repro.fluid` engine collapses
+same-path, same-congestion-control flows into a few hundred flow
+classes and advances population aggregates instead.
+
+Two results, both regenerated from real runs:
+
+* ``megaflows_end_to_end.txt`` — a 100k-flow gravity matrix over the
+  12-site WAN backbone, run to completion on the fluid engine;
+* ``megaflows_speedup.txt`` — the matched-horizon comparison against
+  the vectorized per-flow kernel: wall-time speedup (floor 20x in full
+  mode) and the delivered-bytes ratio (the engine's accuracy contract:
+  within 1% at this scale).
+
+Quick mode shrinks to 5k flows but keeps *both* assertions live (at a
+relaxed floor/tolerance) so the CI smoke gates the same contract.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.tcp.simulate import MultiFlowSimulation
+from repro.units import MB, seconds
+from repro.workloads import traffic_matrix, wan_backbone
+
+from _common import emit, quick
+
+N_SITES = 12
+SITES = [f"site{i}" for i in range(N_SITES)]
+
+#: Matched-horizon comparison size: full mode is the headline 100k
+#: flows (400k streams); quick keeps 5k flows — still far above the
+#: hybrid switchover threshold, small enough for the per-flow side.
+N_FLOWS = quick(100_000, 5_000)
+HORIZON = quick(seconds(2), seconds(1))
+SPEEDUP_FLOOR = quick(20.0, 2.0)
+RATIO_TOL = quick(0.01, 0.05)
+
+#: End-to-end run: modest per-transfer sizes so 100k flows *finish*
+#: within a bench-sized wall budget (the matrix's aggregate is what
+#: stresses the engine, not any single transfer).
+E2E_FLOWS = quick(100_000, 5_000)
+E2E_MEAN_SIZE = quick(MB(16), MB(8))
+E2E_WINDOW = quick(seconds(30), seconds(5))
+
+
+def _build_sim(backend: str, *, n_flows: int, mean_size=None,
+               arrival_window=None):
+    topo = wan_backbone(N_SITES)
+    kwargs = {}
+    if mean_size is not None:
+        kwargs["mean_size"] = mean_size
+    if arrival_window is not None:
+        kwargs["arrival_window"] = arrival_window
+    workload = traffic_matrix(SITES, n_flows=n_flows,
+                              rng=np.random.default_rng(42), **kwargs)
+    return MultiFlowSimulation(topo, workload.specs(), backend=backend)
+
+
+def _delivered_bits(progress) -> float:
+    return float(sum(p.delivered.bits for p in progress.values()))
+
+
+def test_megaflows_end_to_end():
+    """100k concurrent flows, fluid engine, run to completion."""
+    sim = _build_sim("fluid", n_flows=E2E_FLOWS, mean_size=E2E_MEAN_SIZE,
+                     arrival_window=E2E_WINDOW)
+    requested = sum(p.spec.size.bits for p in sim.progress.values())
+    t0 = time.perf_counter()
+    progress = sim.run()
+    wall = time.perf_counter() - t0
+
+    finished = sum(1 for p in progress.values()
+                   if p.finish_time is not None)
+    delivered = _delivered_bits(progress)
+    result = sim.fluid_result
+    emit("megaflows_end_to_end",
+         f"gravity traffic matrix, {E2E_FLOWS} concurrent flows "
+         "(fluid engine, end to end)\n"
+         f"  finished:        {finished}/{E2E_FLOWS}\n"
+         f"  delivered:       {delivered / 8e9:.1f} GB "
+         f"of {requested / 8e9:.1f} GB\n"
+         f"  simulated time:  {sim.finished_at.s:.1f}s\n"
+         f"  wall time:       {wall:.2f}s\n"
+         f"  flow classes:    {result.n_classes} "
+         f"({result.classes_retired} retired)\n"
+         f"  ticks:           {result.ticks}")
+
+    assert finished == E2E_FLOWS, f"only {finished}/{E2E_FLOWS} finished"
+    # Conservation: every flow ran to completion, so delivered bytes
+    # must equal requested bytes exactly (deaths clamp at size).
+    np.testing.assert_allclose(delivered, requested, rtol=1e-9)
+
+
+def test_megaflows_matched_horizon_speedup():
+    """Fluid vs vectorized per-flow at the same horizon: the >=20x
+    speedup claim and the 1% delivered-bytes accuracy contract."""
+    sim_np = _build_sim("numpy", n_flows=N_FLOWS)
+    t0 = time.perf_counter()
+    numpy_progress = sim_np.run(until=HORIZON)
+    numpy_wall = time.perf_counter() - t0
+
+    sim_fl = _build_sim("fluid", n_flows=N_FLOWS)
+    t0 = time.perf_counter()
+    fluid_progress = sim_fl.run(until=HORIZON)
+    fluid_wall = time.perf_counter() - t0
+
+    numpy_bits = _delivered_bits(numpy_progress)
+    fluid_bits = _delivered_bits(fluid_progress)
+    ratio = fluid_bits / numpy_bits
+    speedup = numpy_wall / fluid_wall
+
+    emit("megaflows_speedup",
+         f"matched-horizon backend comparison, {N_FLOWS} flows over "
+         f"{HORIZON.s:.1f}s simulated\n"
+         f"  numpy (per-flow):   {numpy_wall:.2f}s wall\n"
+         f"  fluid (mean-field): {fluid_wall:.2f}s wall\n"
+         f"  speedup:            {speedup:.1f}x "
+         f"(floor {SPEEDUP_FLOOR:.1f}x)\n"
+         f"  delivered ratio:    {ratio:.4f} (fluid/numpy, "
+         f"tolerance {RATIO_TOL:.0%})")
+
+    # Both gates stay asserted in quick mode (relaxed constants above):
+    # this is the CI smoke for the engine's performance *and* accuracy.
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"fluid speedup {speedup:.1f}x below floor {SPEEDUP_FLOOR:.1f}x")
+    assert abs(ratio - 1.0) <= RATIO_TOL, (
+        f"delivered-bytes ratio {ratio:.4f} outside "
+        f"{RATIO_TOL:.0%} of per-flow at matched horizon")
+
+
+def test_megaflows_hybrid_dispatch():
+    """The hybrid dispatcher sends this matrix to the fluid engine
+    (population far above the switchover) and a trimmed version of the
+    same matrix to the exact per-flow kernels."""
+    big = _build_sim("hybrid", n_flows=N_FLOWS)
+    assert big.backend == "fluid"
+    small = _build_sim("hybrid", n_flows=64)
+    assert small.backend == "numpy"

@@ -163,6 +163,37 @@ def _maxmin_factory(backend: str):
     return factory
 
 
+def _megaflows_simulation(backend: str, quick: bool):
+    """An LHC-style gravity traffic matrix on the 12-site WAN backbone.
+
+    The mean-field engine's headline workload: the full mode loads
+    100k concurrent flows (400k streams) — far past what the per-flow
+    kernels can carry — and the fluid engine collapses them into a few
+    hundred flow classes.  Quick mode shrinks to 5k flows so the CI
+    smoke still crosses the hybrid switchover threshold.
+    """
+    from .tcp.simulate import MultiFlowSimulation
+    from .units import seconds
+    from .workloads import traffic_matrix, wan_backbone
+
+    n_flows = 5_000 if quick else 100_000
+    horizon = seconds(1) if quick else seconds(2)
+    n_sites = 12
+    topo = wan_backbone(n_sites)
+    workload = traffic_matrix([f"site{i}" for i in range(n_sites)],
+                              n_flows=n_flows,
+                              rng=np.random.default_rng(42))
+    sim = MultiFlowSimulation(topo, workload.specs(), backend=backend)
+    return sim, horizon
+
+
+def _megaflows_factory(backend: str):
+    def factory(quick: bool):
+        sim, horizon = _megaflows_simulation(backend, quick)
+        return lambda: sim.run(until=horizon)
+    return factory
+
+
 def _fluid_tcp_factory(quick: bool):
     from dataclasses import replace
 
@@ -218,6 +249,12 @@ _register("maxmin.python",
 _register("fluid_tcp",
           "single-connection fluid TCP, 20k lossy rounds",
           _fluid_tcp_factory)
+_register("megaflows.fluid",
+          "100k-flow gravity traffic matrix, 12-site WAN (mean-field)",
+          _megaflows_factory("fluid"))
+_register("megaflows.hybrid",
+          "100k-flow gravity traffic matrix through the hybrid dispatcher",
+          _megaflows_factory("hybrid"))
 
 
 # -- timing -------------------------------------------------------------------

@@ -85,6 +85,7 @@ from .errors import ReproError, ServeError
 from .experiment.registry import DESIGNS, mathis_grid_point
 from .tcp.mathis import mathis_throughput, required_window
 from .units import parse_rate, parse_size, parse_time
+from .vectorize import SIM_ENGINES
 
 __all__ = ["main", "DESIGNS", "EXIT_OK", "EXIT_DOMAIN_FAILURE",
            "EXIT_BAD_INPUT"]
@@ -362,8 +363,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.cache or args.cache_dir is not None:
         cache = (args.cache_dir
                  or os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
-    ctx = RunContext(workers=workers, cache=cache,
-                     artifacts=args.artifacts)
+    ctx = RunContext.from_env(workers=workers, cache=cache,
+                              artifacts=args.artifacts,
+                              **({"backend": args.backend}
+                                 if args.backend else {}))
 
     result = run_experiment(spec, ctx, persist=not args.no_persist)
     manifest = result.manifest
@@ -377,6 +380,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"  {key}: {manifest.summary[key]}")
     if result.cached:
         print("  (served from the result cache)")
+    print(f"  engine:          {manifest.backend}")
     print(f"  spec digest:     {manifest.spec_digest}")
     print(f"  result digest:   {manifest.result_digest}")
     print(f"  manifest digest: {manifest.digest()}")
@@ -896,6 +900,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--golden", default=None, metavar="GOLDEN_JSON",
                        help="compare spec/result digests against this "
                             "recorded ledger; exit 1 on drift")
+    p_run.add_argument("--backend", default=None, choices=SIM_ENGINES,
+                       help="simulation engine (default: $REPRO_BACKEND "
+                            "or numpy); fluid/hybrid are the approximate "
+                            "mean-field tier and fork the cache identity")
     p_run.set_defaults(func=cmd_run)
 
     p_chaos = sub.add_parser(
@@ -1020,10 +1028,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _check_env_backend() -> None:
+    """Fail fast on a bad ``REPRO_BACKEND`` before any command runs.
+
+    A typo'd engine name would otherwise surface as a deep traceback
+    from the first kernel call (or worse, from inside a pool worker);
+    validating at startup turns it into the standard exit-2
+    configuration error.
+    """
+    import os
+
+    from .vectorize import check_engine
+
+    value = os.environ.get("REPRO_BACKEND", "")
+    if value:
+        check_engine(value)
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        _check_env_backend()
         return args.func(args)
     except ServeError as exc:
         # Operational failure (unreachable service, failed job, full

@@ -33,6 +33,7 @@ from ..exec.cache import ResultCache
 from ..exec.runner import ParallelRunner
 from ..exec.seeding import derive_seed
 from ..telemetry import MetricsRegistry, ensure_tracer
+from ..vectorize import check_engine, default_backend
 
 __all__ = ["RunContext", "DEFAULT_RUNS_DIR"]
 
@@ -64,6 +65,15 @@ class RunContext:
     metrics:
         Shared :class:`~repro.telemetry.MetricsRegistry`; the cache and
         runner counters land here so one registry shows the whole run.
+    backend:
+        Simulation engine for the run — any
+        :data:`repro.vectorize.SIM_ENGINES` member, validated here so a
+        typo fails at context construction, not mid-run.  None (default)
+        defers to :func:`repro.vectorize.default_backend` at execution
+        time.  Exact-tier backends never change results (bit-identity);
+        the approximate tier ("fluid"/"hybrid") does, so the resolved
+        engine is recorded in the manifest's run section and joins the
+        scenario cache identity.
     progress:
         Optional observer ``fn(event, fields)`` for live run progress
         — per-point completions land here as ``("point", {...})`` in
@@ -80,9 +90,11 @@ class RunContext:
                  artifacts: Optional[os.PathLike | str] = None,
                  trace=None,
                  metrics: Optional[MetricsRegistry] = None,
+                 backend: Optional[str] = None,
                  progress: Optional[Callable[
                      [str, Mapping[str, object]], None]] = None) -> None:
         self.workers = max(1, int(workers or 1))
+        self.backend = check_engine(backend) if backend is not None else None
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         if isinstance(cache, (str, os.PathLike)):
             cache = ResultCache(cache, metrics=self.metrics)
@@ -97,10 +109,13 @@ class RunContext:
     def from_env(cls, **overrides) -> "RunContext":
         """A context honoring the harness env knobs.
 
-        ``REPRO_WORKERS`` sets the pool size and ``REPRO_CACHE`` the
-        cache (``1`` = default ``.repro-cache/``, anything else = the
+        ``REPRO_WORKERS`` sets the pool size, ``REPRO_CACHE`` the cache
+        (``1`` = default ``.repro-cache/``, anything else = the
         directory) — the same contract ``benchmarks/_common.py``
-        established for the bench harness.
+        established for the bench harness — and ``REPRO_BACKEND`` the
+        simulation engine (validated here, so a bad value is a
+        :class:`~repro.errors.ConfigurationError` at startup rather
+        than a traceback from the first kernel call).
         """
         if "workers" not in overrides:
             value = os.environ.get("REPRO_WORKERS", "")
@@ -111,7 +126,16 @@ class RunContext:
                 from ..exec.cache import DEFAULT_CACHE_DIR
                 overrides["cache"] = (DEFAULT_CACHE_DIR if value == "1"
                                       else value)
+        if "backend" not in overrides:
+            value = os.environ.get("REPRO_BACKEND", "")
+            overrides["backend"] = check_engine(value) if value else None
         return cls(**overrides)
+
+    def resolved_backend(self) -> str:
+        """The engine this context's runs execute on: the explicit
+        ``backend`` knob, else the process default (which itself honors
+        ``REPRO_BACKEND``)."""
+        return self.backend if self.backend is not None else default_backend()
 
     # -- seed tree ------------------------------------------------------------
     def bind(self, root_seed: int) -> "RunContext":

@@ -87,6 +87,13 @@ class RunManifest:
     timings: Dict[str, float] = field(default_factory=dict)
     stats: Dict[str, int] = field(default_factory=dict)
     workers: int = 1
+    #: Resolved simulation engine the run executed on ("numpy",
+    #: "python", "fluid", "hybrid").  Run section, not core: the exact
+    #: tier is bit-identical by contract, so the digest must not fork on
+    #: it, and approximate engines are kept honest by the cache identity
+    #: instead (see ``repro.experiment.runner``).  None on manifests
+    #: written before the engine tier existed.
+    backend: Optional[str] = None
     #: Artifacts whose bytes legitimately vary run-to-run (e.g. bench
     #: timing payloads); hashed for the record but outside the digest.
     run_artifacts: Dict[str, str] = field(default_factory=dict)
@@ -122,6 +129,7 @@ class RunManifest:
             "timings": self.timings,
             "stats": self.stats,
             "workers": self.workers,
+            "backend": self.backend,
             "artifacts": self.run_artifacts,
         }
         return out
@@ -152,6 +160,8 @@ class RunManifest:
             timings=dict(run.get("timings") or {}),
             stats=dict(run.get("stats") or {}),
             workers=int(run.get("workers", 1)),
+            backend=(str(run["backend"])
+                     if run.get("backend") is not None else None),
             run_artifacts=dict(run.get("artifacts") or {}),
         )
         recorded = data.get("digest")

@@ -21,6 +21,7 @@ of the same spec — the property the golden-replay CI job gates on.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import time
@@ -29,6 +30,7 @@ from typing import Callable, Dict, Optional
 
 from ..errors import ConfigurationError
 from ..exec.seeding import canonical_json
+from ..vectorize import SIM_BACKENDS, use_backend
 from .context import RunContext
 from .manifest import RunManifest, package_code_version
 from .registry import sweep_target
@@ -111,16 +113,31 @@ def _outcome_payload(outcome) -> Dict[str, object]:
     }
 
 
-def _scenario_point(spec: str) -> Dict[str, object]:
+def _scenario_point(spec: str,
+                    engine: Optional[str] = None) -> Dict[str, object]:
     """Run one scenario spec end to end; module-level so the exec
     engine can fingerprint, cache and (in principle) ship it to a pool
-    exactly like any sweep target."""
+    exactly like any sweep target.
+
+    ``engine`` is only passed (and thus only joins the cache identity)
+    for the *approximate* tier: exact backends are bit-identical by
+    contract, so their runs must keep sharing cache entries, while a
+    fluid/hybrid result may differ and can never be served to — or
+    from — a per-flow run.  Passing it explicitly also applies the
+    engine inside pool workers, which a parent-process default would
+    not survive under spawn.
+    """
     from ..scenario import Scenario
     from ..units import seconds
+    from ..vectorize import use_backend
 
     parsed = ExperimentSpec.from_json(spec)
     scenario = Scenario.from_spec(parsed)
-    outcome = scenario.run(until=seconds(parsed.until_s))
+    if engine is None:
+        outcome = scenario.run(until=seconds(parsed.until_s))
+    else:
+        with use_backend(engine):
+            outcome = scenario.run(until=seconds(parsed.until_s))
     return _outcome_payload(outcome)
 
 
@@ -136,8 +153,12 @@ def _run_scenario(spec: ScenarioSpec, ctx: RunContext, version: str):
                                trace=ctx.tracer)
         payload = _outcome_payload(outcome)
         return payload, payload, outcome
+    params: Dict[str, object] = {"spec": spec.to_json()}
+    engine = ctx.resolved_backend()
+    if engine not in SIM_BACKENDS:
+        params["engine"] = engine
     runner = ctx.runner(code_version=version)
-    outcomes = runner.map(_scenario_point, [{"spec": spec.to_json()}])
+    outcomes = runner.map(_scenario_point, [params])
     payload = outcomes[0].value
     return payload, payload, None
 
@@ -150,6 +171,13 @@ def _run_sweep(spec: SweepSpec, ctx: RunContext, version: str):
         raise ConfigurationError(
             f"spec {spec.name!r} asks for per-point seeds but target "
             f"{spec.target!r} is registered without a seed parameter")
+    # Approximate engines fork the sweep cache identity via the version
+    # tag (sweep targets take arbitrary grids, so there is no single
+    # params slot to carry the engine the way scenarios do); exact-tier
+    # runs keep sharing entries by the bit-identity contract.
+    engine = ctx.resolved_backend()
+    if engine not in SIM_BACKENDS:
+        version = f"{version}+{engine}"
     result = sweep(
         target.fn,
         spec.grid_mapping(),
@@ -234,19 +262,25 @@ def run_experiment(spec: ExperimentSpec,
     value: object = None
     timings: Dict[str, float] = {}
     extra_artifacts: Dict[str, bytes] = {}
-    if isinstance(spec, ScenarioSpec):
-        payload, summary, value = _run_scenario(spec, ctx, version)
-    elif isinstance(spec, SweepSpec):
-        payload, summary, value = _run_sweep(spec, ctx, version)
-    elif isinstance(spec, BenchSpec):
-        payload, summary, value, timings = _run_bench(spec, ctx)
-    else:
-        runner_fn = _spec_runner(spec.kind)
-        if runner_fn is None:
-            raise ConfigurationError(
-                f"cannot execute spec kind {type(spec).__name__!r}")
-        payload, summary, value, extra_artifacts = runner_fn(
-            spec, ctx, version)
+    # An explicit context backend becomes the process default for the
+    # duration of the run, so every kernel the spec reaches — including
+    # traced in-process scenarios and serial sweep points — resolves it.
+    with contextlib.ExitStack() as stack:
+        if ctx.backend is not None:
+            stack.enter_context(use_backend(ctx.backend))
+        if isinstance(spec, ScenarioSpec):
+            payload, summary, value = _run_scenario(spec, ctx, version)
+        elif isinstance(spec, SweepSpec):
+            payload, summary, value = _run_sweep(spec, ctx, version)
+        elif isinstance(spec, BenchSpec):
+            payload, summary, value, timings = _run_bench(spec, ctx)
+        else:
+            runner_fn = _spec_runner(spec.kind)
+            if runner_fn is None:
+                raise ConfigurationError(
+                    f"cannot execute spec kind {type(spec).__name__!r}")
+            payload, summary, value, extra_artifacts = runner_fn(
+                spec, ctx, version)
     timings["elapsed_s"] = round(time.perf_counter() - started, 6)
 
     spec_bytes = _pretty_bytes(spec.to_dict())
@@ -271,6 +305,7 @@ def run_experiment(spec: ExperimentSpec,
         timings=timings,
         stats=delta,
         workers=ctx.workers,
+        backend=ctx.resolved_backend(),
     )
 
     artifact_dir = None

@@ -1,0 +1,156 @@
+"""Flow-class aggregation: collapsing flows into mean-field populations.
+
+A *flow class* is the unit the fluid engine advances: every flow that
+shares (a) the exact sequence of links, (b) the same congestion-control
+behaviour, and (c) the same transport parameters (RTT, MSS, receive
+window, random-loss rate, parallel-stream count, rate cap) competes
+identically in the per-flow model, so its population can be represented
+by one aggregate congestion window and a live-member count.  Science
+traffic matrices collapse extremely well under this key — 100k
+transfers between a few dozen sites yield a few hundred classes — which
+is the entire performance story of :mod:`repro.fluid`.
+
+Grouping never changes *which* flows exist: births and deaths inside a
+class are tracked individually (each member keeps its own start time
+and transfer size), only the congestion state is pooled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..netsim.flow import FlowSpec
+from ..tcp.congestion import CongestionControl
+
+__all__ = ["DEFAULT_PHASE_SHARDS", "FlowClass", "build_flow_classes"]
+
+#: Default phase-shard count per population.  Enough stagger to damp
+#: the lockstep back-off artifact (the whole class halving at once
+#: drains the queue and under-registers congestion) while keeping the
+#: class count — and the max-min filler cost — within a small multiple.
+DEFAULT_PHASE_SHARDS = 8
+
+
+def algorithm_key(algo: CongestionControl):
+    """Group key for a congestion-control instance.
+
+    Algorithms are stateless by contract, so instances of the same class
+    with equal attributes are interchangeable — the common
+    ``algorithm=None`` path builds one ``Reno()`` per flow, which must
+    collapse into a single group (the per-flow kernels use the same
+    rule).
+    """
+    try:
+        return (type(algo), tuple(sorted(vars(algo).items())))
+    except TypeError:
+        return id(algo)
+
+
+@dataclass
+class FlowClass:
+    """One mean-field population of interchangeable flows.
+
+    ``flow_ids`` index the caller's global flow list and are sorted by
+    ascending start time so the engine can consume births with a single
+    advancing pointer.  ``per_stream_bits`` is ``inf`` for unbounded
+    flows (they never die).
+    """
+
+    index: int
+    algorithm: CongestionControl
+    link_indices: Tuple[int, ...]
+    rtt_s: float
+    mss_bits: float
+    rwnd_pkts: float
+    random_loss: float
+    streams_per_flow: int
+    rate_cap_bps: float
+    flow_ids: np.ndarray
+    starts_s: np.ndarray
+    per_stream_bits: np.ndarray
+    #: Initial RTT-clock offset as a fraction of the RTT.  Shards of one
+    #: population carry staggered phases so their window updates spread
+    #: across the RTT the way individually-born per-flow streams do,
+    #: instead of the whole population halving in lockstep.
+    phase: float = 0.0
+
+    @property
+    def population(self) -> int:
+        """Member flows (not streams) over the whole simulation."""
+        return int(self.flow_ids.size)
+
+    @property
+    def stream_population(self) -> int:
+        return self.population * self.streams_per_flow
+
+
+def build_flow_classes(
+    specs: Sequence[FlowSpec],
+    flow_links: Sequence[Tuple[int, ...]],
+    algorithms: Sequence[CongestionControl],
+    *,
+    rtts: np.ndarray,
+    mss_bits: np.ndarray,
+    rwnd_pkts: np.ndarray,
+    loss_p: np.ndarray,
+    rate_caps: np.ndarray,
+    n_shards: int = 1,
+) -> List[FlowClass]:
+    """Partition ``specs`` into :class:`FlowClass` populations.
+
+    ``flow_links[f]`` is the tuple of link-inventory indices flow *f*
+    crosses (path identity); the per-flow parameter arrays are the same
+    ones the exact kernels precompute in ``MultiFlowSimulation.run``.
+
+    ``n_shards`` splits each population round-robin into up to that many
+    phase-staggered shards (RTT-clock offsets ``j/K`` of the RTT).  In
+    the per-flow model each stream updates its window at its *own* RTT
+    boundary — phases spread uniformly by birth time — so a single
+    lockstep population over-oscillates: the whole class backs off at
+    once, the queue drains, and congestion under-registers.  A handful
+    of shards restores the stagger at class-level cost.
+    """
+    grouped: Dict[tuple, List[int]] = {}
+    for f, spec in enumerate(specs):
+        key = (flow_links[f], algorithm_key(algorithms[f]),
+               spec.parallel_streams, float(rate_caps[f]), float(rtts[f]),
+               float(mss_bits[f]), float(rwnd_pkts[f]), float(loss_p[f]))
+        grouped.setdefault(key, []).append(f)
+
+    shards = max(1, int(n_shards))
+    classes: List[FlowClass] = []
+    for key, members in grouped.items():
+        ids = np.asarray(members, dtype=np.int64)
+        starts = np.array([specs[f].start.s for f in members],
+                          dtype=np.float64)
+        order = np.lexsort((ids, starts))
+        ids, starts = ids[order], starts[order]
+        per_stream = np.array([
+            (specs[f].per_stream_size().bits
+             if specs[f].size is not None else np.inf)
+            for f in ids], dtype=np.float64)
+        first = int(ids[0])
+        k = min(shards, ids.size)
+        for j in range(k):
+            # Round-robin over the start-sorted members keeps every
+            # shard's births spread across the arrival window.
+            sel = slice(j, None, k)
+            classes.append(FlowClass(
+                index=len(classes),
+                algorithm=algorithms[first],
+                link_indices=flow_links[first],
+                rtt_s=float(rtts[first]),
+                mss_bits=float(mss_bits[first]),
+                rwnd_pkts=float(rwnd_pkts[first]),
+                random_loss=float(loss_p[first]),
+                streams_per_flow=int(specs[first].parallel_streams),
+                rate_cap_bps=float(rate_caps[first]),
+                flow_ids=ids[sel],
+                starts_s=starts[sel],
+                per_stream_bits=per_stream[sel],
+                phase=j / k,
+            ))
+    return classes

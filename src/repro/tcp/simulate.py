@@ -58,12 +58,12 @@ from ..netsim.flow import FlowSpec
 from ..netsim.link import Link
 from ..netsim.topology import Path, PathProfile, Topology
 from ..units import DataRate, DataSize, TimeDelta, bits, seconds
-from ..vectorize import (SIM_BACKENDS, check_backend, pow_elementwise,
-                         resolve_backend)
+from ..vectorize import (SIM_BACKENDS, SIM_ENGINES, exact_backend,
+                         pow_elementwise, resolve_backend, resolve_engine)
 from .congestion import CongestionControl, Reno, algorithm_by_name
 
 __all__ = ["FlowProgress", "MultiFlowSimulation", "max_min_fair_allocation",
-           "SIM_BACKENDS"]
+           "SIM_BACKENDS", "SIM_ENGINES"]
 
 
 class _ProgressiveFiller:
@@ -342,9 +342,18 @@ class MultiFlowSimulation:
     backend:
         ``"numpy"`` — vectorized struct-of-arrays tick loop;
         ``"python"`` — the scalar per-stream reference loop.  Both
-        produce bit-identical results (see the module docstring); None
-        (default) resolves through
+        produce bit-identical results (see the module docstring).
+        ``"fluid"`` — the approximate :mod:`repro.fluid` mean-field
+        engine (flow-class population dynamics; scales to 100k+ flows).
+        ``"hybrid"`` — dispatch on population: below ``switchover``
+        total streams the exact kernels run (byte-for-byte identical to
+        selecting them directly), at or above it the fluid engine does.
+        None (default) resolves through
         :func:`repro.vectorize.default_backend`.
+    switchover:
+        Stream-population threshold for ``backend="hybrid"``; defaults
+        to :data:`repro.fluid.DEFAULT_SWITCHOVER`.  Ignored by the
+        other backends.
     """
 
     def __init__(
@@ -357,13 +366,24 @@ class MultiFlowSimulation:
         buffer_rtt_fraction: float = 1.0,
         initial_cwnd: float = 10.0,
         backend: Optional[str] = None,
+        switchover: Optional[int] = None,
     ) -> None:
         if not specs:
             raise ConfigurationError("MultiFlowSimulation needs at least one flow")
         labels = [s.label or f"flow{i}" for i, s in enumerate(specs)]
         if len(set(labels)) != len(labels):
             raise ConfigurationError("flow labels must be unique")
-        self.backend = resolve_backend(backend)
+        engine = resolve_engine(backend)
+        if engine == "hybrid":
+            from ..fluid.engine import DEFAULT_SWITCHOVER
+            threshold = (DEFAULT_SWITCHOVER if switchover is None
+                         else int(switchover))
+            population = sum(s.parallel_streams for s in specs)
+            # Below the threshold, fall to the *exact* tier — honoring a
+            # scalar-reference default so hybrid stays bit-identical to
+            # whichever exact backend the caller would otherwise get.
+            engine = "fluid" if population >= threshold else exact_backend(None)
+        self.backend = engine
         self.topology = topology
         self._rng = rng
         self._buffer_frac = buffer_rtt_fraction
@@ -374,11 +394,35 @@ class MultiFlowSimulation:
         self._paths: List[Path] = []
         self._profiles: List[PathProfile] = []
         self._algos: List[CongestionControl] = []
+        # Path lookups are cached per (src, dst, policy): a traffic
+        # matrix carries O(sites^2) distinct pairs but may name 100k+
+        # flows, and per-flow shortest-path work would dominate setup.
+        # The link inventory is registered in first-encounter order, the
+        # same order the uncached per-flow walk produced.
+        path_cache: Dict[object, Tuple[Path, PathProfile, Tuple[int, ...]]] = {}
+        link_ids: Dict[int, int] = {}
+        self._links: List[Link] = []
+        self._flow_links: List[Tuple[int, ...]] = []
         for label, spec in zip(labels, self._specs):
-            path = topology.path(spec.src, spec.dst, **spec.policy)
-            profile = topology.profile(path)
+            try:
+                key = (spec.src, spec.dst, tuple(sorted(spec.policy.items())))
+                hash(key)
+            except TypeError:
+                key = (spec.src, spec.dst, repr(sorted(spec.policy.items())))
+            cached = path_cache.get(key)
+            if cached is None:
+                path = topology.path(spec.src, spec.dst, **spec.policy)
+                profile = topology.profile(path)
+                for link in path.links:
+                    if id(link) not in link_ids:
+                        link_ids[id(link)] = len(self._links)
+                        self._links.append(link)
+                links = tuple(link_ids[id(link)] for link in path.links)
+                cached = path_cache[key] = (path, profile, links)
+            path, profile, links = cached
             self._paths.append(path)
             self._profiles.append(profile)
+            self._flow_links.append(links)
             if isinstance(algorithm, dict):
                 algo = algorithm.get(label, Reno())
             elif algorithm is None:
@@ -388,35 +432,36 @@ class MultiFlowSimulation:
             if isinstance(algo, str):
                 algo = algorithm_by_name(algo)
             self._algos.append(algo)
-            if profile.random_loss > 0 and rng is None:
+            if profile.random_loss > 0 and rng is None \
+                    and self.backend != "fluid":
                 raise ConfigurationError(
                     f"flow {label!r} crosses a lossy path; rng is required"
                 )
 
-        # Link inventory: every link used by any flow.
-        link_ids: Dict[int, int] = {}
-        self._links: List[Link] = []
-        for path in self._paths:
-            for link in path.links:
-                if id(link) not in link_ids:
-                    link_ids[id(link)] = len(self._links)
-                    self._links.append(link)
         n_flows, n_links = len(specs), len(self._links)
-        self._usage = np.zeros((n_flows, n_links), dtype=bool)
-        for f, path in enumerate(self._paths):
-            for link in path.links:
-                self._usage[f, link_ids[id(link)]] = True
         self._capacities = np.array([l.rate.bps for l in self._links])
         self._queues = np.zeros(n_links)
         self._buffers = self._capacities * 0.1 * buffer_rtt_fraction  # bits
-        self._filler = _ProgressiveFiller(self._usage, self._capacities)
 
         self.progress: Dict[str, FlowProgress] = {
             label: FlowProgress(spec=spec)
             for label, spec in zip(labels, self._specs)
         }
+        if self.backend == "fluid":
+            # The fluid engine keeps incidence and congestion state at
+            # class granularity; the per-flow usage matrix, allocator and
+            # stream objects would cost O(flows) for nothing.
+            self._usage = None
+            self._filler = None
+            self._streams = []
+            return
+        self._usage = np.zeros((n_flows, n_links), dtype=bool)
+        for f, links in enumerate(self._flow_links):
+            self._usage[f, list(links)] = True
+        self._filler = _ProgressiveFiller(self._usage, self._capacities)
+
         # One stream state per parallel stream of each flow.
-        self._streams: List[List[_StreamState]] = []
+        self._streams = []
         for spec in self._specs:
             per = spec.per_stream_size()
             self._streams.append([
@@ -449,6 +494,13 @@ class MultiFlowSimulation:
         rate_caps = np.array([
             (s.rate_limit.bps if s.rate_limit else np.inf) for s in self._specs
         ])
+        if self.backend == "fluid":
+            now = self._run_fluid(
+                until, max_ticks, sample_interval, rtts=rtts, dt=dt,
+                horizon=horizon, mss_bits=mss_bits, rwnd_pkts=rwnd_pkts,
+                loss_p=loss_p, rate_caps=rate_caps)
+            self.finished_at = seconds(now)
+            return self.progress
         if self.backend == "numpy":
             now = self._run_numpy(
                 until, max_ticks, sample_interval, rtts=rtts, dt=dt,
@@ -469,6 +521,53 @@ class MultiFlowSimulation:
             prog.delivered = bits(sum(st.delivered_bits for st in streams))
         self.finished_at = seconds(now)
         return self.progress
+
+    # -- mean-field loop --------------------------------------------------------
+    def _run_fluid(
+        self,
+        until: Optional[TimeDelta],
+        max_ticks: int,
+        sample_interval: TimeDelta,
+        *,
+        rtts: np.ndarray,
+        dt: float,
+        horizon: float,
+        mss_bits: np.ndarray,
+        rwnd_pkts: np.ndarray,
+        loss_p: np.ndarray,
+        rate_caps: np.ndarray,
+    ) -> float:
+        """Delegate to the :mod:`repro.fluid` mean-field engine.
+
+        One-shot (each call re-simulates from t=0) and approximate:
+        delivered totals and finish times land in ``progress`` like the
+        exact backends', but per-flow loss counts and time series are
+        not produced — class-level aggregates live on ``fluid_result``.
+        """
+        from ..fluid import (DEFAULT_PHASE_SHARDS, FluidEngine,
+                             build_flow_classes)
+        classes = build_flow_classes(
+            self._specs, self._flow_links, self._algos, rtts=rtts,
+            mss_bits=mss_bits, rwnd_pkts=rwnd_pkts, loss_p=loss_p,
+            rate_caps=rate_caps, n_shards=DEFAULT_PHASE_SHARDS)
+        engine = FluidEngine(classes, self._capacities, self._buffers,
+                             initial_cwnd=self._initial_cwnd, dt_s=dt,
+                             deterministic_loss=self._rng is None)
+        result = engine.run(horizon_s=horizon,
+                            until_given=until is not None,
+                            max_ticks=max_ticks,
+                            sample_interval_s=sample_interval.s)
+        self.fluid_result = result
+        self._queues = result.queues_bits
+        delivered, finish = result.delivered_bits, result.finish_s
+        for f, label in enumerate(self._labels):
+            prog = self.progress[label]
+            if result.started[f]:
+                prog.started = True
+            prog.delivered = bits(float(delivered[f]))
+            if np.isfinite(finish[f]):
+                prog.finish_time = seconds(float(finish[f]))
+        return result.now_s
 
     # -- scalar reference loop -------------------------------------------------
     def _run_python(

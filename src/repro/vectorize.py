@@ -18,6 +18,19 @@ Rules the kernels follow to stay bit-identical:
 * transcendental arithmetic (``**``) is routed through numpy's array
   loops on *both* paths, because numpy's SIMD ``pow`` may differ from
   libm's scalar ``pow`` in the final bit (see :func:`pow_elementwise`).
+
+Engine tiers
+------------
+:data:`SIM_BACKENDS` is the *bit-identical* tier: same numbers, different
+implementation.  The multi-flow simulator additionally understands a
+second, *approximate* tier (:data:`SIM_ENGINES` adds ``"fluid"`` and
+``"hybrid"``): the :mod:`repro.fluid` mean-field engine trades
+per-flow congestion state for flow-class population dynamics, so its
+results carry an accuracy contract (delivered-bytes ratio within 1% at
+matched horizon) rather than a bit-identity contract.  Kernels that only
+exist in the exact tier (fan-in, max-min) map an engine-tier default to
+``"numpy"`` via :func:`exact_backend` — selecting the fluid engine
+process-wide must never change *their* numbers.
 """
 
 from __future__ import annotations
@@ -32,16 +45,25 @@ from .errors import ConfigurationError
 
 __all__ = [
     "SIM_BACKENDS",
+    "SIM_ENGINES",
     "check_backend",
+    "check_engine",
     "default_backend",
+    "exact_backend",
     "pow_elementwise",
     "resolve_backend",
+    "resolve_engine",
     "set_default_backend",
     "use_backend",
 ]
 
-#: Supported kernel implementations.
+#: Bit-identical kernel implementations (same results, different code).
 SIM_BACKENDS = ("numpy", "python")
+
+#: Everything a simulation ``backend=`` argument may name: the exact
+#: tier plus the approximate mean-field tier ("fluid") and the
+#: population-threshold dispatcher ("hybrid").
+SIM_ENGINES = SIM_BACKENDS + ("fluid", "hybrid")
 
 #: Process-wide default set by :func:`set_default_backend`; None means
 #: "consult the REPRO_BACKEND environment variable, else numpy".
@@ -49,9 +71,18 @@ _DEFAULT_BACKEND: Optional[str] = None
 
 
 def check_backend(backend: str) -> str:
-    """Validate a ``backend=`` argument, returning it unchanged."""
+    """Validate an exact-tier ``backend=`` argument, returning it unchanged."""
     if backend not in SIM_BACKENDS:
         known = ", ".join(SIM_BACKENDS)
+        raise ConfigurationError(
+            f"unknown simulation backend {backend!r}; known: {known}")
+    return backend
+
+
+def check_engine(backend: str) -> str:
+    """Validate a ``backend=`` argument against the full engine tier."""
+    if backend not in SIM_ENGINES:
+        known = ", ".join(SIM_ENGINES)
         raise ConfigurationError(
             f"unknown simulation backend {backend!r}; known: {known}")
     return backend
@@ -61,15 +92,14 @@ def default_backend() -> str:
     """The backend used when a kernel is called with ``backend=None``.
 
     Resolution order: :func:`set_default_backend`, then the
-    ``REPRO_BACKEND`` environment variable, then ``"numpy"``.  Because
-    both backends are bit-identical this only selects an implementation,
-    never a result — which is exactly what the whole-experiment
-    differential tests verify.
+    ``REPRO_BACKEND`` environment variable, then ``"numpy"``.  May name
+    any :data:`SIM_ENGINES` member; exact-tier kernels downgrade an
+    engine-tier default through :func:`exact_backend`.
     """
     if _DEFAULT_BACKEND is not None:
         return _DEFAULT_BACKEND
     env = os.environ.get("REPRO_BACKEND", "")
-    return check_backend(env) if env else "numpy"
+    return check_engine(env) if env else "numpy"
 
 
 def set_default_backend(backend: Optional[str]) -> Optional[str]:
@@ -79,13 +109,38 @@ def set_default_backend(backend: Optional[str]) -> Optional[str]:
     """
     global _DEFAULT_BACKEND
     previous = _DEFAULT_BACKEND
-    _DEFAULT_BACKEND = check_backend(backend) if backend is not None else None
+    _DEFAULT_BACKEND = check_engine(backend) if backend is not None else None
     return previous
 
 
+def exact_backend(backend: Optional[str]) -> str:
+    """Collapse an engine name onto the bit-identical tier.
+
+    ``"python"`` stays ``"python"``; everything else — ``"numpy"``,
+    ``"fluid"``, ``"hybrid"``, or None (resolve the default first) —
+    becomes ``"numpy"``.  Used by the exact-only kernels (fan-in,
+    max-min) and by the hybrid dispatcher below its switchover
+    threshold, where the scalar reference must stay selectable but an
+    approximate engine name cannot leak through.
+    """
+    name = check_engine(backend) if backend is not None else default_backend()
+    return name if name in SIM_BACKENDS else "numpy"
+
+
 def resolve_backend(backend: Optional[str]) -> str:
-    """A concrete backend name from an optional ``backend=`` argument."""
-    return check_backend(backend) if backend is not None \
+    """A concrete *exact-tier* backend from an optional argument.
+
+    An explicit argument must belong to the exact tier; a None default
+    that resolves to an engine-tier name collapses to ``"numpy"``.
+    """
+    if backend is not None:
+        return check_backend(backend)
+    return exact_backend(None)
+
+
+def resolve_engine(backend: Optional[str]) -> str:
+    """A concrete engine name (any :data:`SIM_ENGINES` member)."""
+    return check_engine(backend) if backend is not None \
         else default_backend()
 
 
@@ -98,7 +153,7 @@ def use_backend(backend: str) -> Iterator[str]:
     """
     previous = set_default_backend(backend)
     try:
-        yield check_backend(backend)
+        yield check_engine(backend)
     finally:
         set_default_backend(previous)
 

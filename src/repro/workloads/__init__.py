@@ -8,6 +8,9 @@
   burst-per-experiment patterns).
 * :mod:`repro.workloads.background` — enterprise background traffic
   profiles (the "many low-speed flows" a business network carries).
+* :mod:`repro.workloads.matrix` — ESnet-scale traffic matrices
+  (gravity-model demand between WAN sites, 10k–1M flows) sized for the
+  :mod:`repro.fluid` mean-field engine.
 """
 
 from .datasets import (
@@ -25,6 +28,7 @@ from .science import (
     lightsource_bursts,
 )
 from .background import enterprise_background_sources, BackgroundProfile
+from .matrix import traffic_matrix, wan_backbone
 
 __all__ = [
     "FileSizeDistribution",
@@ -39,4 +43,6 @@ __all__ = [
     "lightsource_bursts",
     "enterprise_background_sources",
     "BackgroundProfile",
+    "traffic_matrix",
+    "wan_backbone",
 ]
