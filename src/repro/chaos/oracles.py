@@ -8,8 +8,8 @@ every fault/repair/cut, the optional DTN transfer-probe record) — and
 returns a list of human-readable violation strings (empty = invariant
 held).
 
-The registry ships five default invariants, each tied to a claim the
-paper makes:
+The registry ships these default invariants, each tied to a claim the
+paper (or the federation's caching follow-on) makes:
 
 * ``packets-conserved`` — archived loss *rates* must be exactly the
   ledger's ``lost/sent`` recomputation, with ``0 <= lost <= sent``
@@ -38,7 +38,11 @@ paper makes:
   go silent);
 * ``transfer-terminates`` — the DTN transfer probe either completes in
   bounded time or fails with a *taxonomized* :class:`~repro.errors.ReproError`;
-  silent hangs and untyped crashes are violations.
+  silent hangs and untyped crashes are violations;
+* ``cache-bytes-conserved`` — across a federation's cache tiers, origin
+  bytes plus cache-served bytes must equal delivered bytes, and every
+  cache's own ledger must balance (designs without caches pass
+  vacuously).
 
 Oracle helpers (:func:`check_monotonic`, :func:`check_bounded`) are
 deliberately tiny pure functions so the hypothesis state machine in
@@ -191,6 +195,9 @@ class RunObservation:
     #: DTN transfer-probe record (None when the campaign has no probe):
     #: ``{"status": "completed"|"failed"|"crashed", ...}``.
     transfer: Optional[Dict[str, object]] = None
+    #: Cache-workload byte ledger (None when the design has no caches):
+    #: the :func:`repro.federation.sim.simulate_requests` record.
+    caches: Optional[Dict[str, object]] = None
 
 
 # -- reusable assertion helpers ----------------------------------------------
@@ -528,6 +535,55 @@ def oracle_transfer_terminates(obs: RunObservation) -> List[str]:
     return out
 
 
+def oracle_cache_bytes_conserved(obs: RunObservation) -> List[str]:
+    """Byte conservation across cache tiers (the federation invariant).
+
+    Every delivered byte is served by exactly one tier — a cache or the
+    origin — so ``origin_bytes + sum(bytes_served) == delivered_bytes``
+    must hold over the exported ledgers, and each cache's own books
+    must balance (``hits + misses == requests``, occupancy within
+    capacity, ``occupancy == filled - evicted``).  A
+    :class:`~repro.devices.faults.CacheAccountingBug` breaks the first
+    identity without touching the data path, which is exactly what this
+    oracle exists to catch.  Designs without a cache workload vacuously
+    pass.
+    """
+    ledger = obs.caches
+    if ledger is None:
+        return []
+    out: List[str] = []
+    delivered = int(ledger["delivered_bytes"])
+    origin = int(ledger["origin_bytes"])
+    served = sum(int(c["bytes_served"]) for c in ledger["caches"])
+    if origin + served != delivered:
+        out.append(
+            f"bytes not conserved across tiers: origin={origin} + "
+            f"cache_served={served} != delivered={delivered} "
+            f"(leak of {delivered - origin - served} bytes)")
+    for cache in ledger["caches"]:
+        name = cache["name"]
+        if int(cache["hits"]) + int(cache["misses"]) != \
+                int(cache["requests"]):
+            out.append(
+                f"{name}: hits={cache['hits']} + misses={cache['misses']}"
+                f" != requests={cache['requests']}")
+        capacity = int(cache["capacity_bytes"])
+        for key in ("occupancy_bytes", "peak_occupancy_bytes"):
+            if int(cache[key]) > capacity:
+                out.append(f"{name}: {key}={cache[key]} exceeds "
+                           f"capacity={capacity}")
+        filled = int(cache["bytes_filled"])
+        evicted = int(cache["bytes_evicted"])
+        if evicted > filled:
+            out.append(f"{name}: evicted {evicted} bytes but only "
+                       f"filled {filled}")
+        if int(cache["occupancy_bytes"]) != filled - evicted:
+            out.append(
+                f"{name}: occupancy={cache['occupancy_bytes']} != "
+                f"filled-evicted={filled - evicted}")
+    return out
+
+
 register_oracle(
     "packets-conserved", oracle_packets_conserved,
     description="archived loss rates equal the OWAMP ledger exactly")
@@ -549,3 +605,6 @@ register_oracle(
 register_oracle(
     "transfer-terminates", oracle_transfer_terminates,
     description="transfers complete or raise taxonomized errors")
+register_oracle(
+    "cache-bytes-conserved", oracle_cache_bytes_conserved,
+    description="origin bytes + cache-served bytes equal delivered bytes")

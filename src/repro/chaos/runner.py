@@ -146,6 +146,13 @@ def _campaign_point(spec: str, oracles: str,
     if probe_data is not None:
         transfer_record = _transfer_record(
             parsed, TransferProbeSpec.from_dict(probe_data), scenario)
+    cache_ledger = None
+    if "cache_workload" in scenario.bundle.extras:
+        # Imported here, not at module top: chaos must not depend on the
+        # federation package unless the design actually carries caches.
+        from ..federation.sim import replay_design_workload
+        cache_ledger = replay_design_workload(
+            scenario.bundle, outcome, parsed.seed)
     obs = RunObservation(
         spec=parsed,
         outcome=outcome,
@@ -153,14 +160,24 @@ def _campaign_point(spec: str, oracles: str,
         packet_ledger=list(mesh.packet_ledger),
         unreachable=[(t, pair) for t, pair in mesh.unreachable_events],
         transfer=transfer_record,
+        caches=cache_ledger,
     )
     violations = evaluate_oracles(obs, oracle_items)
-    return {
+    result: Dict[str, object] = {
         "summary": _outcome_payload(outcome),
         "violations": {name: list(msgs)
                        for name, msgs in sorted(violations.items())},
         "transfer": transfer_record,
     }
+    if cache_ledger is not None:
+        result["summary"]["cache"] = {
+            "hit_rate": cache_ledger["hit_rate"],
+            "delivered_bytes": cache_ledger["delivered_bytes"],
+            "origin_bytes": cache_ledger["origin_bytes"],
+            "cache_served_bytes": cache_ledger["cache_served_bytes"],
+            "corrupted_nodes": list(cache_ledger["corrupted_nodes"]),
+        }
+    return result
 
 
 def _schedule_fault_payload(spec: ScenarioSpec) -> List[Dict[str, object]]:

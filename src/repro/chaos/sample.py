@@ -33,6 +33,9 @@ __all__ = ["sample_schedule", "sample_schedules", "schedule_seed"]
 #: Fault kinds injected on storage (DTN) nodes rather than the border.
 STORAGE_KINDS = frozenset({"storage"})
 
+#: Fault kinds injected on cache nodes (federated designs only).
+CACHE_KINDS = frozenset({"cachebug"})
+
 
 def schedule_seed(spec: CampaignSpec, index: int) -> int:
     """The derived seed for campaign schedule ``index``."""
@@ -41,19 +44,23 @@ def schedule_seed(spec: CampaignSpec, index: int) -> int:
 
 
 def _candidate_nodes(spec: CampaignSpec) -> Tuple[Tuple[str, ...],
+                                                  Tuple[str, ...],
                                                   Tuple[str, ...]]:
-    """Resolve (device_nodes, storage_nodes) against the design.
+    """Resolve (device_nodes, storage_nodes, cache_nodes) vs the design.
 
     Empty tuples in the space fall back to the design's border router
-    (device faults) and its DTNs (storage faults), and every explicit
-    name is validated against the topology so a typo fails at sampling
-    time with the offending name, not mid-campaign.
+    (device faults), its DTNs (storage faults), and its declared cache
+    nodes (cachebug faults), and every explicit name is validated
+    against the topology so a typo fails at sampling time with the
+    offending name, not mid-campaign.
     """
     bundle = build_design(spec.design)
     topo = bundle.topology
     nodes = spec.space.nodes or (bundle.border,)
     storage = spec.space.storage_nodes or tuple(bundle.dtns)
-    for name in (*nodes, *storage):
+    caches = spec.space.cache_nodes or tuple(
+        sorted(bundle.extras.get("caches", {})))
+    for name in (*nodes, *storage, *caches):
         if not topo.has_node(name):
             raise ConfigurationError(
                 f"fault space names node {name!r}, which design "
@@ -62,6 +69,11 @@ def _candidate_nodes(spec: CampaignSpec) -> Tuple[Tuple[str, ...],
         raise ConfigurationError(
             f"fault space includes a storage kind but design "
             f"{spec.design!r} has no DTNs and no storage_nodes were given")
+    if any(k in CACHE_KINDS for k in spec.space.kinds) and not caches:
+        raise ConfigurationError(
+            f"fault space includes a cache kind but design "
+            f"{spec.design!r} declares no caches and no cache_nodes "
+            "were given")
     for a, b in spec.space.cuts:
         topo.link_between(a, b)  # raises RoutingError on a bad pair
     for kind in spec.space.kinds:
@@ -70,21 +82,22 @@ def _candidate_nodes(spec: CampaignSpec) -> Tuple[Tuple[str, ...],
             raise ConfigurationError(
                 f"fault space kind {kind!r} is not registered; "
                 f"known kinds: {known}")
-    return tuple(nodes), tuple(storage)
+    return tuple(nodes), tuple(storage), tuple(caches)
 
 
 def sample_schedule(spec: CampaignSpec, index: int, *,
                     nodes: Optional[Tuple[str, ...]] = None,
-                    storage_nodes: Optional[Tuple[str, ...]] = None
+                    storage_nodes: Optional[Tuple[str, ...]] = None,
+                    cache_nodes: Optional[Tuple[str, ...]] = None
                     ) -> ScenarioSpec:
     """Draw schedule ``index`` of the campaign as a runnable spec.
 
-    ``nodes``/``storage_nodes`` are the resolved candidate sites; pass
-    them when sampling many schedules to avoid rebuilding the design
-    per draw (see :func:`sample_schedules`).
+    ``nodes``/``storage_nodes``/``cache_nodes`` are the resolved
+    candidate sites; pass them when sampling many schedules to avoid
+    rebuilding the design per draw (see :func:`sample_schedules`).
     """
-    if nodes is None or storage_nodes is None:
-        nodes, storage_nodes = _candidate_nodes(spec)
+    if nodes is None or storage_nodes is None or cache_nodes is None:
+        nodes, storage_nodes, cache_nodes = _candidate_nodes(spec)
     space = spec.space
     rng = np.random.default_rng(schedule_seed(spec, index))
 
@@ -92,7 +105,12 @@ def sample_schedule(spec: CampaignSpec, index: int, *,
     faults: List[FaultSpec] = []
     for _ in range(n_faults):
         kind = space.kinds[int(rng.integers(len(space.kinds)))]
-        sites = storage_nodes if kind in STORAGE_KINDS else nodes
+        if kind in STORAGE_KINDS:
+            sites = storage_nodes
+        elif kind in CACHE_KINDS:
+            sites = cache_nodes
+        else:
+            sites = nodes
         node = sites[int(rng.integers(len(sites)))]
         onset = round(float(rng.uniform(space.onset_min_s,
                                         space.onset_max_s)), 1)
@@ -128,7 +146,8 @@ def sample_schedule(spec: CampaignSpec, index: int, *,
 
 def sample_schedules(spec: CampaignSpec) -> List[ScenarioSpec]:
     """All N schedules of the campaign, in index order."""
-    nodes, storage_nodes = _candidate_nodes(spec)
+    nodes, storage_nodes, cache_nodes = _candidate_nodes(spec)
     return [sample_schedule(spec, i, nodes=nodes,
-                            storage_nodes=storage_nodes)
+                            storage_nodes=storage_nodes,
+                            cache_nodes=cache_nodes)
             for i in range(spec.schedules)]

@@ -51,7 +51,10 @@ class FaultSpaceSpec:
     including user additions — is authoritative).  ``nodes`` are the
     candidate injection sites for device faults (() = the design's
     border router); ``storage_nodes`` are the candidates for
-    ``storage`` faults (() = the design's DTNs).  Each sampled schedule
+    ``storage`` faults (() = the design's DTNs); ``cache_nodes`` are the
+    candidates for ``cachebug`` faults (() = every cache node the
+    design's bundle declares in ``extras["caches"]``).  Each sampled
+    schedule
     draws between ``min_faults`` and ``max_faults`` faults with onsets
     uniform in ``[onset_min_s, onset_max_s]``; with probability
     ``repair_fraction`` the schedule repairs everything at a time drawn
@@ -62,6 +65,7 @@ class FaultSpaceSpec:
     kinds: Tuple[str, ...] = ("linecard", "optics", "cpu", "duplex")
     nodes: Tuple[str, ...] = ()
     storage_nodes: Tuple[str, ...] = ()
+    cache_nodes: Tuple[str, ...] = ()
     min_faults: int = 1
     max_faults: int = 2
     onset_min_s: float = 300.0
@@ -87,6 +91,7 @@ class FaultSpaceSpec:
             "kinds": list(self.kinds),
             "nodes": list(self.nodes),
             "storage_nodes": list(self.storage_nodes),
+            "cache_nodes": list(self.cache_nodes),
             "min_faults": self.min_faults,
             "max_faults": self.max_faults,
             "onset_min_s": self.onset_min_s,
@@ -105,6 +110,8 @@ class FaultSpaceSpec:
             nodes=tuple(str(n) for n in data.get("nodes") or ()),
             storage_nodes=tuple(str(n)
                                 for n in data.get("storage_nodes") or ()),
+            cache_nodes=tuple(str(n)
+                              for n in data.get("cache_nodes") or ()),
             min_faults=int(data.get("min_faults", 1)),
             max_faults=int(data.get("max_faults", 2)),
             onset_min_s=float(data.get("onset_min_s", 300.0)),

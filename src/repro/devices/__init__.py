@@ -13,6 +13,9 @@ Every pathology the paper attributes to network gear lives here:
 * :mod:`repro.devices.switchfab` — LAN switch fabrics: shallow vs deep
   buffers, cut-through vs store-and-forward, and the CU-Boulder mode-flip
   bug (§5, §6.1).
+* :mod:`repro.devices.cache` — in-network data caches for federated
+  deployments: byte capacity, LRU/LFU eviction, hit/miss/byte-savings
+  counters (the in-network caching literature's device).
 """
 
 from .firewall import Firewall, FirewallRule, FirewallPolicy
@@ -24,9 +27,11 @@ from .faults import (
     ManagementCpuForwarding,
     DuplexMismatch,
     StorageStall,
+    CacheAccountingBug,
     FaultInjector,
     InjectedFault,
 )
+from .cache import CACHE_POLICIES, CacheDevice
 from .switchfab import SwitchFabric, SwitchingMode
 
 __all__ = [
@@ -45,8 +50,11 @@ __all__ = [
     "ManagementCpuForwarding",
     "DuplexMismatch",
     "StorageStall",
+    "CacheAccountingBug",
     "FaultInjector",
     "InjectedFault",
+    "CACHE_POLICIES",
+    "CacheDevice",
     "SwitchFabric",
     "SwitchingMode",
 ]

@@ -1,0 +1,211 @@
+"""In-network data caches for federated Science DMZ deployments.
+
+"Analyzing scientific data sharing patterns" (PAPERS.md) measures what
+regional in-network caches buy a federation: repeated transfers of the
+same working set are absorbed close to the consumer, so the origin and
+the WAN core carry only the *unique* bytes.  :class:`CacheDevice` is
+that device: a byte-capacity store with LRU or LFU eviction, attachable
+to a topology node like any other path element (it forwards traffic
+unmodified — caching changes *where* bytes come from, not how the path
+behaves), with hit/miss/byte counters exportable through
+:mod:`repro.telemetry`.
+
+The accounting identity every cache must preserve — and the one the
+``cache-bytes-conserved`` chaos oracle enforces — is::
+
+    origin_bytes + sum(cache.bytes_served) == delivered_bytes
+    hits + misses == requests                        (per cache)
+    occupancy == bytes_filled - bytes_evicted <= capacity
+
+``corrupt_accounting`` exists for the chaos campaigns: a corrupted
+cache still serves hits but silently drops them from ``bytes_served``,
+exactly the kind of bookkeeping bug the oracle is there to catch.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+from ..units import DataRate, DataSize, TimeDelta
+
+__all__ = ["CACHE_POLICIES", "CacheDevice"]
+
+#: Supported eviction policies.
+CACHE_POLICIES = ("lru", "lfu")
+
+
+class CacheDevice:
+    """A byte-capacity object cache with LRU or LFU eviction.
+
+    Parameters
+    ----------
+    name:
+        Cache identity (also the telemetry component label).
+    capacity:
+        Total store size; objects larger than this bypass the cache
+        (counted as misses, never admitted).
+    policy:
+        ``"lru"`` evicts the least-recently-*used* object, ``"lfu"``
+        the least-frequently-used one (ties broken by insertion order,
+        so eviction is deterministic).
+    tier:
+        Free-form placement label (``"site"``, ``"regional"``) carried
+        into the ledger for per-tier analysis.
+    """
+
+    def __init__(self, name: str, capacity: DataSize, *,
+                 policy: str = "lru", tier: str = "site") -> None:
+        if not name:
+            raise ConfigurationError("cache needs a name")
+        if policy not in CACHE_POLICIES:
+            known = ", ".join(CACHE_POLICIES)
+            raise ConfigurationError(
+                f"unknown cache policy {policy!r}; known policies: {known}")
+        if capacity.bits < 0:
+            raise ConfigurationError("cache capacity must be >= 0")
+        self.name = name
+        self.capacity = capacity
+        self.policy = policy
+        self.tier = tier
+        self.description = f"{tier} cache {name}"
+        #: Caching never perturbs the forwarding path.
+        self.visible_to_counters = True
+        #: Chaos hook: a corrupted cache serves hits but leaks them
+        #: from ``bytes_served`` — the conservation oracle's target.
+        self.corrupt_accounting = False
+
+        self._store: "OrderedDict[str, int]" = OrderedDict()  # id -> bytes
+        self._freq: Dict[str, int] = {}
+        self._metrics = None
+
+        self.requests = 0
+        self.hits = 0
+        self.misses = 0
+        self.bytes_served = 0
+        self.bytes_filled = 0
+        self.bytes_evicted = 0
+        self.occupancy_bytes = 0
+        self.peak_occupancy_bytes = 0
+
+    # -- path-element interface (a cache is attachable but transparent) -------
+    def element_latency(self) -> TimeDelta:
+        return TimeDelta(0.0)
+
+    def element_capacity(self) -> Optional[DataRate]:
+        return None
+
+    def element_loss_probability(self) -> float:
+        return 0.0
+
+    def transform_flow(self, ctx):
+        return ctx
+
+    # -- telemetry -------------------------------------------------------------
+    def bind_metrics(self, registry) -> None:
+        """Export counters through a :class:`~repro.telemetry.MetricsRegistry`."""
+        self._metrics = registry
+
+    def _metric(self, name: str):
+        return self._metrics.counter(name, component=self.name)
+
+    # -- the cache -------------------------------------------------------------
+    @property
+    def capacity_bytes(self) -> int:
+        return int(self.capacity.bits // 8)
+
+    def __contains__(self, object_id: str) -> bool:
+        return object_id in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def request(self, object_id: str, size_bytes: int) -> bool:
+        """One object request; returns True on a hit.
+
+        A hit serves ``size_bytes`` from the store (and refreshes the
+        object's recency/frequency); a miss pulls the object through —
+        it is admitted (evicting by policy until it fits) unless it is
+        larger than the whole cache, in which case it bypasses.
+        """
+        size = int(size_bytes)
+        if size < 0:
+            raise ConfigurationError("request size must be >= 0")
+        self.requests += 1
+        self._freq[object_id] = self._freq.get(object_id, 0) + 1
+        if object_id in self._store:
+            self.hits += 1
+            if not self.corrupt_accounting:
+                self.bytes_served += size
+            self._store.move_to_end(object_id)
+            if self._metrics is not None:
+                self._metric("cache.hits").inc()
+                self._metric("cache.bytes_served").inc(size)
+            return True
+        self.misses += 1
+        if self._metrics is not None:
+            self._metric("cache.misses").inc()
+        if size <= self.capacity_bytes:
+            self._admit(object_id, size)
+        return False
+
+    def _admit(self, object_id: str, size: int) -> None:
+        while self.occupancy_bytes + size > self.capacity_bytes:
+            self._evict_one()
+        self._store[object_id] = size
+        self.occupancy_bytes += size
+        self.bytes_filled += size
+        self.peak_occupancy_bytes = max(self.peak_occupancy_bytes,
+                                        self.occupancy_bytes)
+        if self._metrics is not None:
+            self._metric("cache.bytes_filled").inc(size)
+
+    def _evict_one(self) -> None:
+        if self.policy == "lru":
+            victim = next(iter(self._store))
+        else:  # lfu; OrderedDict iteration makes the tie-break stable
+            victim = min(self._store, key=lambda k: self._freq.get(k, 0))
+        size = self._store.pop(victim)
+        self.occupancy_bytes -= size
+        self.bytes_evicted += size
+        if self._metrics is not None:
+            self._metric("cache.bytes_evicted").inc(size)
+
+    def reset(self) -> None:
+        """Cold-start the cache: empty store, zeroed counters.
+
+        The chaos replay resets before each schedule so a design
+        bundle's caches never leak state between runs.
+        """
+        self._store.clear()
+        self._freq.clear()
+        self.corrupt_accounting = False
+        self.requests = 0
+        self.hits = 0
+        self.misses = 0
+        self.bytes_served = 0
+        self.bytes_filled = 0
+        self.bytes_evicted = 0
+        self.occupancy_bytes = 0
+        self.peak_occupancy_bytes = 0
+
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def ledger(self) -> Dict[str, object]:
+        """The cache's byte accounting as a plain-scalar record."""
+        return {
+            "name": self.name,
+            "tier": self.tier,
+            "policy": self.policy,
+            "capacity_bytes": self.capacity_bytes,
+            "requests": self.requests,
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes_served": self.bytes_served,
+            "bytes_filled": self.bytes_filled,
+            "bytes_evicted": self.bytes_evicted,
+            "occupancy_bytes": self.occupancy_bytes,
+            "peak_occupancy_bytes": self.peak_occupancy_bytes,
+        }

@@ -35,6 +35,7 @@ __all__ = [
     "ManagementCpuForwarding",
     "DuplexMismatch",
     "StorageStall",
+    "CacheAccountingBug",
     "InjectedFault",
     "FaultInjector",
 ]
@@ -189,6 +190,41 @@ class StorageStall:
 
     def element_capacity(self) -> Optional[DataRate]:
         return self.stall_rate
+
+    def element_loss_probability(self) -> float:
+        return 0.0
+
+    def transform_flow(self, ctx):
+        return ctx
+
+
+@dataclass
+class CacheAccountingBug:
+    """An in-network cache that stops counting the bytes it serves.
+
+    The federation's conservation argument (origin bytes + cache-served
+    bytes == delivered bytes) only holds while every cache's ledger is
+    honest.  This fault models the dishonest case: the cache keeps
+    serving hits, but its ``bytes_served`` counter silently leaks —
+    think a metrics-export bug after a cache software upgrade.  The
+    data path is untouched (no loss, no latency), so nothing but the
+    ``cache-bytes-conserved`` oracle can see it — the federation
+    analogue of the paper's counter-invisible soft failures.
+
+    The fault object itself is inert on the path; the chaos runner's
+    cache-workload replay flips ``corrupt_accounting`` on the
+    :class:`~repro.devices.cache.CacheDevice` living at the faulted
+    node while the fault is active at the horizon.
+    """
+
+    visible_to_counters: bool = False
+    description: str = "cache accounting bug"
+
+    def element_latency(self) -> TimeDelta:
+        return TimeDelta(0.0)
+
+    def element_capacity(self) -> Optional[DataRate]:
+        return None
 
     def element_loss_probability(self) -> float:
         return 0.0

@@ -53,8 +53,10 @@ from .spec import (
     MeshSpec,
     ScenarioSpec,
     SweepSpec,
+    lazy_spec_kinds,
     load_spec,
     register_spec_kind,
+    registered_spec_kinds,
     spec_kinds,
 )
 
@@ -68,9 +70,11 @@ __all__ = [
     "LinkCutSpec",
     "AlertRuleSpec",
     "SPEC_SCHEMA_VERSION",
+    "lazy_spec_kinds",
     "load_spec",
     "register_spec_kind",
     "register_spec_runner",
+    "registered_spec_kinds",
     "spec_kinds",
     "RunContext",
     "RunResult",

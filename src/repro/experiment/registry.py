@@ -51,12 +51,19 @@ def _designs() -> Dict[str, Callable[[], object]]:
         simple_science_dmz,
         supercomputer_center,
     )
+    def _federated_wan(**kwargs):
+        # Imported on build, not on registry import, so listing designs
+        # never drags the federation package in as a side effect.
+        from ..federation.design import federated_wan_design
+        return federated_wan_design(**kwargs)
+
     return {
         "general-purpose-campus": general_purpose_campus,
         "simple-science-dmz": simple_science_dmz,
         "supercomputer-center": supercomputer_center,
         "big-data-site": big_data_site,
         "colorado-campus": campus_with_rcnet,
+        "federated-wan": _federated_wan,
     }
 
 
@@ -110,6 +117,11 @@ def _storage(stall_mbps: float = 50.0, added_latency_ms: float = 10.0):
                         added_latency=ms(float(added_latency_ms)))
 
 
+def _cachebug():
+    from ..devices.faults import CacheAccountingBug
+    return CacheAccountingBug()
+
+
 #: Soft-failure builders keyed by the spec-file fault kinds.  Builders
 #: take only JSON scalars; unit wrapping happens inside.
 FAULTS: Dict[str, Callable[..., object]] = {
@@ -118,6 +130,7 @@ FAULTS: Dict[str, Callable[..., object]] = {
     "cpu": _cpu,
     "duplex": _duplex,
     "storage": _storage,
+    "cachebug": _cachebug,
 }
 
 
@@ -284,6 +297,22 @@ register_sweep_target(
 register_sweep_target(
     "detection_delay", detection_delay_point,
     description="minutes to detect the §2 line card vs probe cadence")
+def federation_hit_rate_point(cache_gb: float, alpha: float,
+                              seed: int = 0) -> float:
+    """Federation-wide cache hit rate at one (cache size, Zipf) point.
+
+    Thin wrapper so the registry stays import-light: the federation
+    package loads only when a sweep actually names this target.
+    """
+    from ..federation.runner import federation_hit_rate
+    return federation_hit_rate(float(cache_gb), float(alpha),
+                               seed=int(seed))
+
+
 register_sweep_target(
     "cu_host_throughput", cu_host_throughput,
     description="per-host TCP rate (bps) through the CU fan-in fabric")
+register_sweep_target(
+    "federation_hit_rate", federation_hit_rate_point,
+    description="federation cache hit rate over cache size x Zipf alpha",
+    seeded=True)

@@ -49,6 +49,7 @@ _SPEC_RUNNERS: Dict[str, Callable] = {}
 #: Lazily imported providers, mirroring the spec layer's lazy kinds.
 _LAZY_RUNNERS: Dict[str, str] = {
     "campaign": "repro.chaos",
+    "federation": "repro.federation",
 }
 
 

@@ -50,7 +50,9 @@ __all__ = [
     "ScenarioSpec",
     "SweepSpec",
     "load_spec",
+    "lazy_spec_kinds",
     "register_spec_kind",
+    "registered_spec_kinds",
     "spec_kinds",
 ]
 
@@ -477,6 +479,7 @@ _SPEC_KINDS: Dict[str, Type[ExperimentSpec]] = {
 #: call :func:`register_spec_kind` as a side effect.
 _LAZY_KINDS: Dict[str, str] = {
     "campaign": "repro.chaos",
+    "federation": "repro.federation",
 }
 
 
@@ -504,6 +507,19 @@ def register_spec_kind(cls: Type[ExperimentSpec]) -> Type[ExperimentSpec]:
 def spec_kinds() -> Tuple[str, ...]:
     """Every parseable spec kind, lazy ones included (sorted)."""
     return tuple(sorted(set(_SPEC_KINDS) | set(_LAZY_KINDS)))
+
+
+def registered_spec_kinds() -> Tuple[str, ...]:
+    """Kinds whose classes are already imported (sorted)."""
+    return tuple(sorted(_SPEC_KINDS))
+
+
+def lazy_spec_kinds() -> Tuple[str, ...]:
+    """Kinds that would import their provider module on first parse
+    (sorted).  Callers that only need to *list* specs can treat these
+    from the raw JSON instead of parsing, keeping listing side-effect
+    free (see ``repro specs``)."""
+    return tuple(sorted(set(_LAZY_KINDS) - set(_SPEC_KINDS)))
 
 
 def _resolve_kind(kind: object) -> Optional[Type[ExperimentSpec]]:

@@ -1,0 +1,62 @@
+"""Multi-domain federation with in-network cache tiers.
+
+§7.1 scales the Science DMZ pattern out: inter-domain controllers
+stitch guaranteed circuits across campuses and regionals (DYNES), and
+the follow-on in-network caching work (PAPERS.md) adds the missing
+piece — shared caches inside the regional networks absorbing the
+repeated transfers that dominate science data sharing.  This package
+models that federation end to end:
+
+* :mod:`repro.federation.spec` — :class:`FederationSpec`, the
+  ``"federation"`` experiment kind: domains, peering policy, cache
+  provisioning, workload, and the cache-placement sweep, as one JSON
+  document.
+* :mod:`repro.federation.domain` — the build step: per-domain
+  topologies and OSCARS services, mutual-consent peering at exchange
+  points, policy routing (stubs never transit), cache tier chains, and
+  circuit stitching through the
+  :class:`~repro.circuits.multidomain.InterDomainController`.
+* :mod:`repro.federation.sim` — read-through replay of an object
+  workload over the tiers, producing the byte ledger the conservation
+  oracle audits.
+* :mod:`repro.federation.design` — ``federated-wan``, the federation
+  as a flat :class:`~repro.core.designs.DesignBundle` for chaos
+  campaigns and scenarios.
+* :mod:`repro.federation.runner` — the registered spec runner: one
+  cached grid point per cache scale, hit-rate curve out.
+
+Importing this package registers the spec kind, the spec runner, and
+(via :mod:`repro.chaos`, which imports nothing from here) composes with
+the ``cache-bytes-conserved`` oracle.
+"""
+
+from .spec import (
+    CacheWorkloadSpec,
+    DomainSpec,
+    FederationSpec,
+    ROLE_STUB,
+    ROLE_TRANSIT,
+    default_federation_spec,
+)
+from .domain import Federation, FederationDomain, build_federation
+from .sim import replay_design_workload, simulate_requests
+from .design import federated_wan_design
+from .runner import FederationResult, federation_hit_rate, run_federation
+
+__all__ = [
+    "CacheWorkloadSpec",
+    "DomainSpec",
+    "FederationSpec",
+    "ROLE_STUB",
+    "ROLE_TRANSIT",
+    "default_federation_spec",
+    "Federation",
+    "FederationDomain",
+    "build_federation",
+    "replay_design_workload",
+    "simulate_requests",
+    "federated_wan_design",
+    "FederationResult",
+    "federation_hit_rate",
+    "run_federation",
+]

@@ -1,0 +1,134 @@
+"""The ``federated-wan`` design: the federation as one flat topology.
+
+The :class:`~repro.federation.domain.Federation` keeps per-domain
+topologies for circuit reservation; chaos campaigns and the scenario
+engine want a single :class:`~repro.core.designs.DesignBundle`.  This
+builder lays the same six-domain federation out flat — one WAN core,
+two regional transit networks each carrying an in-path cache node,
+three consuming campuses with site caches, and the origin lab — and
+stashes the cache devices, per-client tier chains, and workload
+parameters in ``bundle.extras`` so the chaos runner can replay the
+cache workload against whatever faults a schedule injects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.designs import DesignBundle
+from ..devices.cache import CacheDevice
+from ..dtn.host import attach_profile, tuned_dtn
+from ..dtn.storage import ParallelFilesystem
+from ..netsim.link import JUMBO_MTU, Link
+from ..netsim.node import Host, Router, Switch
+from ..netsim.topology import Topology
+from ..units import DataRate, Gbps, GB, TimeDelta, ms, us
+
+__all__ = ["federated_wan_design"]
+
+#: Which regional each campus homes to, and the cache provisioning the
+#: committed federation spec mirrors (see ``default_federation_spec``).
+_SITES = {"uni-a": "regional-east", "uni-b": "regional-east",
+          "uni-c": "regional-west"}
+_SITE_CACHE_GB = 40.0
+_REGIONAL_CACHE_GB = 120.0
+
+
+def federated_wan_design(
+    *,
+    wan_rtt: TimeDelta = ms(20),
+    wan_rate: DataRate = Gbps(100),
+    cache_scale: float = 1.0,
+) -> DesignBundle:
+    """Six-domain federation with two cache tiers, as one topology.
+
+    Path from a campus DTN to the origin lab:
+    ``{site}-dtn -> {site}-cache -> {site}-border -> {regional} ->
+    {regional}-cache -> wan -> lab-border -> lab-dtn``.
+    """
+    topo = Topology(name="federated-wan")
+    wan = topo.add_node(Router(name="wan", tags={"wan"}))
+
+    # Origin lab: holds the authoritative copy, no cache.
+    lab_border = topo.add_node(Router(name="lab-border"))
+    lab = topo.add_node(Host(name="lab-dtn", nic_rate=wan_rate,
+                             tags={"dtn"}))
+    topo.connect(lab, lab_border, Link(
+        rate=wan_rate, delay=us(50), mtu=JUMBO_MTU))
+    topo.connect(lab_border, wan, Link(
+        rate=wan_rate, delay=TimeDelta(wan_rtt.s / 4.0), mtu=JUMBO_MTU,
+        name="lab-uplink"))
+    attach_profile(lab, tuned_dtn("lab-dtn", ParallelFilesystem()))
+
+    caches: Dict[str, CacheDevice] = {}
+
+    def _cache_node(name: str, gb: float, *, policy: str,
+                    tier: str) -> Switch:
+        node = topo.add_node(Switch(name=name, tags={"cache"}))
+        device = CacheDevice(name=name, capacity=GB(gb * cache_scale),
+                             policy=policy, tier=tier)
+        node.attach(device)
+        caches[name] = device
+        return node
+
+    # Regional transit networks, each with an in-path shared cache.
+    for regional in ("regional-east", "regional-west"):
+        router = topo.add_node(Router(name=regional, tags={"transit"}))
+        cache = _cache_node(f"{regional}-cache", _REGIONAL_CACHE_GB,
+                            policy="lfu", tier="regional")
+        topo.connect(router, cache, Link(
+            rate=wan_rate, delay=us(20), mtu=JUMBO_MTU))
+        topo.connect(cache, wan, Link(
+            rate=wan_rate, delay=TimeDelta(wan_rtt.s / 4.0), mtu=JUMBO_MTU,
+            name=f"{regional}-uplink"))
+
+    # Consuming campuses: DTN behind a site cache behind the border.
+    dtns: List[str] = []
+    for site, regional in _SITES.items():
+        border = topo.add_node(Router(name=f"{site}-border"))
+        cache = _cache_node(f"{site}-cache", _SITE_CACHE_GB,
+                            policy="lru", tier="site")
+        host = topo.add_node(Host(name=f"{site}-dtn", nic_rate=wan_rate,
+                                  tags={"dtn"}))
+        topo.connect(host, cache, Link(
+            rate=wan_rate, delay=us(20), mtu=JUMBO_MTU))
+        topo.connect(cache, border, Link(
+            rate=wan_rate, delay=us(20), mtu=JUMBO_MTU))
+        topo.connect(border, regional, Link(
+            rate=wan_rate, delay=TimeDelta(wan_rtt.s / 8.0), mtu=JUMBO_MTU,
+            name=f"{site}-uplink"))
+        attach_profile(host, tuned_dtn(f"{site}-dtn", ParallelFilesystem()))
+        dtns.append(host.name)
+
+    ps = topo.add_node(Host(name="uni-a-perfsonar", tags={"perfsonar"}))
+    topo.connect(ps, "uni-a-border", Link(
+        rate=Gbps(10), delay=us(20), mtu=JUMBO_MTU))
+    attach_profile(ps, tuned_dtn("uni-a-perfsonar"))
+
+    tier_chains = {
+        site: [f"{site}-cache", f"{regional}-cache"]
+        for site, regional in _SITES.items()
+    }
+    return DesignBundle(
+        topology=topo,
+        wan="wan",
+        border="uni-a-border",
+        remote_dtn="lab-dtn",
+        dtns=dtns,
+        perfsonar=[ps.name],
+        science_policy={},
+        extras={
+            "caches": caches,
+            "tier_chains": tier_chains,
+            "cache_workload": {
+                "objects": 200,
+                "requests_per_round": 100,
+                "rounds": 4,
+                "alpha": 1.1,
+                "mean_object_gb": 2.0,
+                "size_sigma": 0.6,
+            },
+        },
+        description=("federated WAN: origin lab, two regional cache "
+                     "tiers, three campus site caches"),
+    )

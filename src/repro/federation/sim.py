@@ -1,0 +1,126 @@
+"""Replay an object workload through cache tiers and keep the books.
+
+The conservation argument the test layer verifies lives here: every
+delivered byte is served by exactly one tier — the first cache in the
+client's chain holding the object, else the origin.  So
+
+    origin_bytes + sum(cache.bytes_served) == delivered_bytes
+
+holds by construction for honest caches, and the
+``cache-bytes-conserved`` chaos oracle re-checks it from the exported
+ledgers, where a :class:`~repro.devices.faults.CacheAccountingBug`
+breaks it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+from ..devices.cache import CacheDevice
+from ..errors import ConfigurationError
+from ..workloads.cachepop import CacheRequest, working_set_trace
+from ..units import GB
+
+__all__ = ["simulate_requests", "replay_design_workload"]
+
+
+def simulate_requests(
+    chains: Mapping[str, Sequence[CacheDevice]],
+    trace: Iterable[CacheRequest],
+) -> Dict[str, object]:
+    """Run a request trace through per-client cache-tier chains.
+
+    ``chains`` maps client name -> tier chain (nearest cache first; may
+    be empty, meaning every request goes to the origin).  Each request
+    walks its chain until some tier reports a hit; a miss at every tier
+    is an origin fetch (the tiers fill on the way, so the *next*
+    request finds the object closer — standard read-through caching).
+
+    Returns a plain-scalar ledger: totals plus each cache's own
+    :meth:`~repro.devices.cache.CacheDevice.ledger`, sorted by cache
+    name so the payload digests deterministically.
+    """
+    delivered = 0
+    origin = 0
+    origin_requests = 0
+    requests = 0
+    seen: Dict[str, CacheDevice] = {}
+    for chain in chains.values():
+        for cache in chain:
+            seen[cache.name] = cache
+    for req in trace:
+        if req.client not in chains:
+            raise ConfigurationError(
+                f"request from unknown client {req.client!r}")
+        requests += 1
+        delivered += req.size_bytes
+        hit = False
+        for cache in chains[req.client]:
+            if cache.request(req.object_id, req.size_bytes):
+                hit = True
+                break
+        if not hit:
+            origin += req.size_bytes
+            origin_requests += 1
+    cache_served = sum(c.bytes_served for c in seen.values())
+    return {
+        "requests": requests,
+        "origin_requests": origin_requests,
+        "hit_rate": round(1.0 - origin_requests / requests, 6)
+        if requests else 0.0,
+        "delivered_bytes": delivered,
+        "origin_bytes": origin,
+        "cache_served_bytes": cache_served,
+        "byte_savings": delivered - origin,
+        "caches": [seen[name].ledger() for name in sorted(seen)],
+    }
+
+
+def replay_design_workload(bundle, outcome, seed: int) -> Dict[str, object]:
+    """Replay the cache workload a design bundle carries, chaos-aware.
+
+    The ``federated-wan`` design stores its caches, per-client tier
+    chains, and workload parameters in ``bundle.extras``.  The chaos
+    runner calls this after the scenario horizon: any
+    :class:`~repro.devices.faults.CacheAccountingBug` still active on a
+    cache-bearing node flips that cache's ``corrupt_accounting`` before
+    the replay, so the exported ledger lies exactly the way the fault
+    says it does.  The trace itself depends only on the parameters and
+    ``seed`` — identical across a campaign schedule and its ddmin
+    shrinks, which is what lets a shrunk schedule still reproduce the
+    violation.
+    """
+    extras = bundle.extras
+    caches: Dict[str, CacheDevice] = dict(extras["caches"])
+    chains: Dict[str, List[CacheDevice]] = {
+        client: [caches[node] for node in nodes]
+        for client, nodes in extras["tier_chains"].items()
+    }
+    params = dict(extras["cache_workload"])
+
+    for cache in caches.values():
+        cache.reset()
+    broken = set()
+    for record in getattr(outcome, "faults", ()) or ():
+        if record.active and type(record.fault).__name__ == \
+                "CacheAccountingBug" and record.node_name in caches:
+            broken.add(record.node_name)
+    for node in broken:
+        caches[node].corrupt_accounting = True
+
+    rng = np.random.default_rng(seed)
+    trace = working_set_trace(
+        sorted(chains),
+        rng=rng,
+        n_objects=int(params["objects"]),
+        requests_per_round=int(params["requests_per_round"]),
+        rounds=int(params["rounds"]),
+        alpha=float(params["alpha"]),
+        mean_object_size=GB(float(params["mean_object_gb"])),
+        size_sigma=float(params["size_sigma"]),
+    )
+    ledger = simulate_requests(chains, trace)
+    ledger["corrupted_nodes"] = sorted(broken)
+    return ledger

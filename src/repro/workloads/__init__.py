@@ -11,6 +11,9 @@
 * :mod:`repro.workloads.matrix` — ESnet-scale traffic matrices
   (gravity-model demand between WAN sites, 10k–1M flows) sized for the
   :mod:`repro.fluid` mean-field engine.
+* :mod:`repro.workloads.cachepop` — working-set-skewed object request
+  traces (Zipf popularity, repeated-transfer rounds) for the
+  federation's in-network cache experiments.
 """
 
 from .datasets import (
@@ -29,6 +32,7 @@ from .science import (
 )
 from .background import enterprise_background_sources, BackgroundProfile
 from .matrix import traffic_matrix, wan_backbone
+from .cachepop import CacheRequest, working_set_trace, zipf_weights
 
 __all__ = [
     "FileSizeDistribution",
@@ -45,4 +49,7 @@ __all__ = [
     "BackgroundProfile",
     "traffic_matrix",
     "wan_backbone",
+    "CacheRequest",
+    "working_set_trace",
+    "zipf_weights",
 ]

@@ -1,0 +1,100 @@
+"""Working-set-skewed object workloads: what in-network caches absorb.
+
+The in-network caching studies (PAPERS.md) observe that scientific
+data-sharing traffic is dominated by a *skewed working set*: a small
+number of popular objects (calibration files, reference datasets, hot
+analysis inputs) requested again and again across sites, with a long
+tail of one-shot transfers.  These builders produce that shape:
+
+* object popularity is Zipf(``alpha``) over a fixed catalog — the same
+  ``1/rank^alpha`` idiom the traffic-matrix gravity model uses;
+* object sizes are lognormal, drawn **once per object** (the same
+  object always has the same size — caches depend on that);
+* a trace is a sequence of *rounds* (repeated-transfer schedules): each
+  round re-draws requests from the same catalog, so popular objects
+  recur across rounds and a warm cache gets to prove itself.
+
+Everything is deterministic given the caller's generator; all draws
+happen in vectorized passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import DataSize, GB
+
+__all__ = ["CacheRequest", "working_set_trace", "zipf_weights"]
+
+
+@dataclass(frozen=True)
+class CacheRequest:
+    """One object request: who asks, for what, how many bytes."""
+
+    round: int
+    client: str
+    object_id: str
+    size_bytes: int
+
+
+def zipf_weights(n_objects: int, alpha: float) -> np.ndarray:
+    """Normalized Zipf popularity over ranks 1..n (``1/rank^alpha``)."""
+    if n_objects < 1:
+        raise ConfigurationError("need at least one object")
+    if alpha < 0:
+        raise ConfigurationError("Zipf alpha must be >= 0")
+    weights = 1.0 / np.arange(1, n_objects + 1, dtype=float) ** alpha
+    return weights / weights.sum()
+
+
+def working_set_trace(
+    clients: Sequence[str],
+    *,
+    rng: np.random.Generator,
+    n_objects: int = 200,
+    requests_per_round: int = 100,
+    rounds: int = 4,
+    alpha: float = 1.1,
+    mean_object_size: DataSize = GB(2),
+    size_sigma: float = 0.6,
+) -> List[CacheRequest]:
+    """A multi-round, Zipf-skewed object request trace.
+
+    Each round draws ``requests_per_round`` (object, client) pairs from
+    the same catalog and popularity law — the repeated-transfer
+    schedule a federation's caches are built for.  Sizes are fixed per
+    object (lognormal around ``mean_object_size``), so total unique
+    bytes is bounded by the catalog while delivered bytes grow with
+    every round.
+    """
+    if not clients:
+        raise ConfigurationError("working_set_trace needs >= 1 client")
+    if requests_per_round < 1 or rounds < 1:
+        raise ConfigurationError(
+            "need requests_per_round >= 1 and rounds >= 1")
+    weights = zipf_weights(n_objects, alpha)
+    mean_bytes = mean_object_size.bits / 8.0
+    if mean_bytes <= 0:
+        raise ConfigurationError("mean_object_size must be positive")
+    # Lognormal with the requested mean: mu = ln(mean) - sigma^2/2.
+    mu = np.log(mean_bytes) - 0.5 * size_sigma ** 2
+    sizes = np.maximum(
+        1, rng.lognormal(mu, size_sigma, size=n_objects)).astype(np.int64)
+
+    total = rounds * requests_per_round
+    object_idx = rng.choice(n_objects, size=total, p=weights)
+    client_idx = rng.integers(len(clients), size=total)
+    trace: List[CacheRequest] = []
+    for i in range(total):
+        obj = int(object_idx[i])
+        trace.append(CacheRequest(
+            round=i // requests_per_round,
+            client=str(clients[int(client_idx[i])]),
+            object_id=f"obj-{obj:05d}",
+            size_bytes=int(sizes[obj]),
+        ))
+    return trace

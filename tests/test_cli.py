@@ -161,3 +161,66 @@ class TestSweepCommand:
     def test_bad_rtt_rejected(self, capsys):
         assert main(["sweep", "mathis", "--rtt", "ten"]) == 2
         assert "comma-separated" in capsys.readouterr().err
+
+
+class TestSpecsCommand:
+    SPECS = __import__("pathlib").Path(__file__).parent.parent / "specs"
+
+    def test_lists_every_committed_spec_with_true_digests(self, capsys):
+        from repro.experiment import ExperimentSpec
+
+        assert main(["specs", "--dir", str(self.SPECS)]) == 0
+        out = capsys.readouterr().out
+        for path in sorted(self.SPECS.glob("*.json")):
+            if path.name == "golden.json":
+                assert path.name not in out  # sidecar, not a spec
+                continue
+            spec = ExperimentSpec.from_file(path)
+            line = next(l for l in out.splitlines()
+                        if l.startswith(path.name))
+            assert spec.digest()[:12] in line
+            assert spec.kind in line
+
+    def test_listing_imports_no_lazy_subsystems(self):
+        """`repro specs` must list campaign/federation specs from raw
+        JSON without importing repro.chaos or repro.federation — the
+        whole point of the lazy-kind registry."""
+        import subprocess
+        import sys
+
+        probe = (
+            "import sys\n"
+            "from repro.cli import main\n"
+            f"rc = main(['specs', '--dir', {str(self.SPECS)!r}])\n"
+            "assert rc == 0, rc\n"
+            "leaked = [m for m in ('repro.chaos', 'repro.federation')\n"
+            "          if m in sys.modules]\n"
+            "assert not leaked, f'lazy kinds imported: {leaked}'\n"
+        )
+        src = self.SPECS.parent / "src"
+        result = subprocess.run(
+            [sys.executable, "-c", probe], capture_output=True, text=True,
+            env={**__import__("os").environ, "PYTHONPATH": str(src)})
+        assert result.returncode == 0, result.stderr
+        assert "federation_quick.json" in result.stdout
+
+    def test_unreadable_spec_flags_exit_one(self, tmp_path, capsys):
+        (tmp_path / "broken.json").write_text("{not json")
+        (tmp_path / "unknown.json").write_text(
+            '{"schema": 1, "kind": "warp-drive", "name": "x"}')
+        assert main(["specs", "--dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert out.count("UNREADABLE") == 2
+
+    def test_lazy_kind_with_bad_schema_flagged(self, tmp_path, capsys):
+        # Whether "federation" is still lazy (raw-JSON path) or already
+        # imported by an earlier test (eager parse), a wrong schema
+        # version must land in the UNREADABLE bucket with exit 1.
+        (tmp_path / "fed.json").write_text(
+            '{"schema": 99, "kind": "federation", "name": "x"}')
+        assert main(["specs", "--dir", str(tmp_path)]) == 1
+        assert "UNREADABLE" in capsys.readouterr().out
+
+    def test_missing_dir_rejected(self, capsys):
+        assert main(["specs", "--dir", "no-such-dir"]) == 2
+        assert "no spec directory" in capsys.readouterr().err

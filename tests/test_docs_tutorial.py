@@ -153,7 +153,26 @@ def test_section_9_fault_campaigns():
     assert result.manifest.summary["failed"] == 0
 
 
-def test_section_10_upgrade():
+def test_section_12_federation():
+    from repro.experiment import RunContext, run_experiment
+    from repro.federation import build_federation, default_federation_spec
+
+    spec = default_federation_spec("fed-tour", seed=11,
+                                   cache_scales=(0.5, 1.0, 2.0))
+    fed = build_federation(spec)
+    assert fed.route("uni-a", "lab") == ["uni-a", "regional-east", "lab"]
+    assert [c.name for c in fed.tier_chain("uni-a")] == \
+        ["uni-a-cache", "regional-east-cache"]
+
+    result = run_experiment(spec, RunContext(cache=None), persist=False)
+    curve = result.payload["curve"]
+    assert [p["scale"] for p in curve] == [0.5, 1.0, 2.0]
+    assert all(p["byte_savings"] > 0 for p in curve)
+    hit_rates = [p["hit_rate"] for p in curve]
+    assert hit_rates == sorted(hit_rates)
+
+
+def test_section_13_upgrade():
     baseline = general_purpose_campus()
     plan = plan_upgrade(baseline.topology, science_hosts=baseline.dtns,
                         border=baseline.border, wan=baseline.wan)

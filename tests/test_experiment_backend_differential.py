@@ -74,6 +74,37 @@ def test_backend_differential_not_masked_by_cache(tmp_path):
     assert ctx.stats().get("exec.runner.evaluated", 0) == 0
 
 
+FEDERATION_SPECS = sorted(
+    p.name for p in SPECS.glob("*.json")
+    if p.name != "golden.json"
+    and json.loads(p.read_text()).get("kind") == "federation")
+
+
+def test_federation_spec_is_committed():
+    assert "federation_quick.json" in FEDERATION_SPECS
+
+
+@pytest.mark.parametrize("name", FEDERATION_SPECS)
+def test_federation_serial_pooled_and_warm_agree(name, tmp_path):
+    """Federation specs honor the full exec contract: serial, 4-worker
+    pooled, and cache-warm runs produce byte-identical manifests, and
+    the warm run evaluates nothing."""
+    spec = ExperimentSpec.from_file(SPECS / name)
+    cache = tmp_path / "cache"
+
+    serial = run_experiment(spec, RunContext(workers=1, cache=cache),
+                            persist=False)
+    pooled = run_experiment(spec, RunContext(workers=4, cache=None),
+                            persist=False)
+    warm_ctx = RunContext(workers=1, cache=cache)
+    warm = run_experiment(spec, warm_ctx, persist=False)
+
+    assert serial.manifest.result_digest == pooled.manifest.result_digest
+    assert serial.manifest.result_digest == warm.manifest.result_digest
+    assert serial.payload == pooled.payload == warm.payload
+    assert warm_ctx.stats().get("exec.runner.evaluated", 0) == 0
+
+
 def test_golden_entries_cover_committed_specs():
     """Every golden.json entry points at a committed spec whose digest
     still matches — the differential test and the golden gate stay in

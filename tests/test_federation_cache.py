@@ -1,0 +1,427 @@
+"""Federation cache tiers: property tests and the conservation oracle.
+
+Three layers of assurance over :mod:`repro.federation`:
+
+* hypothesis property tests on :class:`~repro.devices.cache.CacheDevice`
+  and :func:`~repro.federation.sim.simulate_requests` — byte
+  conservation across tiers, capacity never exceeded under either
+  eviction policy, LRU hit count monotone in cache size for a fixed
+  unit-size trace (the stack-algorithm inclusion property);
+* unit tests on the federation build: mutual-consent peering,
+  stub-never-transits routing policy, tier chains, stitched circuits;
+* the chaos acceptance story: a 16-schedule campaign on the
+  ``federated-wan`` design passes ``cache-bytes-conserved`` clean,
+  an intentionally broken cache (``cachebug`` fault) violates it, and
+  ddmin shrinks the violation to a minimal single-fault repro spec.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.cache import CACHE_POLICIES, CacheDevice
+from repro.devices.faults import CacheAccountingBug
+from repro.errors import ConfigurationError, RoutingError
+from repro.experiment import RunContext, run_experiment
+from repro.experiment.registry import build_design, build_fault
+from repro.federation import (
+    DomainSpec,
+    FederationSpec,
+    build_federation,
+    default_federation_spec,
+    simulate_requests,
+)
+from repro.federation.runner import _federation_point
+from repro.units import GB, bytes_
+from repro.workloads.cachepop import CacheRequest, working_set_trace, \
+    zipf_weights
+
+import numpy as np
+
+
+# -- strategies ---------------------------------------------------------------
+
+object_ids = st.integers(0, 24).map(lambda i: f"o{i:02d}")
+sizes = st.integers(1, 60)
+accesses = st.lists(st.tuples(object_ids, sizes), min_size=1, max_size=120)
+policies = st.sampled_from(CACHE_POLICIES)
+
+
+def _fixed_sizes(trace):
+    """Force each object to one consistent size (first occurrence wins);
+    caches rely on per-object sizes being stable."""
+    first = {}
+    out = []
+    for obj, size in trace:
+        size = first.setdefault(obj, size)
+        out.append((obj, size))
+    return out
+
+
+# -- CacheDevice properties ---------------------------------------------------
+
+class TestCacheDeviceProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(trace=accesses, capacity=st.integers(1, 300), policy=policies)
+    def test_books_balance_and_capacity_held(self, trace, capacity, policy):
+        cache = CacheDevice("c", bytes_(capacity), policy=policy)
+        for obj, size in _fixed_sizes(trace):
+            cache.request(obj, size)
+            assert cache.occupancy_bytes <= cache.capacity_bytes
+        ledger = cache.ledger()
+        assert ledger["hits"] + ledger["misses"] == ledger["requests"]
+        assert ledger["occupancy_bytes"] == \
+            ledger["bytes_filled"] - ledger["bytes_evicted"]
+        assert ledger["peak_occupancy_bytes"] <= ledger["capacity_bytes"]
+        assert ledger["bytes_evicted"] <= ledger["bytes_filled"]
+
+    @settings(max_examples=100, deadline=None)
+    @given(trace=st.lists(object_ids, min_size=1, max_size=150),
+           small=st.integers(1, 30), extra=st.integers(0, 30))
+    def test_lru_hit_count_monotone_in_capacity(self, trace, small, extra):
+        """For a fixed unit-size trace, a bigger LRU cache never hits
+        less — LRU is a stack algorithm, so the small cache's content
+        is always a subset of the big one's."""
+        small_cache = CacheDevice("small", bytes_(small), policy="lru")
+        big_cache = CacheDevice("big", bytes_(small + extra), policy="lru")
+        for obj in trace:
+            small_cache.request(obj, 1)
+            big_cache.request(obj, 1)
+        assert big_cache.hits >= small_cache.hits
+
+    @settings(max_examples=60, deadline=None)
+    @given(trace=accesses, policy=policies)
+    def test_oversized_objects_bypass(self, trace, policy):
+        cache = CacheDevice("tiny", bytes_(0), policy=policy)
+        for obj, size in trace:
+            assert cache.request(obj, size) is False
+        assert cache.hits == 0
+        assert cache.occupancy_bytes == 0
+
+    def test_lfu_prefers_evicting_cold_objects(self):
+        cache = CacheDevice("lfu", bytes_(2), policy="lfu")
+        for _ in range(5):
+            cache.request("hot", 1)
+        cache.request("warm", 1)
+        cache.request("cold", 1)  # store full: evicts the colder one
+        assert "hot" in cache
+        assert "cold" in cache
+        assert "warm" not in cache
+
+    def test_corrupt_accounting_leaks_served_bytes_only(self):
+        cache = CacheDevice("c", bytes_(100))
+        cache.request("a", 10)
+        cache.corrupt_accounting = True
+        assert cache.request("a", 10) is True  # still serves the hit
+        assert cache.bytes_served == 0         # but the books lie
+        assert cache.hits == 1
+
+    def test_reset_restores_cold_state(self):
+        cache = CacheDevice("c", bytes_(100))
+        cache.request("a", 10)
+        cache.request("a", 10)
+        cache.corrupt_accounting = True
+        cache.reset()
+        assert len(cache) == 0
+        assert cache.ledger()["requests"] == 0
+        assert cache.corrupt_accounting is False
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            CacheDevice("c", bytes_(10), policy="fifo")
+
+
+# -- multi-tier conservation --------------------------------------------------
+
+chain_shapes = st.lists(st.integers(10, 200), min_size=0, max_size=3)
+
+
+class TestTierConservation:
+    @settings(max_examples=80, deadline=None)
+    @given(trace=accesses, site=st.integers(5, 120),
+           regional=st.integers(5, 300), policy=policies,
+           data=st.data())
+    def test_bytes_conserved_across_shared_tiers(self, trace, site,
+                                                 regional, policy, data):
+        """Two clients behind separate site caches sharing one regional
+        tier: origin + every cache's served bytes == delivered bytes,
+        whatever the trace."""
+        shared = CacheDevice("regional", bytes_(regional), policy=policy)
+        chains = {
+            "a": [CacheDevice("site-a", bytes_(site)), shared],
+            "b": [CacheDevice("site-b", bytes_(site)), shared],
+        }
+        requests = [
+            CacheRequest(round=0, client=data.draw(st.sampled_from("ab")),
+                         object_id=obj, size_bytes=size)
+            for obj, size in _fixed_sizes(trace)
+        ]
+        ledger = simulate_requests(chains, requests)
+        served = sum(c["bytes_served"] for c in ledger["caches"])
+        assert ledger["origin_bytes"] + served == ledger["delivered_bytes"]
+        assert ledger["byte_savings"] == served
+        for cache in ledger["caches"]:
+            assert cache["hits"] + cache["misses"] == cache["requests"]
+            assert cache["occupancy_bytes"] <= cache["capacity_bytes"]
+
+    def test_empty_chain_sends_everything_to_origin(self):
+        requests = [CacheRequest(0, "a", "x", 7), CacheRequest(0, "a", "x", 7)]
+        ledger = simulate_requests({"a": []}, requests)
+        assert ledger["origin_bytes"] == ledger["delivered_bytes"] == 14
+        assert ledger["hit_rate"] == 0.0
+
+    def test_unknown_client_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_requests({"a": []}, [CacheRequest(0, "b", "x", 1)])
+
+
+# -- workload shape -----------------------------------------------------------
+
+class TestWorkload:
+    def test_zipf_weights_normalized_and_skewed(self):
+        w = zipf_weights(50, 1.2)
+        assert w.sum() == pytest.approx(1.0)
+        assert w[0] > w[1] > w[-1]
+
+    def test_trace_sizes_stable_per_object(self):
+        rng = np.random.default_rng(0)
+        trace = working_set_trace(["a", "b"], rng=rng, n_objects=30,
+                                  requests_per_round=50, rounds=3)
+        sizes = {}
+        for req in trace:
+            assert sizes.setdefault(req.object_id, req.size_bytes) \
+                == req.size_bytes
+        assert max(r.round for r in trace) == 2
+
+    def test_trace_deterministic_in_seed(self):
+        t1 = working_set_trace(["a"], rng=np.random.default_rng(5))
+        t2 = working_set_trace(["a"], rng=np.random.default_rng(5))
+        assert t1 == t2
+
+
+# -- federation build and policy ----------------------------------------------
+
+class TestFederationPolicy:
+    def test_asymmetric_peering_rejected(self):
+        spec = FederationSpec(
+            name="asym", seed=0,
+            domains=(
+                DomainSpec(name="lab", peers=("r",)),
+                DomainSpec(name="r", role="transit", peers=("lab", "u")),
+                DomainSpec(name="u", peers=()),  # r lists u, u doesn't
+            ),
+            origin="lab")
+        with pytest.raises(ConfigurationError, match="asymmetric"):
+            build_federation(spec)
+
+    def test_stub_never_transits(self):
+        """The only raw path u1 -> lab runs through stub u2; policy
+        routing must refuse it rather than transit a campus."""
+        spec = FederationSpec(
+            name="stub-transit", seed=0,
+            domains=(
+                DomainSpec(name="lab", peers=("u2",)),
+                DomainSpec(name="u1", peers=("u2",)),
+                DomainSpec(name="u2", peers=("u1", "lab")),
+            ),
+            origin="lab")
+        fed = build_federation(spec)
+        assert fed.route("u2", "lab") == ["u2", "lab"]
+        with pytest.raises(RoutingError, match="stubs never transit"):
+            fed.route("u1", "lab")
+
+    def test_default_federation_routes_and_chains(self):
+        fed = build_federation(default_federation_spec())
+        assert fed.route("uni-a", "lab") == ["uni-a", "regional-east", "lab"]
+        assert fed.route("uni-c", "lab") == ["uni-c", "regional-west", "lab"]
+        assert [c.name for c in fed.tier_chain("uni-b")] == \
+            ["uni-b-cache", "regional-east-cache"]
+        # Origin-side caches are never in a chain; lab has none anyway.
+        assert all(c.name != "lab-cache" for c in fed.tier_chain("uni-a"))
+
+    def test_cache_scale_multiplies_capacity(self):
+        base = build_federation(default_federation_spec())
+        doubled = build_federation(default_federation_spec(), scale=2.0)
+        for name, cache in base.caches().items():
+            assert doubled.caches()[name].capacity_bytes \
+                == 2 * cache.capacity_bytes
+
+    def test_circuit_profile_stitches_across_domains(self):
+        spec = default_federation_spec()
+        fed = build_federation(spec)
+        profile = fed.circuit_profile("uni-a")
+        assert profile.capacity.gbps == pytest.approx(spec.link_gbps / 2.0)
+        assert profile.base_rtt.s > 0
+        assert profile.random_loss == 0.0
+        # Reservation was released: the calendar holds nothing.
+        for domain in fed.domains.values():
+            assert domain.oscars.active() == []
+
+    def test_spec_requires_known_origin_and_client(self):
+        with pytest.raises(ConfigurationError):
+            FederationSpec(name="x", domains=(DomainSpec(name="a"),
+                                              DomainSpec(name="b")),
+                           origin="nope")
+        with pytest.raises(ConfigurationError, match="stub domain"):
+            FederationSpec(
+                name="x",
+                domains=(DomainSpec(name="a"),
+                         DomainSpec(name="t", role="transit",
+                                    peers=("a",))),
+                origin="a")
+
+    def test_spec_round_trips_through_file(self, tmp_path):
+        from repro.experiment import ExperimentSpec
+        spec = default_federation_spec(cache_scales=(0.5, 1.0))
+        path = tmp_path / "fed.json"
+        spec.save(path)
+        loaded = ExperimentSpec.from_file(path)
+        assert loaded == spec
+        assert loaded.digest() == spec.digest()
+
+
+# -- the headline experiment --------------------------------------------------
+
+class TestHitRateCurve:
+    def test_hit_rate_curve_and_byte_savings(self):
+        """The cache-placement sweep: hit rate grows with cache size and
+        byte savings are positive for a Zipf-skewed (alpha >= 1) load."""
+        spec = default_federation_spec(
+            "curve", seed=3, cache_scales=(0.25, 1.0, 4.0))
+        points = [_federation_point(spec.to_json(), s)
+                  for s in spec.cache_scales]
+        hit_rates = [p["hit_rate"] for p in points]
+        assert hit_rates == sorted(hit_rates)
+        assert hit_rates[-1] > hit_rates[0]
+        assert all(p["byte_savings"] > 0 for p in points)
+        for p in points:
+            ledger = p["ledger"]
+            served = sum(c["bytes_served"] for c in ledger["caches"])
+            assert ledger["origin_bytes"] + served \
+                == ledger["delivered_bytes"]
+
+    def test_trace_identical_across_scales(self):
+        """Cache scale must not leak into the demand: every sweep point
+        replays byte-identical requests."""
+        spec = default_federation_spec("fixed-trace", seed=9)
+        lo = _federation_point(spec.to_json(), 0.5)
+        hi = _federation_point(spec.to_json(), 2.0)
+        assert lo["ledger"]["delivered_bytes"] \
+            == hi["ledger"]["delivered_bytes"]
+        assert lo["ledger"]["requests"] == hi["ledger"]["requests"]
+
+    def test_run_experiment_end_to_end(self):
+        spec = default_federation_spec(
+            "fed-e2e", seed=2, cache_scales=(0.5, 1.0))
+        result = run_experiment(spec, RunContext(workers=1, cache=None),
+                                persist=False)
+        assert result.manifest.spec_digest == spec.digest()
+        assert len(result.payload["curve"]) == 2
+        assert result.manifest.summary["byte_savings_max"] > 0
+        assert result.value.hit_rates() == \
+            [p["hit_rate"] for p in result.payload["curve"]]
+
+    def test_sweep_target_hit_rate_point(self):
+        from repro.federation.runner import federation_hit_rate
+        sparse = federation_hit_rate(5.0, 1.2, seed=4)
+        dense = federation_hit_rate(400.0, 1.2, seed=4)
+        assert 0.0 <= sparse <= dense <= 1.0
+        assert dense > 0.0
+
+
+# -- the chaos acceptance story -----------------------------------------------
+
+def _federation_campaign(name, seed, kinds, *, schedules=16, shrink=False):
+    from repro.chaos.spec import CampaignSpec, FaultSpaceSpec
+    from repro.experiment.spec import MeshSpec
+    return CampaignSpec(
+        name=name, seed=seed, design="federated-wan",
+        schedules=schedules, until_s=1200.0, shrink=shrink, max_shrink=1,
+        mesh=MeshSpec(owamp_interval_s=120.0, bwctl_interval_s=600.0,
+                      owamp_packets=2000),
+        space=FaultSpaceSpec(kinds=kinds, min_faults=1, max_faults=2,
+                             onset_min_s=100.0, onset_max_s=600.0),
+    )
+
+
+class TestCacheChaosOracle:
+    def test_registered_as_default_oracle(self):
+        from repro.chaos.oracles import default_oracles
+        assert "cache-bytes-conserved" in default_oracles()
+
+    def test_cachebug_fault_is_buildable_and_inert_on_path(self):
+        fault = build_fault("cachebug")
+        assert isinstance(fault, CacheAccountingBug)
+        assert fault.element_loss_probability() == 0.0
+        assert fault.element_capacity() is None
+
+    def test_federated_design_declares_caches(self):
+        bundle = build_design("federated-wan")
+        assert set(bundle.extras["tier_chains"]) == \
+            {"uni-a", "uni-b", "uni-c"}
+        for chain in bundle.extras["tier_chains"].values():
+            for node in chain:
+                assert node in bundle.extras["caches"]
+                assert bundle.topology.has_node(node)
+
+    def test_oracle_passes_honest_ledger_and_fails_corrupt_one(self):
+        from repro.chaos.oracles import (RunObservation,
+                                         oracle_cache_bytes_conserved)
+        cache = CacheDevice("c", GB(1))
+        cache.request("a", 100)
+        cache.request("a", 100)
+        ledger = {
+            "delivered_bytes": 200, "origin_bytes": 100,
+            "cache_served_bytes": 100, "hit_rate": 0.5,
+            "caches": [cache.ledger()],
+        }
+        obs = RunObservation(spec=None, outcome=None, timeline=None,
+                             caches=ledger)
+        assert oracle_cache_bytes_conserved(obs) == []
+        ledger["origin_bytes"] = 50  # cook the books
+        assert any("not conserved" in v
+                   for v in oracle_cache_bytes_conserved(obs))
+        # Designs without caches pass vacuously.
+        assert oracle_cache_bytes_conserved(
+            RunObservation(spec=None, outcome=None, timeline=None)) == []
+
+    def test_clean_16_schedule_campaign_conserves_bytes(self):
+        """Acceptance: the oracle holds over a 16-schedule campaign of
+        ordinary (non-cache) faults on the federation design."""
+        spec = _federation_campaign("fed-clean", 13,
+                                    ("linecard", "optics", "cpu"))
+        result = run_experiment(spec, RunContext(workers=1, cache=None),
+                                persist=False)
+        report = result.payload
+        assert report["schedules"] == 16
+        assert "cache-bytes-conserved" not in report["oracle_violations"]
+        for run in report["runs"]:
+            assert run["summary"]["cache"]["delivered_bytes"] > 0
+
+    def test_broken_cache_violates_and_shrinks_to_minimal_repro(self):
+        """Acceptance: an intentionally broken cache violates the
+        conservation oracle and ddmin shrinks the schedule to a minimal
+        repro spec that still carries (only) a cachebug fault."""
+        spec = _federation_campaign("fed-broken", 17, ("cachebug",),
+                                    schedules=4, shrink=True)
+        result = run_experiment(spec, RunContext(workers=1, cache=None),
+                                persist=False)
+        report = result.payload
+        violated = report["oracle_violations"].get("cache-bytes-conserved")
+        assert violated, "cachebug campaign must violate conservation"
+        shrunk = [run for run in report["runs"] if run["minimal"]]
+        assert shrunk, "a failing schedule must have been shrunk"
+        minimal = shrunk[0]["minimal"]
+        assert len(minimal["faults"]) == 1
+        assert minimal["faults"][0]["kind"] == "cachebug"
+        # The minimal spec is itself runnable and still violates.
+        from repro.chaos.runner import _campaign_point
+        from repro.exec.seeding import canonical_json
+        minimal_spec = next(r.minimal for r in result.value.records
+                            if r.minimal is not None)
+        replay = _campaign_point(
+            minimal_spec.to_json(),
+            canonical_json([["cache-bytes-conserved", {}]]), "null")
+        assert replay["violations"].get("cache-bytes-conserved")
